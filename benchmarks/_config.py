@@ -1,0 +1,13 @@
+"""Benchmark sweep configuration (see conftest for fixtures)."""
+
+import os
+
+
+def bench_jobs():
+    """J values for the Table-1 sweep (env-configurable)."""
+    raw = os.environ.get("REPRO_BENCH_JOBS")
+    if raw:
+        return [int(x) for x in raw.split(",")]
+    if os.environ.get("REPRO_BENCH_FULL"):
+        return [1, 2]
+    return [1]

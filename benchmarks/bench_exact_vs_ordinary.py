@@ -1,0 +1,53 @@
+"""Exact vs ordinary lumpability on the same models.
+
+The paper supports both (Definition 3 has the ordinary conditions (1)-(2)
+and the exact conditions (3)-(5)); this bench compares their cost and the
+coarseness of the partitions they find.
+"""
+
+from repro.lumping import compositional_lump, lump_mrp
+from repro.markov import MarkovRewardProcess
+from repro.markov.random_chains import (
+    random_exactly_lumpable,
+    random_ordinarily_lumpable,
+)
+
+
+def test_compositional_ordinary(benchmark, small_tandem_bench):
+    model = small_tandem_bench["model"]
+    benchmark(compositional_lump, model, "ordinary")
+
+
+def test_compositional_exact(benchmark, small_tandem_bench):
+    model = small_tandem_bench["model"]
+    result = benchmark(compositional_lump, model, "exact")
+    assert result.lumped.md.level_size(3) <= model.md.level_size(3)
+
+
+def test_exact_not_coarser_than_ordinary_needs_not_hold(small_tandem_bench):
+    """Ordinary and exact lumping find different partitions in general;
+    on the tandem, exact is at most as coarse level-wise (the dispatcher
+    breaks column symmetry more than row symmetry)."""
+    model = small_tandem_bench["model"]
+    ordinary = compositional_lump(model, "ordinary")
+    exact = compositional_lump(model, "exact")
+    print(
+        f"\nordinary level sizes: {ordinary.lumped.md.level_sizes}, "
+        f"exact: {exact.lumped.md.level_sizes}"
+    )
+    for level in range(model.md.num_levels):
+        assert exact.reductions[level].lumped_size >= 1
+
+
+def test_flat_ordinary_benchmark(benchmark):
+    chain, _ = random_ordinarily_lumpable(400, 40, seed=7)
+    mrp = MarkovRewardProcess(chain)
+    result = benchmark(lump_mrp, mrp, "ordinary")
+    assert result.num_classes <= 40
+
+
+def test_flat_exact_benchmark(benchmark):
+    chain, _ = random_exactly_lumpable(400, 40, seed=7)
+    mrp = MarkovRewardProcess(chain)
+    result = benchmark(lump_mrp, mrp, "exact")
+    assert result.num_classes <= 40

@@ -1,0 +1,38 @@
+"""Model pipeline benchmarks (Figures 4 and 5: the MSMQ and hypercube
+subsystems) — compile, reachability (explicit vs symbolic), MD build.
+"""
+
+from repro.models import TandemParams, build_tandem
+from repro.statespace import reachable_bfs, reachable_mdd
+
+
+def _small_params():
+    return TandemParams(jobs=1, cube_dim=2, msmq_servers=2, msmq_queues=2)
+
+
+def test_compile_tandem(benchmark):
+    compiled = benchmark(build_tandem, _small_params())
+    assert compiled.event_model.num_levels == 3
+
+
+def test_reachability_bfs(benchmark, small_tandem_bench):
+    model = small_tandem_bench["event_model"]
+    reach = benchmark(reachable_bfs, model)
+    assert reach.num_states == small_tandem_bench["reach"].num_states
+
+
+def test_reachability_mdd(benchmark, small_tandem_bench):
+    model = small_tandem_bench["event_model"]
+    reach = benchmark(reachable_mdd, model)
+    assert reach.num_states == small_tandem_bench["reach"].num_states
+
+
+def test_md_construction(benchmark, small_tandem_bench):
+    model = small_tandem_bench["event_model"]
+    md = benchmark(model.to_md)
+    assert md.num_levels == 3
+
+
+def test_reach_engines_agree(small_tandem_bench):
+    model = small_tandem_bench["event_model"]
+    assert reachable_bfs(model).states == reachable_mdd(model).states

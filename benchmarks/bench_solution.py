@@ -1,0 +1,67 @@
+"""Section 5's numerical-solution claims.
+
+"Reduction in the state space also results in a roughly proportionate
+reduction in the amount of time spent for each iteration of the numerical
+solution algorithm", and the solution vector shrinks by the same factor.
+
+We solve the small tandem's unlumped and lumped chains, check the measures
+agree, and benchmark one solver iteration (a matrix-vector product) on
+each to exhibit the proportional speedup.
+"""
+
+import numpy as np
+import pytest
+
+from repro.markov import steady_state
+
+
+def test_solution_vector_reduction(small_tandem_bench):
+    model = small_tandem_bench["model"]
+    result = small_tandem_bench["result"]
+    unlumped = model.num_states()
+    lumped = result.lumped.num_states()
+    print(f"\nsolution vector: {unlumped} -> {lumped} "
+          f"({unlumped / lumped:.1f}x smaller)")
+    assert lumped * 3 < unlumped
+
+
+def test_measures_agree_between_unlumped_and_lumped(small_tandem_bench):
+    model = small_tandem_bench["model"]
+    result = small_tandem_bench["result"]
+    pi = steady_state(model.flat_ctmc()).distribution
+    pi_hat = steady_state(result.lumped.flat_ctmc()).distribution
+    assert np.abs(result.project_distribution(pi) - pi_hat).max() < 1e-9
+
+
+def test_iteration_unlumped(benchmark, small_tandem_bench):
+    """One power-method iteration on the unlumped chain."""
+    ctmc = small_tandem_bench["model"].flat_ctmc()
+    p = ctmc.embedded_dtmc()
+    pi = np.full(ctmc.num_states, 1.0 / ctmc.num_states)
+    benchmark(lambda: pi @ p)
+
+
+def test_iteration_lumped(benchmark, small_tandem_bench):
+    """One power-method iteration on the lumped chain (compare the two
+    benchmark means: the ratio tracks the state-space reduction)."""
+    ctmc = small_tandem_bench["result"].lumped.flat_ctmc()
+    p = ctmc.embedded_dtmc()
+    pi = np.full(ctmc.num_states, 1.0 / ctmc.num_states)
+    benchmark(lambda: pi @ p)
+
+
+def test_full_solve_speedup(small_tandem_bench):
+    """End-to-end solve of lumped is faster than unlumped (direct)."""
+    from repro.util import timed
+
+    model = small_tandem_bench["model"]
+    result = small_tandem_bench["result"]
+    with timed() as t_unlumped:
+        steady_state(model.flat_ctmc())
+    with timed() as t_lumped:
+        steady_state(result.lumped.flat_ctmc())
+    print(
+        f"\nsolve: unlumped {t_unlumped.seconds:.3f}s, "
+        f"lumped {t_lumped.seconds:.3f}s"
+    )
+    assert t_lumped.seconds < t_unlumped.seconds * 1.5

@@ -1,0 +1,56 @@
+"""Worklist-strategy ablation: the paper's Split (push every subclass) vs
+the "all but largest" optimization of the underlying algorithm [9].
+
+Both must reach the same partition; "all but largest" does less work.
+"""
+
+import pytest
+
+from repro.lumping import lump_mrp
+from repro.markov import MarkovRewardProcess
+from repro.markov.random_chains import random_ordinarily_lumpable
+
+
+@pytest.fixture(scope="module")
+def planted_chain():
+    chain, planted = random_ordinarily_lumpable(600, 30, seed=11)
+    return chain, planted
+
+
+def test_paper_strategy(benchmark, planted_chain):
+    chain, _ = planted_chain
+    mrp = MarkovRewardProcess(chain)
+    result = benchmark(lump_mrp, mrp, "ordinary", strategy="paper")
+    assert result.num_classes <= 30
+
+
+def test_all_but_largest_strategy(benchmark, planted_chain):
+    chain, _ = planted_chain
+    mrp = MarkovRewardProcess(chain)
+    result = benchmark(lump_mrp, mrp, "ordinary", strategy="all-but-largest")
+    assert result.num_classes <= 30
+
+
+def test_strategies_agree(planted_chain):
+    chain, _ = planted_chain
+    mrp = MarkovRewardProcess(chain)
+    a = lump_mrp(mrp, "ordinary", strategy="paper")
+    b = lump_mrp(mrp, "ordinary", strategy="all-but-largest")
+    assert a.partition == b.partition
+
+
+def test_all_but_largest_processes_fewer_splitters(planted_chain):
+    from repro.lumping.keys import flat_ordinary_splitter
+    from repro.lumping.refinement import RefinementStats, comp_lumping
+    from repro.partitions import Partition
+
+    chain, _ = planted_chain
+    factory = flat_ordinary_splitter(chain.rate_matrix)
+    n = chain.num_states
+    counters = {}
+    for strategy in ("paper", "all-but-largest"):
+        stats = RefinementStats()
+        comp_lumping(n, factory, Partition.trivial(n), strategy, stats)
+        counters[strategy] = stats.splitters_processed
+    print(f"\nsplitter pops: {counters}")
+    assert counters["all-but-largest"] <= counters["paper"]

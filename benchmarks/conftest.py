@@ -1,0 +1,53 @@
+"""Shared benchmark fixtures and configuration.
+
+Environment knobs:
+
+* ``REPRO_BENCH_JOBS``   — comma-separated J values for the Table-1 sweep
+  (default ``1``; the paper uses ``1,2,3``).  J=2 takes ~2-3 minutes, J=3
+  substantially longer, both purely in state-space generation.
+* ``REPRO_BENCH_FULL=1`` — shorthand for ``REPRO_BENCH_JOBS=1,2``.
+"""
+
+import pytest
+
+from repro.lumping import compositional_lump
+from repro.models import TandemParams, build_tandem, tandem_md_model
+from repro.models.tandem import projected_event_model
+from repro.statespace import reachable_bfs
+
+
+@pytest.fixture(scope="session")
+def paper_tandem_j1():
+    """The paper-scale tandem (8-server hypercube, 3x4 MSMQ) at J=1."""
+    params = TandemParams(jobs=1)
+    compiled = build_tandem(params)
+    reach = reachable_bfs(compiled.event_model)
+    event_model = projected_event_model(compiled, reach)
+    reach = reachable_bfs(event_model)
+    model = tandem_md_model(event_model, params, reachable=reach)
+    return {
+        "params": params,
+        "event_model": event_model,
+        "reach": reach,
+        "model": model,
+    }
+
+
+@pytest.fixture(scope="session")
+def small_tandem_bench():
+    """A small tandem (4-server hypercube, 2x2 MSMQ) for benches that
+    need flat solves of both the unlumped and lumped chains."""
+    params = TandemParams(jobs=2, cube_dim=2, msmq_servers=2, msmq_queues=2)
+    compiled = build_tandem(params)
+    reach = reachable_bfs(compiled.event_model)
+    event_model = projected_event_model(compiled, reach)
+    reach = reachable_bfs(event_model)
+    model = tandem_md_model(event_model, params, reachable=reach)
+    result = compositional_lump(model, "ordinary")
+    return {
+        "params": params,
+        "event_model": event_model,
+        "reach": reach,
+        "model": model,
+        "result": result,
+    }

@@ -1,0 +1,124 @@
+"""Formalism independence: lump an MD built straight from a Kronecker
+descriptor (no SAN front end involved).
+
+Model: a farm of N identical M/M/1/K queues fed by a 2-state Markov-
+modulated arrival stream.  The farm is ONE Kronecker component (one MD
+level) encoded per-queue, so the queue-permutation symmetry is *local to
+that level* — the setting in which the paper's compositional algorithm
+can find it.  (Spreading the queues over separate levels would hide the
+symmetry from any level-local method; that locality trade-off is exactly
+Section 4's point.)
+
+The lumping algorithm only ever sees the MD — the paper's claim that it
+is "applicable on any MD, and thus, on any formalism that uses MDs".
+
+Run:  python examples/kronecker_queueing.py
+"""
+
+import itertools
+
+import numpy as np
+
+from repro.kronecker import KroneckerDescriptor, descriptor_to_md
+from repro.lumping import MDModel, compositional_lump
+from repro.markov import CTMC, steady_state
+from repro.matrixdiagram import flatten, md_stats
+
+
+def build_descriptor(num_queues: int, capacity: int):
+    """Modulator (component 1) x queue farm (component 2)."""
+    q = capacity + 1
+    farm_states = list(itertools.product(range(q), repeat=num_queues))
+    index = {state: i for i, state in enumerate(farm_states)}
+
+    def farm_matrix(delta: int, rate: float = 1.0):
+        entries = {}
+        for state in farm_states:
+            for queue in range(num_queues):
+                level = state[queue] + delta
+                if 0 <= level <= capacity:
+                    target = list(state)
+                    target[queue] = level
+                    key = (index[state], index[tuple(target)])
+                    entries[key] = entries.get(key, 0.0) + rate
+        return entries
+
+    arrivals = farm_matrix(+1)
+    departures = farm_matrix(-1)
+
+    arrival_fast, arrival_slow, modulate = 1.8, 0.3, 0.2
+    descriptor = KroneckerDescriptor((2, len(farm_states)))
+    descriptor.add_term(arrival_slow, [{(0, 0): 1.0}, arrivals])
+    descriptor.add_term(arrival_fast, [{(1, 1): 1.0}, arrivals])
+    descriptor.add_term(1.0, [None, departures])
+    descriptor.add_term(modulate, [{(0, 1): 1.0, (1, 0): 1.0}, None])
+    return descriptor, farm_states
+
+
+def main(num_queues: int = 3, capacity: int = 2) -> None:
+    descriptor, farm_states = build_descriptor(num_queues, capacity)
+    md = descriptor_to_md(
+        descriptor,
+        level_state_labels=[["slow", "fast"], farm_states],
+    )
+    print("descriptor terms:", descriptor.num_terms)
+    print("MD:", md_stats(md).summary())
+
+    result = compositional_lump(MDModel(md), "ordinary")
+    print(f"level sizes: {md.level_sizes} -> {result.lumped.md.level_sizes}")
+    print(f"potential space: {md.potential_size()} -> "
+          f"{result.lumped.md.potential_size()}")
+    # The farm lumps from q^N per-queue states to the multiset classes.
+    from math import comb
+
+    multisets = comb(num_queues + capacity, capacity)
+    assert result.lumped.md.level_size(2) == multisets
+    print(f"farm level lumped to the {multisets} occupancy multisets.")
+
+    # Mean total queue length, computed on both chains.
+    model = MDModel(md)
+    pi = steady_state(CTMC(flatten(md))).distribution
+    # state_tuple gives (modulator, farm_index); decode farm occupancy:
+    total_len = np.array(
+        [
+            float(sum(farm_states[model.state_tuple(i)[1]]))
+            for i in range(md.potential_size())
+        ]
+    )
+    exact = float(pi @ total_len)
+
+    pi_hat = steady_state(CTMC(flatten(result.lumped.md))).distribution
+    assert np.abs(result.project_distribution(pi) - pi_hat).max() < 1e-9
+    print(f"mean total queue length (unlumped): {exact:.6f}")
+    print("aggregated stationary distribution matches the lumped solve.")
+
+
+def locality_demo(num_queues: int = 3, capacity: int = 1) -> None:
+    """The same queues encoded one-per-level: the symmetry is invisible to
+    the per-level conditions until the levels are regrouped."""
+    from repro.matrixdiagram import md_from_kronecker_terms, regroup_levels
+
+    q = capacity + 1
+    up = {(i, i + 1): 1.0 for i in range(q - 1)}
+    down = {(i + 1, i): 1.5 for i in range(q - 1)}
+    identity = {(s, s): 1.0 for s in range(q)}
+    terms = []
+    for queue in range(num_queues):
+        for matrix in (up, down):
+            factors = [identity] * num_queues
+            factors[queue] = matrix
+            terms.append((1.0, list(factors)))
+    md = md_from_kronecker_terms(terms, (q,) * num_queues)
+
+    split = compositional_lump(MDModel(md), "ordinary")
+    print(f"\nper-level encoding: {md.level_sizes} -> "
+          f"{split.lumped.md.level_sizes}  (no symmetry visible)")
+    merged = regroup_levels(md, [list(range(1, num_queues + 1))])
+    joint = compositional_lump(MDModel(merged), "ordinary")
+    print(f"regrouped encoding: {merged.level_sizes} -> "
+          f"{joint.lumped.md.level_sizes}  (multiset quotient found)")
+
+
+if __name__ == "__main__":
+    main()
+    locality_demo()

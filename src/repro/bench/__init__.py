@@ -1,0 +1,5 @@
+"""Benchmark harness reproducing the paper's evaluation artifacts."""
+
+from repro.bench.table1 import Table1Row, render_table1, run_table1_row
+
+__all__ = ["Table1Row", "render_table1", "run_table1_row"]

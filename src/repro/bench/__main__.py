@@ -1,0 +1,96 @@
+"""Command-line Table-1 regeneration.
+
+Usage::
+
+    python -m repro.bench --jobs 1,2 [--cube-dim 3] [--kind ordinary]
+                          [--engine bfs|mdd] [--output table1.txt]
+
+Prints the paper's three-part Table 1 for the requested J values.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.table1 import render_table1, run_table1_row
+from repro.models import TandemParams
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's Table 1 for the tandem system.",
+    )
+    parser.add_argument(
+        "--jobs",
+        default="1",
+        help="comma-separated J values (default: 1; the paper uses 1,2,3)",
+    )
+    parser.add_argument(
+        "--cube-dim",
+        type=int,
+        default=3,
+        help="hypercube dimension (default 3 = 8 servers, as in the paper)",
+    )
+    parser.add_argument(
+        "--msmq-servers", type=int, default=3, help="MSMQ servers (default 3)"
+    )
+    parser.add_argument(
+        "--msmq-queues", type=int, default=4, help="MSMQ queues (default 4)"
+    )
+    parser.add_argument(
+        "--kind",
+        choices=["ordinary", "exact"],
+        default="ordinary",
+        help="lumpability kind (default ordinary, as in the paper)",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=["bfs", "mdd"],
+        default="bfs",
+        help="reachability engine (default bfs)",
+    )
+    parser.add_argument(
+        "--symbolic",
+        action="store_true",
+        help="use the fully symbolic pipeline (MDD saturation + level "
+        "mapping; never enumerates states — required for J >= 3 at the "
+        "paper's configuration)",
+    )
+    parser.add_argument(
+        "--output", help="also write the rendered table to this file"
+    )
+    args = parser.parse_args(argv)
+
+    rows = []
+    for jobs in (int(x) for x in args.jobs.split(",")):
+        params = TandemParams(
+            jobs=jobs,
+            cube_dim=args.cube_dim,
+            msmq_servers=args.msmq_servers,
+            msmq_queues=args.msmq_queues,
+        )
+        print(f"running J={jobs} ...", file=sys.stderr, flush=True)
+        if args.symbolic:
+            from repro.bench.table1 import run_table1_row_symbolic
+
+            rows.append(
+                run_table1_row_symbolic(jobs, params, kind=args.kind)
+            )
+        else:
+            rows.append(
+                run_table1_row(
+                    jobs, params, reach_engine=args.engine, kind=args.kind
+                )
+            )
+    rendered = render_table1(rows)
+    print(rendered)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(rendered + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

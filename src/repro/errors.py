@@ -1,0 +1,46 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All exceptions raised intentionally by this library derive from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause while letting programming errors propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ModelError(ReproError):
+    """A model definition is inconsistent (bad rates, unknown places, ...)."""
+
+
+class StateSpaceError(ReproError):
+    """State-space exploration failed or produced an inconsistent result."""
+
+
+class MatrixDiagramError(ReproError):
+    """A matrix diagram is structurally invalid for the requested operation."""
+
+
+class LumpingError(ReproError):
+    """A lumping operation was given inconsistent inputs.
+
+    Examples: a partition that does not cover the state space, or a reward
+    specification that is not constant on the blocks of a claimed lumpable
+    partition.
+    """
+
+
+class NotLumpableError(LumpingError):
+    """A partition claimed to be lumpable fails the lumpability conditions."""
+
+
+class SolverError(ReproError):
+    """A numerical solver failed to converge or was misconfigured."""
+
+
+class CompositionError(ReproError):
+    """Composition of submodels failed (e.g. shared places with unequal
+    capacities, or level assignments that do not partition the variables)."""

@@ -1,0 +1,19 @@
+"""Kronecker descriptors: sums of Kronecker products of small matrices.
+
+A Kronecker descriptor is the algebraic form of a stochastic automata
+network (Plateau & Atif 1991): ``R = sum_e lambda_e * W_1^e (x) .. (x)
+W_L^e``.  MDs generalize this representation (Section 3 of the paper); the
+conversion :func:`descriptor_to_md` is one of the two standard ways MDs are
+obtained in practice.
+"""
+
+from repro.kronecker.descriptor import KroneckerDescriptor, KroneckerTerm
+from repro.kronecker.ops import descriptor_vector_multiply
+from repro.kronecker.to_md import descriptor_to_md
+
+__all__ = [
+    "KroneckerDescriptor",
+    "KroneckerTerm",
+    "descriptor_vector_multiply",
+    "descriptor_to_md",
+]

@@ -1,0 +1,423 @@
+"""``CompositionalLump`` (Figure 3b): lump an MD level by level.
+
+For each level ``i``: compute ``P_i_ini``, run ``CompLumpingLevel``, then
+replace every node of the level with its lumped version (Theorem 2 applied
+node-locally):
+
+* ordinary: ``Rhat_n(i~, j~) = R_n(s, C_j~)`` for the class representative
+  ``s in C_i~`` — a formal sum, so no child matrix is ever expanded;
+* exact:    ``Rhat_n(i~, j~) = R_n(C_i~, s)`` for the representative
+  ``s in C_j~``.
+
+Rewards and initial factors are lumped per level (line 7 of Figure 3b):
+``f_i`` is constant on ordinary classes (taken from the representative) and
+averaged for exact lumping; ``f_pi,i`` sums over class members, which under
+the product combiner realizes ``pihat_ini(C) = pi_ini(C)``.
+
+The node count per level never changes ("the compositional lumping
+algorithm only replaces each MD node with a possibly smaller one and does
+not create or delete any node" — Section 5); only node contents shrink.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import LumpingError
+from repro.lumping.local import (
+    comp_lumping_level,
+    initial_partition_exact,
+    initial_partition_ordinary,
+)
+from repro.lumping.md_model import MDModel
+from repro.matrixdiagram.md import MatrixDiagram
+from repro.matrixdiagram.node import MDNode
+from repro.partitions import Partition
+
+
+@dataclass
+class LevelReduction:
+    """Size bookkeeping for one lumped level."""
+
+    level: int
+    original_size: int
+    lumped_size: int
+
+    @property
+    def factor(self) -> float:
+        """Original substates per lumped substate."""
+        return self.original_size / max(1, self.lumped_size)
+
+
+@dataclass
+class CompositionalLumpingResult:
+    """Outcome of :func:`compositional_lump`."""
+
+    kind: str
+    original: MDModel
+    lumped: MDModel
+    partitions: List[Partition]  # one per level
+    reductions: List[LevelReduction] = field(default_factory=list)
+
+    @property
+    def potential_reduction_factor(self) -> float:
+        """Reduction of the potential product space."""
+        return self.original.potential_size() / max(
+            1, self.lumped.potential_size()
+        )
+
+    def class_tuple(self, state: Sequence[int]) -> Tuple[int, ...]:
+        """Map per-level substates to per-level class indices."""
+        out = []
+        for level, substate in enumerate(state):
+            partition = self.partitions[level]
+            index_map = partition.block_index_map()
+            out.append(index_map[partition.block_of(substate)])
+        return tuple(out)
+
+    def class_vectors(self) -> List[np.ndarray]:
+        """Per level, the dense class index of every original substate."""
+        return [
+            np.asarray(p.state_class_vector(), dtype=np.int64)
+            for p in self.partitions
+        ]
+
+    def project_potential_index(self, index: int) -> int:
+        """Map an original potential-space index to the lumped one."""
+        state = self.original.state_tuple(index)
+        classes = self.class_tuple(state)
+        lumped_index = 0
+        for class_index, size in zip(classes, self.lumped.md.level_sizes):
+            lumped_index = lumped_index * size + class_index
+        return lumped_index
+
+    def projection_vector(self) -> np.ndarray:
+        """For every original state (reachable if restricted, else all
+        potential states), the dense index of its lumped state."""
+        class_vectors = self.class_vectors()
+        lumped_sizes = self.lumped.md.level_sizes
+        original_indices = (
+            self.original.reachable
+            if self.original.reachable is not None
+            else range(self.original.potential_size())
+        )
+        lumped_reachable = self.lumped.reachable
+        lumped_position: Optional[Dict[int, int]] = None
+        if lumped_reachable is not None:
+            lumped_position = {p: i for i, p in enumerate(lumped_reachable)}
+        out = np.empty(
+            len(original_indices)
+            if not isinstance(original_indices, range)
+            else original_indices.stop,
+            dtype=np.int64,
+        )
+        for position, index in enumerate(original_indices):
+            state = self.original.state_tuple(index)
+            lumped_index = 0
+            for level, substate in enumerate(state):
+                lumped_index = (
+                    lumped_index * lumped_sizes[level]
+                    + int(class_vectors[level][substate])
+                )
+            if lumped_position is not None:
+                lumped_index = lumped_position[lumped_index]
+            out[position] = lumped_index
+        return out
+
+    def project_distribution(self, pi: np.ndarray) -> np.ndarray:
+        """Aggregate a distribution over original states into the lumped
+        state space (``pihat(C) = sum_{s in C} pi(s)``)."""
+        projection = self.projection_vector()
+        pi = np.asarray(pi, dtype=float)
+        if pi.shape != projection.shape:
+            raise LumpingError(
+                f"distribution has shape {pi.shape}, expected {projection.shape}"
+            )
+        out = np.zeros(self.lumped.num_states())
+        np.add.at(out, projection, pi)
+        return out
+
+
+def _lump_node(
+    node: MDNode,
+    partition: Partition,
+    kind: str,
+) -> MDNode:
+    """Theorem 2 applied to a single node, on formal sums."""
+    index_map = partition.block_index_map()
+    class_of = partition.state_class_vector()
+    representative = {}
+    members: Dict[int, Tuple[int, ...]] = {}
+    for block_id, dense in index_map.items():
+        representative[dense] = partition.representative(block_id)
+        members[dense] = partition.block(block_id)
+    is_rep = [False] * partition.n
+    for dense, rep in representative.items():
+        is_rep[rep] = True
+
+    new_entries: Dict[Tuple[int, int], object] = {}
+
+    def accumulate(key: Tuple[int, int], entry) -> None:
+        existing = new_entries.get(key)
+        if existing is None:
+            new_entries[key] = entry
+        elif node.terminal:
+            new_entries[key] = existing + entry
+        else:
+            new_entries[key] = existing + entry
+
+    sizes = {dense: len(block) for dense, block in members.items()}
+    for r, c, entry in node.entries():
+        if kind == "ordinary":
+            # Keep only the representative's row; sum over column classes.
+            if not is_rep[r]:
+                continue
+            accumulate((class_of[r], class_of[c]), entry)
+        else:
+            # Keep only the representative's column; sum over row classes,
+            # scaled by |C_col| / |C_row| (the aggregate-evolving exact
+            # lumped matrix; see repro.lumping.state_level).  Applied per
+            # level, the factors multiply across levels into the global
+            # class-size ratio.
+            if not is_rep[c]:
+                continue
+            scale = sizes[class_of[c]] / sizes[class_of[r]]
+            if node.terminal:
+                accumulate((class_of[r], class_of[c]), entry * scale)
+            else:
+                accumulate((class_of[r], class_of[c]), entry.scaled(scale))
+    return MDNode(node.level, new_entries, terminal=node.terminal)
+
+
+def _lumped_labels(
+    md: MatrixDiagram, level: int, partition: Partition
+) -> Optional[List[object]]:
+    labels = md.level_labels(level)
+    if labels is None:
+        return None
+    index_map = partition.block_index_map()
+    out: List[object] = [None] * len(partition)
+    for block_id, dense in index_map.items():
+        block_members = partition.block(block_id)
+        if len(block_members) == 1:
+            out[dense] = labels[block_members[0]]
+        else:
+            out[dense] = tuple(labels[s] for s in block_members)
+    return out
+
+
+def compositional_lump(
+    model: MDModel,
+    kind: str = "ordinary",
+    levels: Optional[Sequence[int]] = None,
+    key: str = "formal",
+    strategy: str = "paper",
+    iterate: bool = False,
+) -> CompositionalLumpingResult:
+    """Lump an MD-represented MRP level by level (Figure 3b).
+
+    Parameters
+    ----------
+    model:
+        The MD model (matrix diagram + decomposable rewards/initial).
+    kind:
+        ``"ordinary"`` or ``"exact"``.
+    levels:
+        The levels to lump (default: all).  Unlumped levels keep the
+        discrete (identity) partition, which lets tests exercise
+        Theorems 3/4 one level at a time.
+    key:
+        ``"formal"`` (paper) or ``"matrix"`` (ablation); see
+        :func:`repro.lumping.local.comp_lumping_level`.
+    strategy:
+        Worklist strategy for the refinement engine.
+    iterate:
+        Extension beyond the paper's single pass: after lumping, lumped
+        nodes that became structurally equal are merged (quasi-reduction),
+        which can make the *formal-sum* condition succeed where it was
+        previously blocked by two distinct-but-equal children (the
+        incompleteness source the paper notes in Section 4).  Passes
+        repeat until a fixed point.  The composed result is reported as a
+        single :class:`CompositionalLumpingResult` whose per-level
+        partitions are the compositions of all passes.
+    """
+    if not iterate:
+        return _compositional_lump_once(model, kind, levels, key, strategy)
+    current = model
+    composed: Optional[CompositionalLumpingResult] = None
+    while True:
+        result = _compositional_lump_once(current, kind, levels, key, strategy)
+        composed = result if composed is None else _compose_results(
+            composed, result
+        )
+        progressed = any(
+            reduction.original_size != reduction.lumped_size
+            for reduction in result.reductions
+        )
+        # Merge nodes that became equal so the next pass can see the
+        # additional sharing.  Canonicalization (scale normalization +
+        # quasi-reduction) also merges scalar multiples, which plain
+        # reduction cannot.
+        from repro.matrixdiagram.canonical import canonicalize
+
+        reduced_md = canonicalize(result.lumped.md)
+        merged = reduced_md.num_nodes < result.lumped.md.num_nodes
+        if not progressed and not merged:
+            return composed
+        current = MDModel(
+            reduced_md,
+            level_rewards=result.lumped.level_rewards,
+            level_initial=result.lumped.level_initial,
+            reward_combiner=result.lumped.reward_combiner,
+            reachable=result.lumped.reachable,
+        )
+
+
+def _compose_results(
+    first: CompositionalLumpingResult, second: CompositionalLumpingResult
+) -> CompositionalLumpingResult:
+    """Compose two successive lumping passes into one result: the block of
+    an original substate under the composition is its second-pass block's
+    preimage through the first pass."""
+    partitions: List[Partition] = []
+    for p1, p2 in zip(first.partitions, second.partitions):
+        class1 = p1.state_class_vector()
+        class2 = p2.state_class_vector()
+        labels = [class2[class1[s]] for s in range(p1.n)]
+        partitions.append(Partition.from_labels(labels))
+    reductions = [
+        LevelReduction(
+            level=r1.level,
+            original_size=r1.original_size,
+            lumped_size=len(partitions[r1.level - 1]),
+        )
+        for r1 in first.reductions
+    ]
+    return CompositionalLumpingResult(
+        kind=first.kind,
+        original=first.original,
+        lumped=second.lumped,
+        partitions=partitions,
+        reductions=reductions,
+    )
+
+
+def _compositional_lump_once(
+    model: MDModel,
+    kind: str,
+    levels: Optional[Sequence[int]],
+    key: str,
+    strategy: str,
+) -> CompositionalLumpingResult:
+    """One pass of Figure 3b."""
+    if kind not in ("ordinary", "exact"):
+        raise LumpingError(f"kind must be 'ordinary' or 'exact', not {kind!r}")
+    md = model.md
+    selected = (
+        sorted(set(levels))
+        if levels is not None
+        else list(range(1, md.num_levels + 1))
+    )
+    for level in selected:
+        if not 1 <= level <= md.num_levels:
+            raise LumpingError(f"invalid level {level}")
+
+    partitions: List[Partition] = []
+    for level in range(1, md.num_levels + 1):
+        if level not in selected:
+            partitions.append(Partition.discrete(md.level_size(level)))
+            continue
+        if kind == "ordinary":
+            start = initial_partition_ordinary(model, level)
+        else:
+            start = initial_partition_exact(model, level)
+        partitions.append(
+            comp_lumping_level(
+                md, level, start, kind=kind, key=key, strategy=strategy
+            )
+        )
+
+    # Build the lumped MD: same node indices, shrunken contents.
+    new_nodes: Dict[int, MDNode] = {}
+    new_sizes: List[int] = []
+    new_labels: Optional[List[List[object]]] = (
+        [] if md.all_level_labels() is not None else None
+    )
+    for level in range(1, md.num_levels + 1):
+        partition = partitions[level - 1]
+        new_sizes.append(len(partition))
+        if new_labels is not None:
+            new_labels.append(_lumped_labels(md, level, partition))
+        for index, node in md.nodes_at(level).items():
+            new_nodes[index] = _lump_node(node, partition, kind)
+    lumped_md = MatrixDiagram(
+        new_sizes,
+        new_nodes,
+        md.root_index,
+        level_state_labels=new_labels,
+    )
+
+    # Lump the per-level reward and initial vectors (Figure 3b, line 7).
+    new_rewards: List[np.ndarray] = []
+    new_initial: List[np.ndarray] = []
+    for level in range(1, md.num_levels + 1):
+        partition = partitions[level - 1]
+        index_map = partition.block_index_map()
+        rewards = model.level_rewards[level - 1]
+        initial = model.level_initial[level - 1]
+        r_hat = np.zeros(len(partition))
+        pi_hat = np.zeros(len(partition))
+        for block_id, dense in index_map.items():
+            block = partition.block(block_id)
+            if kind == "ordinary":
+                r_hat[dense] = rewards[block[0]]
+            else:
+                r_hat[dense] = float(np.mean([rewards[s] for s in block]))
+            pi_hat[dense] = float(sum(initial[s] for s in block))
+        new_rewards.append(r_hat)
+        new_initial.append(pi_hat)
+
+    lumped_reachable = None
+    if model.reachable is not None:
+        lumped_sizes = lumped_md.level_sizes
+        class_vectors = [
+            np.asarray(p.state_class_vector(), dtype=np.int64)
+            for p in partitions
+        ]
+        seen = set()
+        for index in model.reachable:
+            state = model.state_tuple(index)
+            lumped_index = 0
+            for level, substate in enumerate(state):
+                lumped_index = (
+                    lumped_index * lumped_sizes[level]
+                    + int(class_vectors[level][substate])
+                )
+            seen.add(lumped_index)
+        lumped_reachable = sorted(seen)
+
+    lumped_model = MDModel(
+        lumped_md,
+        level_rewards=new_rewards,
+        level_initial=new_initial,
+        reward_combiner=model.reward_combiner,
+        reachable=lumped_reachable,
+    )
+    reductions = [
+        LevelReduction(
+            level=level,
+            original_size=md.level_size(level),
+            lumped_size=len(partitions[level - 1]),
+        )
+        for level in range(1, md.num_levels + 1)
+    ]
+    return CompositionalLumpingResult(
+        kind=kind,
+        original=model,
+        lumped=lumped_model,
+        partitions=partitions,
+        reductions=reductions,
+    )

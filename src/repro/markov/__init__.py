@@ -1,0 +1,37 @@
+"""Continuous-time Markov chains, Markov reward processes and solvers."""
+
+from repro.markov.ctmc import CTMC
+from repro.markov.dtmc import DTMC, lump_dtmc
+from repro.markov.mrp import MarkovRewardProcess
+from repro.markov.solvers import (
+    SteadyStateResult,
+    steady_state,
+    steady_state_direct,
+    steady_state_gauss_seidel,
+    steady_state_jacobi,
+    steady_state_power,
+)
+from repro.markov.transient import transient_distribution, uniformize
+from repro.markov.measures import (
+    accumulated_reward,
+    expected_reward_at,
+    steady_state_reward,
+)
+
+__all__ = [
+    "CTMC",
+    "DTMC",
+    "lump_dtmc",
+    "MarkovRewardProcess",
+    "SteadyStateResult",
+    "steady_state",
+    "steady_state_direct",
+    "steady_state_gauss_seidel",
+    "steady_state_jacobi",
+    "steady_state_power",
+    "transient_distribution",
+    "uniformize",
+    "accumulated_reward",
+    "expected_reward_at",
+    "steady_state_reward",
+]

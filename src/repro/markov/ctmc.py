@@ -1,0 +1,224 @@
+"""Continuous-time Markov chains over sparse rate matrices.
+
+A CTMC is specified, as in Section 2 of the paper, by a state space
+``S = {0, .., n-1}`` and a state transition rate matrix ``R``, where
+``R[i, j]`` is the rate of the transition from state ``i`` to state ``j``.
+The generator is ``Q = R - rs(R)`` with ``rs(R)`` the diagonal matrix of row
+sums.  The distinction between ``R`` and ``Q`` matters for lumping: ``R``
+distinguishes self-loop rates that ``Q`` cancels out (the converse of the
+paper's Theorem 1 fails for exactly this reason), so all lumping code in
+this library works on ``R``.
+
+States are indexed from 0 (the paper indexes from 1; nothing else changes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from repro.errors import ModelError
+
+
+class CTMC:
+    """A finite CTMC with sparse rate matrix ``R``.
+
+    Parameters
+    ----------
+    rates:
+        Square matrix of transition rates, anything accepted by
+        ``scipy.sparse.csr_matrix``.  Negative entries are rejected.
+    state_labels:
+        Optional sequence of hashable labels, one per state, purely for
+        presentation and debugging (e.g. tuples of place markings).
+    """
+
+    def __init__(
+        self,
+        rates: object,
+        state_labels: Optional[Sequence[object]] = None,
+    ) -> None:
+        matrix = sparse.csr_matrix(rates, dtype=float)
+        if matrix.shape[0] != matrix.shape[1]:
+            raise ModelError(f"rate matrix must be square, got {matrix.shape}")
+        if matrix.nnz and matrix.data.min() < 0:
+            raise ModelError("transition rates must be non-negative")
+        matrix.eliminate_zeros()
+        self._rates = matrix
+        if state_labels is not None and len(state_labels) != matrix.shape[0]:
+            raise ModelError(
+                f"{len(state_labels)} labels for {matrix.shape[0]} states"
+            )
+        self._labels = list(state_labels) if state_labels is not None else None
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def num_states(self) -> int:
+        """Size of the state space."""
+        return self._rates.shape[0]
+
+    @property
+    def rate_matrix(self) -> sparse.csr_matrix:
+        """The ``R`` matrix (CSR).  Treat as read-only."""
+        return self._rates
+
+    @property
+    def state_labels(self) -> Optional[List[object]]:
+        """State labels if provided, else ``None``."""
+        return list(self._labels) if self._labels is not None else None
+
+    def label(self, state: int) -> object:
+        """Label of ``state`` (the state index itself if unlabeled)."""
+        if self._labels is None:
+            return state
+        return self._labels[state]
+
+    @property
+    def num_transitions(self) -> int:
+        """Number of non-zero entries of ``R``."""
+        return self._rates.nnz
+
+    def generator_matrix(self) -> sparse.csr_matrix:
+        """``Q = R - rs(R)``: off-diagonal rates with negative row-sum
+        diagonal.  Self-loop rates in ``R`` cancel out of ``Q``."""
+        r = self._rates
+        row_sums = np.asarray(r.sum(axis=1)).ravel()
+        q = r - sparse.diags(row_sums, format="csr")
+        q = sparse.csr_matrix(q)
+        q.eliminate_zeros()
+        return q
+
+    def exit_rates(self) -> np.ndarray:
+        """Row sums ``R(i, S)`` — total outgoing rate per state (self-loops
+        included, as in the paper's exact-lumping condition)."""
+        return np.asarray(self._rates.sum(axis=1)).ravel()
+
+    def rate(self, source: int, target: int) -> float:
+        """The rate ``R[source, target]``."""
+        return float(self._rates[source, target])
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+
+    def successors(self, state: int) -> List[Tuple[int, float]]:
+        """Outgoing transitions of ``state`` as ``(target, rate)`` pairs."""
+        row = self._rates.getrow(state)
+        return list(zip(row.indices.tolist(), row.data.tolist()))
+
+    def reachable_from(self, initial: Iterable[int]) -> List[int]:
+        """States reachable from ``initial`` following positive-rate
+        transitions (including the initial states), sorted ascending."""
+        frontier = list(dict.fromkeys(initial))
+        seen = set(frontier)
+        indptr, indices = self._rates.indptr, self._rates.indices
+        while frontier:
+            state = frontier.pop()
+            for target in indices[indptr[state] : indptr[state + 1]]:
+                if target not in seen:
+                    seen.add(int(target))
+                    frontier.append(int(target))
+        return sorted(seen)
+
+    def restricted_to(self, states: Sequence[int]) -> "CTMC":
+        """The sub-CTMC over ``states`` (indices are renumbered densely).
+
+        Raises :class:`ModelError` if the subset is not closed under
+        transitions (a rate would leave the subset and be silently lost).
+        """
+        states = sorted(set(states))
+        index = {s: i for i, s in enumerate(states)}
+        sub = self._rates[states, :]
+        outside_mass = sub.sum() - sub[:, states].sum()
+        if outside_mass > 0:
+            raise ModelError(
+                "state subset is not closed: "
+                f"rate {outside_mass!r} leaves the subset"
+            )
+        labels = None
+        if self._labels is not None:
+            labels = [self._labels[s] for s in states]
+        return CTMC(sub[:, states], state_labels=labels)
+
+    def is_irreducible(self) -> bool:
+        """True if the chain is strongly connected."""
+        n_components, _ = sparse.csgraph.connected_components(
+            self._rates, directed=True, connection="strong"
+        )
+        return bool(n_components == 1)
+
+    def uniformization_rate(self) -> float:
+        """A valid uniformization constant: ``1.01 * max exit rate``
+        (strictly above the maximum so the DTMC has self-loops and is
+        aperiodic), or 1.0 for a chain with no transitions."""
+        exit_rates = self.exit_rates()
+        top = float(exit_rates.max()) if exit_rates.size else 0.0
+        return 1.01 * top if top > 0 else 1.0
+
+    def embedded_dtmc(self, rate: Optional[float] = None) -> sparse.csr_matrix:
+        """The uniformized DTMC ``P = I + Q / rate`` (row-stochastic)."""
+        lam = self.uniformization_rate() if rate is None else float(rate)
+        exit_rates = self.exit_rates()
+        if lam < exit_rates.max(initial=0.0):
+            raise ModelError("uniformization rate below maximum exit rate")
+        q = self.generator_matrix()
+        p = sparse.eye(self.num_states, format="csr") + q.multiply(1.0 / lam)
+        return sparse.csr_matrix(p)
+
+    def __repr__(self) -> str:
+        return (
+            f"CTMC(states={self.num_states}, transitions={self.num_transitions})"
+        )
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_transitions(
+        cls,
+        num_states: int,
+        transitions: Iterable[Tuple[int, int, float]],
+        state_labels: Optional[Sequence[object]] = None,
+    ) -> "CTMC":
+        """Build a CTMC from ``(source, target, rate)`` triples.
+
+        Duplicate ``(source, target)`` pairs have their rates summed, which
+        matches how multiple model activities between the same pair of
+        states combine.
+        """
+        rows: List[int] = []
+        cols: List[int] = []
+        data: List[float] = []
+        for source, target, rate in transitions:
+            if rate < 0:
+                raise ModelError(f"negative rate {rate} on {source}->{target}")
+            if rate == 0:
+                continue
+            rows.append(source)
+            cols.append(target)
+            data.append(float(rate))
+        matrix = sparse.coo_matrix(
+            (data, (rows, cols)), shape=(num_states, num_states)
+        ).tocsr()
+        matrix.sum_duplicates()
+        return cls(matrix, state_labels=state_labels)
+
+    @classmethod
+    def from_dict(
+        cls,
+        rates: Dict[Tuple[int, int], float],
+        num_states: Optional[int] = None,
+    ) -> "CTMC":
+        """Build a CTMC from a ``{(source, target): rate}`` mapping."""
+        if num_states is None:
+            num_states = 1 + max(
+                (max(s, t) for (s, t) in rates), default=-1
+            )
+        triples = ((s, t, r) for (s, t), r in rates.items())
+        return cls.from_transitions(num_states, triples)

@@ -1,0 +1,66 @@
+"""High-level reward measures computed from an MRP.
+
+The paper's Section 2: "Many of those high-level measures can be computed
+using reward values associated with each state of the CTMC (i.e., rate
+rewards) and the stationary and transient probability vectors."  These
+helpers are the measures the benchmark harness and examples use, and they
+are the quantities that lumping must preserve (verified throughout the test
+suite: measure(unlumped MRP) == measure(lumped MRP)).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.markov.mrp import MarkovRewardProcess
+from repro.markov.solvers import steady_state
+from repro.markov.transient import transient_distribution
+
+
+def steady_state_reward(mrp: MarkovRewardProcess, method: str = "direct") -> float:
+    """Expected rate reward in steady state: ``sum_s pi(s) r(s)``."""
+    result = steady_state(mrp.ctmc, method=method)
+    return float(result.distribution @ mrp.rewards)
+
+
+def expected_reward_at(mrp: MarkovRewardProcess, time: float) -> float:
+    """Expected instantaneous rate reward at time ``t``:
+    ``sum_s pi_t(s) r(s)`` with ``pi_t`` the transient distribution started
+    from the MRP's initial distribution."""
+    pi_t = transient_distribution(mrp.ctmc, mrp.initial_distribution, time)
+    return float(pi_t @ mrp.rewards)
+
+
+def accumulated_reward(
+    mrp: MarkovRewardProcess, horizon: float, steps: int = 256
+) -> float:
+    """Expected reward accumulated over ``[0, horizon]``,
+    ``E[int_0^T r(X_t) dt]``, via composite-trapezoid integration of the
+    instantaneous expected reward.
+
+    ``steps`` trades accuracy for time; the integrand is smooth (a finite
+    mixture of exponentials), so a few hundred points give high accuracy.
+    """
+    if horizon < 0:
+        raise SolverError("horizon must be non-negative")
+    if horizon == 0:
+        return 0.0
+    if steps < 1:
+        raise SolverError("steps must be positive")
+    times = np.linspace(0.0, horizon, steps + 1)
+    values = np.array([expected_reward_at(mrp, float(t)) for t in times])
+    return float(np.trapezoid(values, times))
+
+
+def probability_of_states(
+    mrp: MarkovRewardProcess, states, method: str = "direct"
+) -> float:
+    """Steady-state probability of being in the given set of states.
+
+    Useful for availability measures: e.g. "probability that fewer than two
+    hypercube servers are failed" in the paper's example model.
+    """
+    result = steady_state(mrp.ctmc, method=method)
+    index = list(states)
+    return float(result.distribution[index].sum())

@@ -1,0 +1,108 @@
+"""Markov reward processes (Definition 1 of the paper).
+
+An MRP bundles a CTMC with a rate-reward vector ``r`` and an initial
+probability vector ``pi_ini``.  Lumpability is a property of the MRP, not of
+the bare CTMC: ordinary lumping additionally requires rewards constant on
+blocks, exact lumping requires the initial distribution constant on blocks
+(Definition 2 / Theorem 1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.markov.ctmc import CTMC
+
+
+class MarkovRewardProcess:
+    """The 4-tuple ``(S, Q, r, pi_ini)`` of Definition 1.
+
+    ``S`` and ``Q`` are carried by the embedded :class:`CTMC` (which stores
+    ``R``; ``Q`` is derived).  ``rewards`` and ``initial_distribution``
+    default to all-zero rewards and the uniform distribution, both of which
+    are trivially constant on any partition and hence never obstruct
+    lumping.
+    """
+
+    def __init__(
+        self,
+        ctmc: CTMC,
+        rewards: Optional[Sequence[float]] = None,
+        initial_distribution: Optional[Sequence[float]] = None,
+    ) -> None:
+        self._ctmc = ctmc
+        n = ctmc.num_states
+        if rewards is None:
+            self._rewards = np.zeros(n)
+        else:
+            self._rewards = np.asarray(rewards, dtype=float).copy()
+            if self._rewards.shape != (n,):
+                raise ModelError(
+                    f"reward vector has shape {self._rewards.shape}, "
+                    f"expected ({n},)"
+                )
+        if initial_distribution is None:
+            self._initial = np.full(n, 1.0 / n) if n else np.zeros(0)
+        else:
+            self._initial = np.asarray(initial_distribution, dtype=float).copy()
+            if self._initial.shape != (n,):
+                raise ModelError(
+                    f"initial distribution has shape {self._initial.shape}, "
+                    f"expected ({n},)"
+                )
+            if np.any(self._initial < -1e-12):
+                raise ModelError("initial distribution has negative entries")
+            total = float(self._initial.sum())
+            if n and abs(total - 1.0) > 1e-9:
+                raise ModelError(
+                    f"initial distribution sums to {total}, expected 1"
+                )
+
+    @property
+    def ctmc(self) -> CTMC:
+        """The embedded CTMC."""
+        return self._ctmc
+
+    @property
+    def num_states(self) -> int:
+        """Size of the state space."""
+        return self._ctmc.num_states
+
+    @property
+    def rewards(self) -> np.ndarray:
+        """A copy of the rate-reward vector ``r``."""
+        return self._rewards.copy()
+
+    @property
+    def initial_distribution(self) -> np.ndarray:
+        """A copy of ``pi_ini``."""
+        return self._initial.copy()
+
+    def reward(self, state: int) -> float:
+        """Reward of a single state."""
+        return float(self._rewards[state])
+
+    def initial_probability(self, state: int) -> float:
+        """Initial probability of a single state."""
+        return float(self._initial[state])
+
+    @classmethod
+    def point_mass(
+        cls,
+        ctmc: CTMC,
+        initial_state: int,
+        rewards: Optional[Sequence[float]] = None,
+    ) -> "MarkovRewardProcess":
+        """An MRP that starts deterministically in ``initial_state``."""
+        n = ctmc.num_states
+        if not 0 <= initial_state < n:
+            raise ModelError(f"initial state {initial_state} out of range")
+        pi = np.zeros(n)
+        pi[initial_state] = 1.0
+        return cls(ctmc, rewards=rewards, initial_distribution=pi)
+
+    def __repr__(self) -> str:
+        return f"MarkovRewardProcess(states={self.num_states})"

@@ -1,0 +1,97 @@
+"""Transient solution of CTMCs via uniformization (Jensen's method).
+
+``pi(t) = sum_k PoissonPMF(k; lambda t) * pi(0) P^k`` where ``P`` is the
+uniformized DTMC.  The Poisson series is truncated adaptively so the
+neglected tail mass is below the requested tolerance.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from repro.errors import SolverError
+from repro.markov.ctmc import CTMC
+
+
+def uniformize(ctmc: CTMC) -> Tuple[sparse.csr_matrix, float]:
+    """Return ``(P, lambda)``: the uniformized DTMC and its rate."""
+    lam = ctmc.uniformization_rate()
+    return ctmc.embedded_dtmc(lam), lam
+
+
+def _poisson_weights(mean: float, tol: float) -> np.ndarray:
+    """Poisson PMF values ``0..K`` where ``K`` is the smallest truncation
+    point leaving tail mass below ``tol``.  Computed iteratively to avoid
+    overflow for large means."""
+    weights = [np.exp(-mean)] if mean < 700 else [0.0]
+    if weights[0] == 0.0:
+        # For very large means start from the (stable) normal regime:
+        # compute log-pmf iteratively and exponentiate shifted values.
+        k_max = int(mean + 12 * np.sqrt(mean) + 20)
+        if k_max > 50_000_000:
+            raise SolverError(
+                f"uniformization mean {mean:.3g} needs {k_max} Poisson "
+                f"terms; split the horizon into shorter steps"
+            )
+        log_pmf = np.empty(k_max + 1)
+        log_pmf[0] = -mean
+        for k in range(1, k_max + 1):
+            log_pmf[k] = log_pmf[k - 1] + np.log(mean / k)
+        pmf = np.exp(log_pmf - log_pmf.max())
+        pmf /= pmf.sum()
+        cumulative = np.cumsum(pmf)
+        cutoff = int(np.searchsorted(cumulative, 1.0 - tol)) + 1
+        return pmf[: cutoff + 1]
+    total = weights[0]
+    k = 0
+    while total < 1.0 - tol:
+        k += 1
+        weights.append(weights[-1] * mean / k)
+        total += weights[-1]
+        if k > 10_000_000:
+            raise SolverError("poisson truncation failed to converge")
+    return np.asarray(weights)
+
+
+def transient_distribution(
+    ctmc: CTMC,
+    initial_distribution: Sequence[float],
+    time: float,
+    tol: float = 1e-12,
+) -> np.ndarray:
+    """The distribution ``pi(t)`` starting from ``initial_distribution``.
+
+    >>> from repro.markov.ctmc import CTMC
+    >>> chain = CTMC.from_transitions(2, [(0, 1, 1.0), (1, 0, 1.0)])
+    >>> pi = transient_distribution(chain, [1.0, 0.0], 50.0)
+    >>> bool(abs(pi[0] - 0.5) < 1e-9)
+    True
+    """
+    if time < 0:
+        raise SolverError("time must be non-negative")
+    pi0 = np.asarray(initial_distribution, dtype=float)
+    if pi0.shape != (ctmc.num_states,):
+        raise SolverError(
+            f"initial distribution has shape {pi0.shape}, "
+            f"expected ({ctmc.num_states},)"
+        )
+    if abs(pi0.sum() - 1.0) > 1e-9:
+        raise SolverError("initial distribution must sum to 1")
+    if time == 0 or ctmc.num_states == 0:
+        return pi0.copy()
+    p, lam = uniformize(ctmc)
+    weights = _poisson_weights(lam * time, tol)
+    result = np.zeros_like(pi0)
+    term = pi0.copy()
+    for weight in weights:
+        if weight > 0:
+            result += weight * term
+        term = term @ p
+    # Renormalize the truncation remainder.
+    total = result.sum()
+    if total <= 0:
+        raise SolverError("transient solution lost all probability mass")
+    return result / total

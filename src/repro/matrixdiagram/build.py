@@ -1,0 +1,213 @@
+"""Constructing matrix diagrams.
+
+Two entry points matter in practice:
+
+* :func:`md_from_kronecker_terms` — builds the MD of a sum of Kronecker
+  products ``R = sum_e lambda_e * W_1^e (x) .. (x) W_L^e``.  This is the
+  formalism-independent path the paper relies on ("MD representations of Q
+  can be derived ... from a given sparse matrix or Kronecker representation
+  of Q").
+* :class:`MDBuilder` — incremental construction with hash-consing, so MDs
+  are reduced (no duplicate nodes per level) by construction.  Used by the
+  Kronecker conversion and by the lumping algorithm when it rebuilds nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+from scipy import sparse
+
+from repro.errors import MatrixDiagramError
+from repro.matrixdiagram.formal_sum import FormalSum
+from repro.matrixdiagram.md import MatrixDiagram
+from repro.matrixdiagram.node import Entry, MDNode
+
+MatrixLike = Union[
+    Mapping[Tuple[int, int], float], np.ndarray, sparse.spmatrix
+]
+
+
+def matrix_entries(matrix: MatrixLike) -> Dict[Tuple[int, int], float]:
+    """Normalize a matrix-like object to a ``{(row, col): value}`` dict
+    of its non-zero entries."""
+    if isinstance(matrix, Mapping):
+        return {
+            (int(r), int(c)): float(v)
+            for (r, c), v in matrix.items()
+            if float(v) != 0.0
+        }
+    if sparse.issparse(matrix):
+        coo = matrix.tocoo()
+        return {
+            (int(r), int(c)): float(v)
+            for r, c, v in zip(coo.row, coo.col, coo.data)
+            if float(v) != 0.0
+        }
+    array = np.asarray(matrix, dtype=float)
+    if array.ndim != 2:
+        raise MatrixDiagramError("level matrices must be 2-dimensional")
+    rows, cols = np.nonzero(array)
+    return {
+        (int(r), int(c)): float(array[r, c]) for r, c in zip(rows, cols)
+    }
+
+
+class MDBuilder:
+    """Incremental MD construction with hash-consing of nodes.
+
+    ``add_node`` interns nodes by structural key, so the finished MD is
+    reduced by construction.  Node indices are allocated sequentially
+    starting at ``first_index``.
+    """
+
+    def __init__(
+        self,
+        level_sizes: Sequence[int],
+        level_state_labels: Optional[Sequence[Sequence[object]]] = None,
+        first_index: int = 1,
+    ) -> None:
+        self.level_sizes = tuple(int(s) for s in level_sizes)
+        self.level_state_labels = level_state_labels
+        self._nodes: Dict[int, MDNode] = {}
+        self._intern: Dict[Tuple, int] = {}
+        self._next_index = first_index
+
+    @property
+    def num_levels(self) -> int:
+        """Number of levels of the MD being built."""
+        return len(self.level_sizes)
+
+    def add_node(
+        self, level: int, entries: Mapping[Tuple[int, int], Entry]
+    ) -> int:
+        """Intern a node; returns the index of the canonical copy."""
+        terminal = level == self.num_levels
+        node = MDNode(level, dict(entries), terminal=terminal)
+        key = node.structure_key()
+        existing = self._intern.get(key)
+        if existing is not None:
+            return existing
+        index = self._next_index
+        self._next_index += 1
+        self._nodes[index] = node
+        self._intern[key] = index
+        return index
+
+    def finish(self, root: int) -> MatrixDiagram:
+        """Build the :class:`MatrixDiagram` rooted at ``root``; interned
+        nodes that ended up unreachable (e.g. chains hanging off zero
+        entries) are dropped before validation."""
+        reachable = {root}
+        frontier = [root]
+        while frontier:
+            index = frontier.pop()
+            node = self._nodes.get(index)
+            if node is None:
+                continue
+            for child in node.children():
+                if child not in reachable:
+                    reachable.add(child)
+                    frontier.append(child)
+        return MatrixDiagram(
+            self.level_sizes,
+            {i: n for i, n in self._nodes.items() if i in reachable},
+            root,
+            level_state_labels=self.level_state_labels,
+        )
+
+
+def md_from_kronecker_terms(
+    terms: Iterable[Tuple[float, Sequence[MatrixLike]]],
+    level_sizes: Sequence[int],
+    level_state_labels: Optional[Sequence[Sequence[object]]] = None,
+) -> MatrixDiagram:
+    """The MD of ``R = sum_e lambda_e * W_1^e (x) W_2^e (x) .. (x) W_L^e``.
+
+    Each term contributes a chain of nodes (one per level below the root);
+    the root combines all terms in its formal sums.  Hash-consing shares
+    equal suffixes across terms — e.g. all terms whose lower levels are
+    identity matrices share a single identity chain, which is where the MD's
+    compactness comes from.
+
+    >>> import numpy as np
+    >>> md = md_from_kronecker_terms(
+    ...     [(2.0, [np.eye(2), np.eye(3)])], level_sizes=(2, 3))
+    >>> md.num_levels
+    2
+    """
+    level_sizes = tuple(int(s) for s in level_sizes)
+    num_levels = len(level_sizes)
+    if num_levels == 0:
+        raise MatrixDiagramError("need at least one level")
+    builder = MDBuilder(level_sizes, level_state_labels)
+    term_list: List[Tuple[float, List[Dict[Tuple[int, int], float]]]] = []
+    for weight, matrices in terms:
+        matrices = list(matrices)
+        if len(matrices) != num_levels:
+            raise MatrixDiagramError(
+                f"term has {len(matrices)} level matrices, expected {num_levels}"
+            )
+        term_list.append(
+            (float(weight), [matrix_entries(m) for m in matrices])
+        )
+    if not term_list:
+        raise MatrixDiagramError("need at least one Kronecker term")
+
+    root_entries: Dict[Tuple[int, int], FormalSum] = {}
+    if num_levels == 1:
+        flat: Dict[Tuple[int, int], float] = {}
+        for weight, (entries,) in term_list:
+            for rc, value in entries.items():
+                flat[rc] = flat.get(rc, 0.0) + weight * value
+        root = builder.add_node(1, flat)
+        return builder.finish(root)
+
+    for weight, matrices in term_list:
+        # Build the chain bottom-up: terminal node first.
+        child = builder.add_node(num_levels, matrices[-1])
+        for level in range(num_levels - 1, 1, -1):
+            entries = {
+                rc: FormalSum.of(child, value)
+                for rc, value in matrices[level - 1].items()
+            }
+            child = builder.add_node(level, entries)
+        for rc, value in matrices[0].items():
+            term_sum = FormalSum.of(child, weight * value)
+            existing = root_entries.get(rc)
+            root_entries[rc] = term_sum if existing is None else existing + term_sum
+    root = builder.add_node(1, root_entries)
+    return builder.finish(root)
+
+
+def md_from_flat_matrix(
+    matrix: MatrixLike, size: Optional[int] = None
+) -> MatrixDiagram:
+    """A one-level MD representing ``matrix`` directly (the degenerate case
+    the paper handles with artificial levels)."""
+    entries = matrix_entries(matrix)
+    if size is None:
+        if sparse.issparse(matrix):
+            size = matrix.shape[0]
+        elif isinstance(matrix, np.ndarray):
+            size = matrix.shape[0]
+        else:
+            size = 1 + max((max(r, c) for (r, c) in entries), default=-1)
+    builder = MDBuilder((size,))
+    root = builder.add_node(1, entries)
+    return builder.finish(root)
+
+
+def md_identity(level_sizes: Sequence[int]) -> MatrixDiagram:
+    """The MD of the identity matrix over the product space."""
+    terms = [
+        (
+            1.0,
+            [
+                {(s, s): 1.0 for s in range(size)}
+                for size in level_sizes
+            ],
+        )
+    ]
+    return md_from_kronecker_terms(terms, level_sizes)

@@ -1,0 +1,141 @@
+"""Formal sums: the entries of non-terminal matrix diagram nodes.
+
+A formal sum ``sum_k c_k * R_{n_k}`` is stored as a mapping from child node
+index ``n_k`` to real coefficient ``c_k``; zero coefficients are dropped on
+construction, so an empty formal sum denotes the zero matrix.
+
+Formal sums are immutable and hashable.  The hash/equality is based on the
+*quantized* coefficients (see :func:`repro.util.numeric.quantize`), so sums
+whose coefficients agree up to floating-point accumulation noise compare
+equal — exactly the equality the paper's key function ``K`` needs when it
+compares "sets of (coefficient, node index) pairs" (Section 4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Tuple
+
+from repro.util.numeric import quantize
+
+
+class FormalSum:
+    """An immutable linear combination of next-level MD nodes."""
+
+    __slots__ = ("_terms", "_signature")
+
+    def __init__(self, terms: Mapping[int, float] = ()) -> None:
+        cleaned: Dict[int, float] = {}
+        items = terms.items() if isinstance(terms, Mapping) else terms
+        for child, coefficient in items:
+            coefficient = float(coefficient)
+            if coefficient != 0.0:
+                cleaned[int(child)] = cleaned.get(int(child), 0.0) + coefficient
+        # Re-drop terms that cancelled during accumulation.
+        self._terms: Dict[int, float] = {
+            c: v for c, v in cleaned.items() if v != 0.0
+        }
+        self._signature: Tuple[Tuple[int, float], ...] = tuple(
+            sorted((c, quantize(v)) for c, v in self._terms.items())
+        )
+
+    @classmethod
+    def of(cls, child: int, coefficient: float = 1.0) -> "FormalSum":
+        """The single-term sum ``coefficient * R_child``."""
+        return cls({child: coefficient})
+
+    @classmethod
+    def zero(cls) -> "FormalSum":
+        """The empty sum (zero matrix)."""
+        return cls()
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+
+    def items(self) -> Iterator[Tuple[int, float]]:
+        """Iterate ``(child_index, coefficient)`` pairs (unordered)."""
+        return iter(self._terms.items())
+
+    def children(self) -> Tuple[int, ...]:
+        """Child node indices referenced by this sum, sorted."""
+        return tuple(sorted(self._terms))
+
+    def coefficient(self, child: int) -> float:
+        """Coefficient of ``child`` (0.0 if absent)."""
+        return self._terms.get(child, 0.0)
+
+    def is_zero(self) -> bool:
+        """True if the sum has no terms."""
+        return not self._terms
+
+    def __len__(self) -> int:
+        return len(self._terms)
+
+    @property
+    def signature(self) -> Tuple[Tuple[int, float], ...]:
+        """Sorted, quantized ``(child, coefficient)`` tuple.
+
+        This is the hashable value the refinement algorithm's key function
+        builds its comparison keys from.
+        """
+        return self._signature
+
+    # ------------------------------------------------------------------
+    # arithmetic
+    # ------------------------------------------------------------------
+
+    def __add__(self, other: "FormalSum") -> "FormalSum":
+        if not isinstance(other, FormalSum):
+            return NotImplemented
+        merged = dict(self._terms)
+        for child, coefficient in other._terms.items():
+            merged[child] = merged.get(child, 0.0) + coefficient
+        return FormalSum(merged)
+
+    def scaled(self, factor: float) -> "FormalSum":
+        """The sum with every coefficient multiplied by ``factor``."""
+        if factor == 0.0:
+            return FormalSum.zero()
+        return FormalSum({c: v * factor for c, v in self._terms.items()})
+
+    def remapped(self, mapping: Mapping[int, int]) -> "FormalSum":
+        """Rename child indices through ``mapping``.
+
+        Children mapped to the same new index have their coefficients
+        summed — this is what happens when quasi-reduction merges duplicate
+        child nodes.
+        """
+        remapped: Dict[int, float] = {}
+        for child, coefficient in self._terms.items():
+            new_child = mapping.get(child, child)
+            remapped[new_child] = remapped.get(new_child, 0.0) + coefficient
+        return FormalSum(remapped)
+
+    @staticmethod
+    def accumulate(sums: Iterable["FormalSum"]) -> "FormalSum":
+        """Sum an iterable of formal sums."""
+        merged: Dict[int, float] = {}
+        for formal_sum in sums:
+            for child, coefficient in formal_sum._terms.items():
+                merged[child] = merged.get(child, 0.0) + coefficient
+        return FormalSum(merged)
+
+    # ------------------------------------------------------------------
+    # equality / hashing
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FormalSum):
+            return NotImplemented
+        return self._signature == other._signature
+
+    def __hash__(self) -> int:
+        return hash(self._signature)
+
+    def __repr__(self) -> str:
+        if not self._terms:
+            return "FormalSum(0)"
+        body = " + ".join(
+            f"{v:g}*R{c}" for c, v in sorted(self._terms.items())
+        )
+        return f"FormalSum({body})"

@@ -1,0 +1,116 @@
+"""Serialization of matrix diagrams to/from a JSON-compatible form.
+
+The format is a plain dict (level sizes, labels, nodes with their entries)
+so MDs — including lumped ones — can be stored, diffed, and shipped
+between processes without pickling.  Round-tripping preserves the
+represented matrix exactly and the node structure up to nothing (indices,
+levels and entries are all kept verbatim).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.errors import MatrixDiagramError
+from repro.matrixdiagram.formal_sum import FormalSum
+from repro.matrixdiagram.md import MatrixDiagram
+from repro.matrixdiagram.node import MDNode
+
+FORMAT_VERSION = 1
+
+
+def md_to_dict(md: MatrixDiagram) -> Dict:
+    """A JSON-compatible dict describing the MD.
+
+    Labels are stringified only if they are not already JSON-native; MDs
+    built by this library use tuples of ints, which are stored as lists.
+    """
+    nodes = []
+    for index in md.node_indices():
+        node = md.node(index)
+        if node.terminal:
+            entries = [
+                [r, c, value] for r, c, value in sorted(node.entries())
+            ]
+        else:
+            entries = [
+                [r, c, sorted(entry.items())]
+                for r, c, entry in sorted(node.entries())
+            ]
+        nodes.append(
+            {
+                "index": index,
+                "level": node.level,
+                "terminal": node.terminal,
+                "entries": entries,
+            }
+        )
+    labels = md.all_level_labels()
+    return {
+        "format": FORMAT_VERSION,
+        "level_sizes": list(md.level_sizes),
+        "root": md.root_index,
+        "labels": (
+            [[list(l) if isinstance(l, tuple) else l for l in level]
+             for level in labels]
+            if labels is not None
+            else None
+        ),
+        "nodes": nodes,
+    }
+
+
+def md_from_dict(data: Dict) -> MatrixDiagram:
+    """Inverse of :func:`md_to_dict`."""
+    if data.get("format") != FORMAT_VERSION:
+        raise MatrixDiagramError(
+            f"unsupported MD format {data.get('format')!r}"
+        )
+    nodes: Dict[int, MDNode] = {}
+    for spec in data["nodes"]:
+        if spec["terminal"]:
+            entries = {
+                (int(r), int(c)): float(v) for r, c, v in spec["entries"]
+            }
+        else:
+            entries = {
+                (int(r), int(c)): FormalSum(
+                    {int(child): float(coeff) for child, coeff in terms}
+                )
+                for r, c, terms in spec["entries"]
+            }
+        nodes[int(spec["index"])] = MDNode(
+            int(spec["level"]), entries, terminal=bool(spec["terminal"])
+        )
+    labels: Optional[List[List[object]]] = None
+    if data.get("labels") is not None:
+        labels = [
+            [tuple(l) if isinstance(l, list) else l for l in level]
+            for level in data["labels"]
+        ]
+    return MatrixDiagram(
+        data["level_sizes"], nodes, data["root"], level_state_labels=labels
+    )
+
+
+def md_to_json(md: MatrixDiagram, indent: Optional[int] = None) -> str:
+    """Serialize to a JSON string."""
+    return json.dumps(md_to_dict(md), indent=indent)
+
+
+def md_from_json(text: str) -> MatrixDiagram:
+    """Deserialize from a JSON string."""
+    return md_from_dict(json.loads(text))
+
+
+def save_md(md: MatrixDiagram, path: str) -> None:
+    """Write an MD to a JSON file."""
+    with open(path, "w") as handle:
+        handle.write(md_to_json(md))
+
+
+def load_md(path: str) -> MatrixDiagram:
+    """Read an MD from a JSON file."""
+    with open(path) as handle:
+        return md_from_json(handle.read())

@@ -1,0 +1,24 @@
+"""Example models, including the paper's tandem multi-processor system."""
+
+from repro.models.msmq import build_msmq
+from repro.models.hypercube import build_hypercube
+from repro.models.tandem import TandemParams, build_tandem, tandem_md_model
+from repro.models.cluster import availability_reward, build_cluster
+from repro.models.simple import (
+    birth_death_ctmc,
+    closed_tandem_join,
+    redundant_units_join,
+)
+
+__all__ = [
+    "build_msmq",
+    "build_hypercube",
+    "TandemParams",
+    "build_tandem",
+    "tandem_md_model",
+    "availability_reward",
+    "build_cluster",
+    "birth_death_ctmc",
+    "closed_tandem_join",
+    "redundant_units_join",
+]

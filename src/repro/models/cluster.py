@@ -1,0 +1,133 @@
+"""A redundant cluster availability model (front ends + back ends sharing
+one repair crew).
+
+A classic dependability scenario in the spirit of the Möbius / SAN
+literature: ``front_ends`` identical front-end servers and ``backends``
+identical database servers.  Machines fail; a single shared repair crew
+(one token in the shared place ``crew``) repairs one machine at a time.
+The system is available when at least ``quorum`` front ends and at least
+one back end are up — a product-form (hence level-decomposable) indicator.
+
+Each farm is built with :func:`repro.san.replication.replicate`, so each
+occupies one MD level and the compositional lumping algorithm reduces it
+from ``3^n`` per-machine states to the occupancy multisets.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.san.composition import Join
+from repro.san.model import Activity, Case, Marking, Place, SANModel
+from repro.san.replication import replicate
+from repro.san.rewards import RewardSpec, marking_predicate
+
+#: Per-machine states: 0 = up, 1 = down (waiting for the crew), 2 = in repair.
+UP, DOWN, IN_REPAIR = 0, 1, 2
+
+
+def _machine_template(
+    failure_rate: float, repair_rate: float, grab_rate: float
+) -> SANModel:
+    places = [Place("crew", 1, 1), Place("state", 2, UP)]
+
+    def fail_rate(marking: Marking) -> float:
+        return failure_rate if marking["state"] == UP else 0.0
+
+    def fail(marking: Marking) -> Marking:
+        marking = dict(marking)
+        marking["state"] = DOWN
+        return marking
+
+    def start_rate(marking: Marking) -> float:
+        if marking["state"] == DOWN and marking["crew"] > 0:
+            return grab_rate
+        return 0.0
+
+    def start(marking: Marking) -> Marking:
+        marking = dict(marking)
+        marking["state"] = IN_REPAIR
+        marking["crew"] -= 1
+        return marking
+
+    def finish_rate(marking: Marking) -> float:
+        return repair_rate if marking["state"] == IN_REPAIR else 0.0
+
+    def finish(marking: Marking) -> Marking:
+        marking = dict(marking)
+        marking["state"] = UP
+        marking["crew"] += 1
+        return marking
+
+    return SANModel(
+        "machine",
+        places,
+        [
+            Activity("fail", fail_rate, [Case(1.0, fail)], shared=False),
+            Activity("start", start_rate, [Case(1.0, start)], shared=True),
+            Activity("finish", finish_rate, [Case(1.0, finish)], shared=True),
+        ],
+    )
+
+
+def build_cluster(
+    front_ends: int = 3,
+    backends: int = 2,
+    frontend_failure_rate: float = 0.01,
+    backend_failure_rate: float = 0.005,
+    repair_rate: float = 1.0,
+    grab_rate: float = 10.0,
+) -> Join:
+    """The cluster as a Join of two replicated farms sharing the crew."""
+    frontend_farm = replicate(
+        _machine_template(frontend_failure_rate, repair_rate, grab_rate),
+        front_ends,
+        shared_names=["crew"],
+        name="frontends",
+        replica_prefix="fe",
+    )
+    backend_farm = replicate(
+        _machine_template(backend_failure_rate, repair_rate, grab_rate),
+        backends,
+        shared_names=["crew"],
+        name="backends",
+        replica_prefix="be",
+    )
+    return Join([frontend_farm, backend_farm])
+
+
+def availability_reward(
+    front_ends: int, backends: int, quorum: int
+) -> RewardSpec:
+    """Indicator: at least ``quorum`` front ends up AND some back end up."""
+
+    def frontends_ok(marking: Marking) -> bool:
+        ups = sum(
+            1
+            for i in range(front_ends)
+            if marking[f"fe{i}.state"] == UP
+        )
+        return ups >= quorum
+
+    def backends_ok(marking: Marking) -> bool:
+        return any(
+            marking[f"be{i}.state"] == UP for i in range(backends)
+        )
+
+    return RewardSpec.product(
+        marking_predicate(
+            frontends_ok,
+            [f"fe{i}.state" for i in range(front_ends)],
+            name="frontend-quorum",
+        ),
+        marking_predicate(
+            backends_ok,
+            [f"be{i}.state" for i in range(backends)],
+            name="backend-alive",
+        ),
+    )
+
+
+def expected_sizes(front_ends: int, backends: int) -> Tuple[int, int]:
+    """Potential farm-level sizes before lumping (3 states per machine)."""
+    return 3 ** front_ends, 3 ** backends

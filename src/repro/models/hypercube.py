@@ -1,0 +1,337 @@
+"""The hypercube subsystem (paper Fig. 5).
+
+``2**cube_dim`` cube-connected servers, each with a queue of capacity ``J``
+and a failure bit.  Two antipodal servers ``A`` (vertex 0) and ``A'``
+(vertex ``2**cube_dim - 1``) receive jobs from the input pool through a
+dispatcher that favors the one with fewer queued jobs.  A load-balancing
+scheme ships a job to a less-loaded neighbor whenever a server holds more
+than one job above that neighbor; failed servers drain their queue to up
+neighbors one job at a time.  Failures strike up servers at a constant
+rate; a single repair facility repairs failed servers, picking uniformly.
+
+Places (private except the pools):
+
+* ``q{v}`` — jobs queued at server ``v``,
+* ``f{v}`` — 0: up, 1: failed,
+
+plus the shared pools named by ``pool_in`` / ``pool_out``.
+
+Model symmetries (to be *found* by the lumping algorithm, not encoded):
+swapping ``A`` and ``A'`` together with the cube inversion, and the
+coordinate permutations fixing ``{A, A'}`` — under which the remaining
+``2**cube_dim - 2`` servers are all alike.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from repro.san.model import Activity, Case, Marking, Place, SANModel
+
+
+def neighbors(vertex: int, cube_dim: int) -> List[int]:
+    """Hypercube neighbors of ``vertex`` (XOR of each single bit)."""
+    return [vertex ^ (1 << bit) for bit in range(cube_dim)]
+
+
+def build_hypercube(
+    jobs: int,
+    cube_dim: int = 3,
+    pool_in: str = "pool_hyper",
+    pool_out: str = "pool_msmq",
+    pool_in_initial: int = 0,
+    pool_out_initial: int = None,
+    dispatch_rate: float = 5.0,
+    service_rate: float = 1.0,
+    failure_rate: float = 0.001,
+    repair_rate: float = 0.1,
+    balance_rate: float = 3.0,
+    transfer_rate: float = 2.0,
+    service_rates: List[float] = None,
+    name: str = "hypercube",
+) -> SANModel:
+    """Build the hypercube subsystem as an atomic SAN model.
+
+    ``service_rates`` optionally gives each server its own service rate
+    (overriding the uniform ``service_rate``); distinct rates break the
+    cube symmetry and are used by the symmetry-breaking experiments.
+    """
+    if pool_out_initial is None:
+        pool_out_initial = jobs
+    num_servers = 2 ** cube_dim
+    if service_rates is None:
+        service_rates = [service_rate] * num_servers
+    elif len(service_rates) != num_servers:
+        from repro.errors import ModelError
+
+        raise ModelError(
+            f"need {num_servers} service rates, got {len(service_rates)}"
+        )
+    entry_a = 0
+    entry_b = num_servers - 1
+
+    places: List[Place] = [
+        Place(pool_in, jobs, pool_in_initial),
+        Place(pool_out, jobs, pool_out_initial),
+    ]
+    for v in range(num_servers):
+        places.append(Place(f"q{v}", jobs, 0))
+        places.append(Place(f"f{v}", 1, 0))
+
+    activities: List[Activity] = []
+
+    # Dispatcher: input pool -> A or A', favoring the shorter queue.
+    def dispatch_enabled(marking: Marking) -> float:
+        return dispatch_rate if marking[pool_in] > 0 else 0.0
+
+    def entry_weight(marking: Marking, vertex: int) -> float:
+        return float(jobs - marking[f"q{vertex}"])
+
+    def make_entry_probability(vertex: int, other: int) -> Callable:
+        def probability(marking: Marking) -> float:
+            mine = entry_weight(marking, vertex)
+            theirs = entry_weight(marking, other)
+            if mine + theirs <= 0:
+                return 0.5
+            return mine / (mine + theirs)
+
+        return probability
+
+    def make_entry_update(vertex: int) -> Callable:
+        def update(marking: Marking) -> Marking:
+            marking = dict(marking)
+            marking[pool_in] -= 1
+            marking[f"q{vertex}"] += 1
+            return marking
+
+        return update
+
+    activities.append(
+        Activity(
+            "dispatch",
+            dispatch_enabled,
+            [
+                Case(
+                    make_entry_probability(entry_a, entry_b),
+                    make_entry_update(entry_a),
+                    name="toA",
+                ),
+                Case(
+                    make_entry_probability(entry_b, entry_a),
+                    make_entry_update(entry_b),
+                    name="toA'",
+                ),
+            ],
+            shared=True,
+        )
+    )
+
+    # Service: an up server with queued jobs completes one; the job moves
+    # to the output pool.
+    for v in range(num_servers):
+
+        def make_serve_rate(vertex: int):
+            def rate(marking: Marking) -> float:
+                if marking[f"q{vertex}"] > 0 and marking[f"f{vertex}"] == 0:
+                    return service_rates[vertex]
+                return 0.0
+
+            return rate
+
+        def make_serve_update(vertex: int):
+            def update(marking: Marking) -> Marking:
+                marking = dict(marking)
+                marking[f"q{vertex}"] -= 1
+                marking[pool_out] += 1
+                return marking
+
+            return update
+
+        activities.append(
+            Activity(
+                f"serve{v}",
+                make_serve_rate(v),
+                [Case(1.0, make_serve_update(v))],
+                shared=True,
+            )
+        )
+
+    # Failure: up servers fail at a constant rate.
+    for v in range(num_servers):
+
+        def make_fail_rate(vertex: int):
+            def rate(marking: Marking) -> float:
+                return failure_rate if marking[f"f{vertex}"] == 0 else 0.0
+
+            return rate
+
+        def make_fail_update(vertex: int):
+            def update(marking: Marking) -> Marking:
+                marking = dict(marking)
+                marking[f"f{vertex}"] = 1
+                return marking
+
+            return update
+
+        activities.append(
+            Activity(
+                f"fail{v}",
+                make_fail_rate(v),
+                [Case(1.0, make_fail_update(v))],
+                shared=False,
+            )
+        )
+
+    # Repair: one facility, uniform choice among the failed servers —
+    # i.e. each failed server is repaired at rate repair_rate / #failed.
+    for v in range(num_servers):
+
+        def make_repair_rate(vertex: int):
+            def rate(marking: Marking) -> float:
+                if marking[f"f{vertex}"] == 0:
+                    return 0.0
+                failed = sum(
+                    marking[f"f{u}"] for u in range(num_servers)
+                )
+                return repair_rate / failed
+
+            return rate
+
+        def make_repair_update(vertex: int):
+            def update(marking: Marking) -> Marking:
+                marking = dict(marking)
+                marking[f"f{vertex}"] = 0
+                return marking
+
+            return update
+
+        activities.append(
+            Activity(
+                f"repair{v}",
+                make_repair_rate(v),
+                [Case(1.0, make_repair_update(v))],
+                shared=False,
+            )
+        )
+
+    # Load balancing: an up server more than one job above some neighbor
+    # ships a job to such a neighbor, favoring the least loaded.
+    def excess(marking: Marking, vertex: int, neighbor: int) -> float:
+        return float(
+            max(0, marking[f"q{vertex}"] - marking[f"q{neighbor}"] - 1)
+        )
+
+    for v in range(num_servers):
+        nbrs = neighbors(v, cube_dim)
+
+        def make_balance_rate(vertex: int, around: List[int]):
+            def rate(marking: Marking) -> float:
+                if marking[f"f{vertex}"] != 0:
+                    return 0.0
+                if all(excess(marking, vertex, u) == 0 for u in around):
+                    return 0.0
+                return balance_rate
+
+            return rate
+
+        def make_balance_probability(vertex: int, target: int, around: List[int]):
+            def probability(marking: Marking) -> float:
+                total = sum(excess(marking, vertex, u) for u in around)
+                if total == 0:
+                    return 0.0
+                return excess(marking, vertex, target) / total
+
+            return probability
+
+        def make_balance_update(vertex: int, target: int):
+            def update(marking: Marking) -> Marking:
+                marking = dict(marking)
+                marking[f"q{vertex}"] -= 1
+                marking[f"q{target}"] += 1
+                return marking
+
+            return update
+
+        activities.append(
+            Activity(
+                f"balance{v}",
+                make_balance_rate(v, nbrs),
+                [
+                    Case(
+                        make_balance_probability(v, u, nbrs),
+                        make_balance_update(v, u),
+                        name=f"to{u}",
+                    )
+                    for u in nbrs
+                ],
+                shared=False,
+            )
+        )
+
+    # Failed-server transfer: a failed server drains its queue one job at
+    # a time to a uniformly chosen up neighbor.
+    for v in range(num_servers):
+        nbrs = neighbors(v, cube_dim)
+
+        def make_transfer_rate(vertex: int, around: List[int]):
+            def rate(marking: Marking) -> float:
+                if marking[f"f{vertex}"] == 0 or marking[f"q{vertex}"] == 0:
+                    return 0.0
+                if all(marking[f"f{u}"] == 1 for u in around):
+                    return 0.0
+                return transfer_rate
+
+            return rate
+
+        def make_transfer_probability(vertex: int, target: int, around: List[int]):
+            def probability(marking: Marking) -> float:
+                up = [u for u in around if marking[f"f{u}"] == 0]
+                if target not in up:
+                    return 0.0
+                return 1.0 / len(up)
+
+            return probability
+
+        def make_transfer_update(vertex: int, target: int):
+            def update(marking: Marking) -> Marking:
+                marking = dict(marking)
+                marking[f"q{vertex}"] -= 1
+                marking[f"q{target}"] += 1
+                return marking
+
+            return update
+
+        activities.append(
+            Activity(
+                f"transfer{v}",
+                make_transfer_rate(v, nbrs),
+                [
+                    Case(
+                        make_transfer_probability(v, u, nbrs),
+                        make_transfer_update(v, u),
+                        name=f"to{u}",
+                    )
+                    for u in nbrs
+                ],
+                shared=False,
+            )
+        )
+
+    def local_invariant(marking: Marking) -> bool:
+        queued = sum(marking[f"q{v}"] for v in range(num_servers))
+        return queued <= jobs
+
+    return SANModel(name, places, activities, local_invariant=local_invariant)
+
+
+def down_count(label, cube_dim: int) -> int:
+    """Number of failed servers in a hypercube-level substate label
+    (the tuple of private place values, ``q0, f0, q1, f1, ..``)."""
+    num_servers = 2 ** cube_dim
+    return sum(label[2 * v + 1] for v in range(num_servers))
+
+
+def queued_jobs(label, cube_dim: int) -> int:
+    """Number of queued jobs in a hypercube-level substate label."""
+    num_servers = 2 ** cube_dim
+    return sum(label[2 * v] for v in range(num_servers))

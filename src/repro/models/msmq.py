@@ -1,0 +1,154 @@
+"""The MSMQ (multi-server multi-queue) polling subsystem (paper Fig. 4).
+
+``num_servers`` identical servers cycle over ``num_queues`` identical
+queues (Ajmone Marsan et al. [14]).  A walking server moves to the next
+queue after an exponential delay; on arrival it polls the queue, takes a
+job into service if one waits, and otherwise keeps walking.  Service
+completions send the job to the subsystem's output pool; jobs are taken
+from the input pool and spread over the queues with equal probability.
+
+Places (all private except the two pools):
+
+* ``w{k}``     — jobs waiting at queue ``k``,
+* ``pos{i}``   — the queue server ``i`` is currently at,
+* ``mode{i}``  — 0: walking, 1: serving a job,
+
+plus the shared pools named by ``pool_in`` / ``pool_out``.
+
+The local invariant "waiting + in-service jobs <= J" encodes the closed
+system's job conservation for local state-space enumeration.
+
+The servers are constructed identically (same rates, same cyclic walk), so
+permuting server identities is a model symmetry; likewise the queues are
+rotationally symmetric.  This is deliberately *not* factored out of the
+encoding — finding it is the lumping algorithm's job (Section 5: "the three
+servers of the MSMQ subsystem" are one source of the lumpability found).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.san.model import Activity, Case, Marking, Place, SANModel
+
+
+def build_msmq(
+    jobs: int,
+    num_servers: int = 3,
+    num_queues: int = 4,
+    pool_in: str = "pool_msmq",
+    pool_out: str = "pool_hyper",
+    pool_in_initial: int = None,
+    pool_out_initial: int = 0,
+    dispatch_rate: float = 5.0,
+    walk_rate: float = 2.0,
+    service_rate: float = 1.0,
+    name: str = "msmq",
+) -> SANModel:
+    """Build the MSMQ subsystem as an atomic SAN model.
+
+    ``jobs`` is the closed system's job count ``J`` (place capacities and
+    the local invariant derive from it).  By default the input pool starts
+    holding all ``J`` jobs.
+    """
+    if pool_in_initial is None:
+        pool_in_initial = jobs
+    places: List[Place] = [
+        Place(pool_in, jobs, pool_in_initial),
+        Place(pool_out, jobs, pool_out_initial),
+    ]
+    places += [Place(f"w{k}", jobs, 0) for k in range(num_queues)]
+    for i in range(num_servers):
+        places.append(Place(f"pos{i}", num_queues - 1, i % num_queues))
+        places.append(Place(f"mode{i}", 1, 0))
+
+    activities: List[Activity] = []
+
+    # Dispatch: input pool -> a uniformly random queue.
+    def dispatch_enabled(marking: Marking) -> float:
+        return dispatch_rate if marking[pool_in] > 0 else 0.0
+
+    def make_dispatch_update(queue: int):
+        def update(marking: Marking) -> Marking:
+            marking = dict(marking)
+            marking[pool_in] -= 1
+            marking[f"w{queue}"] += 1
+            return marking
+
+        return update
+
+    activities.append(
+        Activity(
+            "dispatch",
+            dispatch_enabled,
+            [
+                Case(1.0 / num_queues, make_dispatch_update(k), name=f"q{k}")
+                for k in range(num_queues)
+            ],
+            shared=True,
+        )
+    )
+
+    # Walk: a walking server moves to the next queue and polls it.
+    for i in range(num_servers):
+
+        def make_walk_rate(server: int):
+            def rate(marking: Marking) -> float:
+                return walk_rate if marking[f"mode{server}"] == 0 else 0.0
+
+            return rate
+
+        def make_walk_update(server: int):
+            def update(marking: Marking) -> Marking:
+                marking = dict(marking)
+                new_pos = (marking[f"pos{server}"] + 1) % num_queues
+                marking[f"pos{server}"] = new_pos
+                if marking[f"w{new_pos}"] > 0:
+                    marking[f"w{new_pos}"] -= 1
+                    marking[f"mode{server}"] = 1
+                return marking
+
+            return update
+
+        activities.append(
+            Activity(
+                f"walk{i}",
+                make_walk_rate(i),
+                [Case(1.0, make_walk_update(i))],
+                shared=False,
+            )
+        )
+
+    # Serve: a serving server completes; the job moves to the output pool.
+    for i in range(num_servers):
+
+        def make_serve_rate(server: int):
+            def rate(marking: Marking) -> float:
+                return service_rate if marking[f"mode{server}"] == 1 else 0.0
+
+            return rate
+
+        def make_serve_update(server: int):
+            def update(marking: Marking) -> Marking:
+                marking = dict(marking)
+                marking[f"mode{server}"] = 0
+                marking[pool_out] += 1
+                return marking
+
+            return update
+
+        activities.append(
+            Activity(
+                f"serve{i}",
+                make_serve_rate(i),
+                [Case(1.0, make_serve_update(i))],
+                shared=True,
+            )
+        )
+
+    def local_invariant(marking: Marking) -> bool:
+        waiting = sum(marking[f"w{k}"] for k in range(num_queues))
+        in_service = sum(marking[f"mode{i}"] for i in range(num_servers))
+        return waiting + in_service <= jobs
+
+    return SANModel(name, places, activities, local_invariant=local_invariant)

@@ -1,0 +1,223 @@
+"""Small example models used by tests, examples and documentation.
+
+* :func:`birth_death_ctmc` — an M/M/1/n queue as a flat CTMC (exact
+  analytic stationary distribution available for solver tests).
+* :func:`closed_tandem_join` — two stations passing jobs through shared
+  pools: the smallest model that exercises the full SAN -> events -> MD
+  pipeline.
+* :func:`redundant_units_join` — ``n`` identical units failing and being
+  repaired from a shared spare pool: a classic dependability model whose
+  per-unit encoding is massively lumpable (the unit-permutation symmetry),
+  making it the canonical demonstration of the compositional algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.markov.ctmc import CTMC
+from repro.san.composition import Join
+from repro.san.model import Activity, Case, Marking, Place, SANModel
+
+
+def birth_death_ctmc(
+    num_states: int, birth_rate: float = 1.0, death_rate: float = 2.0
+) -> CTMC:
+    """An M/M/1 queue truncated at ``num_states - 1`` jobs."""
+    triples = []
+    for i in range(num_states - 1):
+        triples.append((i, i + 1, birth_rate))
+        triples.append((i + 1, i, death_rate))
+    return CTMC.from_transitions(
+        num_states, triples, state_labels=list(range(num_states))
+    )
+
+
+def birth_death_stationary(
+    num_states: int, birth_rate: float = 1.0, death_rate: float = 2.0
+) -> np.ndarray:
+    """The analytic stationary distribution of :func:`birth_death_ctmc`."""
+    rho = birth_rate / death_rate
+    weights = np.array([rho ** i for i in range(num_states)])
+    return weights / weights.sum()
+
+
+def _station(
+    name: str,
+    jobs: int,
+    service_rate: float,
+    pool_in: str,
+    pool_out: str,
+    pool_in_initial: int,
+    pool_out_initial: int,
+    intake_rate: float = 5.0,
+) -> SANModel:
+    queue = f"{name}_q"
+    places = [
+        Place(pool_in, jobs, pool_in_initial),
+        Place(pool_out, jobs, pool_out_initial),
+        Place(queue, jobs, 0),
+    ]
+
+    def intake_enabled(marking: Marking) -> float:
+        if marking[pool_in] > 0 and marking[queue] < jobs:
+            return intake_rate
+        return 0.0
+
+    def intake(marking: Marking) -> Marking:
+        marking = dict(marking)
+        marking[pool_in] -= 1
+        marking[queue] += 1
+        return marking
+
+    def service_enabled(marking: Marking) -> float:
+        return service_rate if marking[queue] > 0 else 0.0
+
+    def serve(marking: Marking) -> Marking:
+        marking = dict(marking)
+        marking[queue] -= 1
+        marking[pool_out] += 1
+        return marking
+
+    return SANModel(
+        name,
+        places,
+        [
+            Activity("intake", intake_enabled, [Case(1.0, intake)]),
+            Activity("service", service_enabled, [Case(1.0, serve)]),
+        ],
+        local_invariant=lambda m: m[queue] <= jobs,
+    )
+
+
+def closed_tandem_join(
+    jobs: int = 2,
+    service_rate_a: float = 1.0,
+    service_rate_b: float = 2.0,
+) -> Join:
+    """Two stations in a ring, ``jobs`` circulating jobs, shared pools."""
+    a = _station("stationA", jobs, service_rate_a, "pool_a", "pool_b", jobs, 0)
+    b = _station("stationB", jobs, service_rate_b, "pool_b", "pool_a", 0, jobs)
+    return Join(
+        [a, b],
+        shared_invariant=lambda m: m["pool_a"] + m["pool_b"] <= jobs,
+    )
+
+
+def redundant_units_join(
+    num_units: int = 4,
+    spares: int = 2,
+    failure_rate: float = 0.1,
+    swap_rate: float = 5.0,
+    repair_rate: float = 1.0,
+) -> Join:
+    """``num_units`` identical units sharing a pool of spares.
+
+    A unit fails (rate ``failure_rate``); a failed unit grabs a spare from
+    the shared pool (rate ``swap_rate``) and comes back up; the repair shop
+    returns broken units to the spare pool (rate ``repair_rate`` each).
+    The units are interchangeable, so the per-unit encoding (one state bit
+    per unit) lumps down to the count of failed units.
+    """
+    spare_pool = "spares"
+    shop = "shop"
+
+    def unit_farm() -> SANModel:
+        places = [
+            Place(spare_pool, spares, spares),
+            Place(shop, spares + num_units, 0),
+        ]
+        places += [Place(f"up{u}", 1, 1) for u in range(num_units)]
+        activities: List[Activity] = []
+        for u in range(num_units):
+
+            def make_fail_rate(unit: int):
+                def rate(marking: Marking) -> float:
+                    return failure_rate if marking[f"up{unit}"] == 1 else 0.0
+
+                return rate
+
+            def make_fail(unit: int):
+                def update(marking: Marking) -> Marking:
+                    marking = dict(marking)
+                    marking[f"up{unit}"] = 0
+                    marking[shop] += 1
+                    return marking
+
+                return update
+
+            def make_swap_rate(unit: int):
+                def rate(marking: Marking) -> float:
+                    if marking[f"up{unit}"] == 0 and marking[spare_pool] > 0:
+                        return swap_rate
+                    return 0.0
+
+                return rate
+
+            def make_swap(unit: int):
+                def update(marking: Marking) -> Marking:
+                    marking = dict(marking)
+                    marking[f"up{unit}"] = 1
+                    marking[spare_pool] -= 1
+                    return marking
+
+                return update
+
+            activities.append(
+                Activity(
+                    f"fail{u}", make_fail_rate(u), [Case(1.0, make_fail(u))],
+                    shared=True,
+                )
+            )
+            activities.append(
+                Activity(
+                    f"swap{u}", make_swap_rate(u), [Case(1.0, make_swap(u))],
+                    shared=True,
+                )
+            )
+        return SANModel("units", places, activities)
+
+    def repair_shop() -> SANModel:
+        places = [
+            Place(spare_pool, spares, spares),
+            Place(shop, spares + num_units, 0),
+            Place("busy", 1, 0),
+        ]
+
+        def start_rate(marking: Marking) -> float:
+            if marking[shop] > 0 and marking["busy"] == 0:
+                return 10.0 * repair_rate
+            return 0.0
+
+        def start(marking: Marking) -> Marking:
+            marking = dict(marking)
+            marking[shop] -= 1
+            marking["busy"] = 1
+            return marking
+
+        def finish_rate(marking: Marking) -> float:
+            if marking["busy"] == 1 and marking[spare_pool] < spares:
+                return repair_rate
+            return 0.0
+
+        def finish(marking: Marking) -> Marking:
+            marking = dict(marking)
+            marking["busy"] = 0
+            marking[spare_pool] += 1
+            return marking
+
+        return SANModel(
+            "shop",
+            places,
+            [
+                Activity("start", start_rate, [Case(1.0, start)]),
+                Activity("finish", finish_rate, [Case(1.0, finish)]),
+            ],
+        )
+
+    return Join(
+        [unit_farm(), repair_shop()],
+        shared_invariant=lambda m: m[spare_pool] + m[shop] <= spares + num_units,
+    )

@@ -1,0 +1,5 @@
+"""Partitions of ``range(n)`` with the operations refinement needs."""
+
+from repro.partitions.partition import Partition
+
+__all__ = ["Partition"]

@@ -1,0 +1,276 @@
+"""A partition of ``{0, .., n-1}`` into disjoint non-empty blocks.
+
+This is the central data structure of every lumping algorithm in this
+library.  The paper's procedures (``CompLumping``, ``Split``, ``AddPair`` in
+Figures 1-2) refine a partition of a state space until the lumpability
+conditions hold; :class:`Partition` provides the block bookkeeping those
+procedures need:
+
+* stable block ids (blocks keep their id across refinements of *other*
+  blocks, so a worklist of splitter ids stays meaningful),
+* O(1) block-of-state lookup,
+* splitting a block by a key function,
+* structural operations used in proofs and tests: refinement ordering,
+  meet (coarsest common refinement), canonical form.
+
+States are always the integers ``0..n-1``.  Callers that work with richer
+substate labels (tuples of place markings, etc.) keep a separate
+position-to-label list; keeping the partition itself over integers keeps the
+refinement inner loops fast.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Iterable, Iterator, List, Sequence, Tuple
+
+from repro.errors import LumpingError
+
+
+class Partition:
+    """A partition of ``range(n)`` into disjoint non-empty blocks.
+
+    Blocks are identified by integer ids.  Ids are assigned in creation
+    order and never reused; refining a block keeps the (shrunken) original
+    block under its old id and assigns fresh ids to the split-off parts.
+    """
+
+    def __init__(self, n: int, blocks: Iterable[Iterable[int]] = ()) -> None:
+        """Create a partition of ``range(n)``.
+
+        ``blocks`` must cover ``range(n)`` exactly once; if empty, the
+        trivial one-block partition is created (for ``n > 0``).
+        """
+        if n < 0:
+            raise LumpingError("partition size must be non-negative")
+        self._n = n
+        self._blocks: Dict[int, List[int]] = {}
+        self._block_of: List[int] = [-1] * n
+        self._next_id = 0
+        block_list = [sorted(set(b)) for b in blocks]
+        if not block_list and n > 0:
+            block_list = [list(range(n))]
+        for block in block_list:
+            if not block:
+                raise LumpingError("partition blocks must be non-empty")
+            self._add_block(block)
+        if any(b < 0 for b in self._block_of):
+            missing = [i for i, b in enumerate(self._block_of) if b < 0]
+            raise LumpingError(f"blocks do not cover states {missing[:10]}")
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def trivial(cls, n: int) -> "Partition":
+        """The one-block partition of ``range(n)`` (everything equivalent)."""
+        return cls(n)
+
+    @classmethod
+    def discrete(cls, n: int) -> "Partition":
+        """The partition of ``range(n)`` into singletons (nothing equivalent)."""
+        return cls(n, ([i] for i in range(n)))
+
+    @classmethod
+    def from_key(cls, n: int, key: Callable[[int], Hashable]) -> "Partition":
+        """Group states by the value of ``key``.
+
+        This is how initial partitions are formed: e.g. the paper's
+        ``P_ini`` for ordinary lumping groups states by reward value
+        (Theorem 1(a)).
+        """
+        groups: Dict[Hashable, List[int]] = {}
+        for state in range(n):
+            groups.setdefault(key(state), []).append(state)
+        return cls(n, groups.values())
+
+    @classmethod
+    def from_labels(cls, labels: Sequence[Hashable]) -> "Partition":
+        """Group positions by their label: ``labels[i] == labels[j]`` iff
+        ``i`` and ``j`` share a block."""
+        return cls.from_key(len(labels), lambda i: labels[i])
+
+    def _add_block(self, members: List[int]) -> int:
+        block_id = self._next_id
+        self._next_id += 1
+        self._blocks[block_id] = members
+        for state in members:
+            if self._block_of[state] != -1:
+                raise LumpingError(f"state {state} appears in two blocks")
+            self._block_of[state] = block_id
+        return block_id
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of states partitioned."""
+        return self._n
+
+    def __len__(self) -> int:
+        """Number of blocks."""
+        return len(self._blocks)
+
+    def block_of(self, state: int) -> int:
+        """Id of the block containing ``state``."""
+        return self._block_of[state]
+
+    def block(self, block_id: int) -> Tuple[int, ...]:
+        """Members of block ``block_id``, sorted ascending."""
+        return tuple(sorted(self._blocks[block_id]))
+
+    def block_ids(self) -> Tuple[int, ...]:
+        """All live block ids, in ascending id order."""
+        return tuple(sorted(self._blocks))
+
+    def blocks(self) -> Iterator[Tuple[int, ...]]:
+        """Iterate over blocks (each a sorted tuple), in id order."""
+        for block_id in sorted(self._blocks):
+            yield self.block(block_id)
+
+    def representative(self, block_id: int) -> int:
+        """An arbitrary (smallest) member of the block; the paper's
+        "arbitrary element of C" in ``Lump`` (Figure 1a)."""
+        return min(self._blocks[block_id])
+
+    def size_of(self, block_id: int) -> int:
+        """Number of states in block ``block_id``."""
+        return len(self._blocks[block_id])
+
+    def same_block(self, a: int, b: int) -> bool:
+        """True if ``a`` and ``b`` are equivalent under this partition."""
+        return self._block_of[a] == self._block_of[b]
+
+    def is_discrete(self) -> bool:
+        """True if every block is a singleton."""
+        return len(self._blocks) == self._n
+
+    def block_index_map(self) -> Dict[int, int]:
+        """Map block id -> dense index ``0..len(self)-1``.
+
+        Dense indices order blocks by their smallest member, which makes the
+        lumped state numbering deterministic and independent of refinement
+        history.
+        """
+        ordered = sorted(self._blocks, key=lambda b: min(self._blocks[b]))
+        return {block_id: idx for idx, block_id in enumerate(ordered)}
+
+    def state_class_vector(self) -> List[int]:
+        """For each state, the dense index of its block (see
+        :meth:`block_index_map`)."""
+        index = self.block_index_map()
+        return [index[self._block_of[s]] for s in range(self._n)]
+
+    # ------------------------------------------------------------------
+    # refinement
+    # ------------------------------------------------------------------
+
+    def split_block(
+        self, block_id: int, key: Callable[[int], Hashable]
+    ) -> List[int]:
+        """Split one block by ``key``; returns ids of newly created blocks.
+
+        States with the most common key value stay in the original block
+        (keeping its id); every other key group becomes a new block.  This is
+        the paper's ``Split``/``AddPair`` step (Figure 1c / Figure 2): each
+        class is partitioned into subclasses of equal ``sum`` value.
+
+        Keeping the *largest* subclass under the old id combines naturally
+        with the "all but largest" splitter strategy of the underlying
+        state-level algorithm [9].
+        """
+        members = self._blocks[block_id]
+        groups: Dict[Hashable, List[int]] = {}
+        for state in members:
+            groups.setdefault(key(state), []).append(state)
+        if len(groups) == 1:
+            return []
+        # Largest group keeps the original id; deterministic tie-break on
+        # smallest member so refinement order never depends on hash order.
+        keep = max(groups.values(), key=lambda g: (len(g), -min(g)))
+        new_ids = []
+        self._blocks[block_id] = keep
+        for group in groups.values():
+            if group is keep:
+                continue
+            for state in group:
+                self._block_of[state] = -1
+            new_ids.append(self._add_block(group))
+        return new_ids
+
+    def refine(self, key: Callable[[int], Hashable]) -> List[int]:
+        """Split *every* block by ``key``; returns all newly created ids."""
+        created: List[int] = []
+        for block_id in list(self._blocks):
+            created.extend(self.split_block(block_id, key))
+        return created
+
+    def refine_within(
+        self, key: Callable[[int], Hashable], states: Iterable[int]
+    ) -> List[int]:
+        """Split only the blocks that contain at least one of ``states``.
+
+        Sound whenever ``key`` is constant (e.g. a zero sum) on every state
+        outside ``states`` — then untouched blocks cannot split, and touched
+        blocks are still split by their *full* membership.  This is the
+        sparsity optimization of the state-level algorithm [9]: a splitter
+        only affects states with a transition into it.
+        """
+        touched_blocks = {self._block_of[s] for s in states}
+        created: List[int] = []
+        for block_id in touched_blocks:
+            created.extend(self.split_block(block_id, key))
+        return created
+
+    # ------------------------------------------------------------------
+    # structural operations
+    # ------------------------------------------------------------------
+
+    def refines(self, other: "Partition") -> bool:
+        """True if every block of ``self`` lies inside a block of ``other``."""
+        if self._n != other._n:
+            raise LumpingError("partitions are over different state counts")
+        for block in self._blocks.values():
+            first = other.block_of(block[0])
+            if any(other.block_of(s) != first for s in block[1:]):
+                return False
+        return True
+
+    def meet(self, other: "Partition") -> "Partition":
+        """Coarsest common refinement of ``self`` and ``other``."""
+        if self._n != other._n:
+            raise LumpingError("partitions are over different state counts")
+        groups: Dict[Tuple[int, int], List[int]] = {}
+        for state in range(self._n):
+            pair = (self._block_of[state], other.block_of(state))
+            groups.setdefault(pair, []).append(state)
+        return Partition(self._n, groups.values())
+
+    def canonical(self) -> Tuple[Tuple[int, ...], ...]:
+        """Hashable canonical form: blocks sorted by smallest member.
+
+        Two :class:`Partition` objects describe the same partition iff their
+        canonical forms are equal, regardless of block ids or refinement
+        history.
+        """
+        return tuple(sorted((self.block(b) for b in self._blocks), key=lambda t: t[0]))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Partition):
+            return NotImplemented
+        return self._n == other._n and self.canonical() == other.canonical()
+
+    def __hash__(self) -> int:
+        return hash((self._n, self.canonical()))
+
+    def copy(self) -> "Partition":
+        """An independent copy (same canonical form; ids may differ)."""
+        return Partition(self._n, (self.block(b) for b in self.block_ids()))
+
+    def __repr__(self) -> str:
+        blocks = "/".join(
+            ",".join(map(str, block)) for block in self.canonical()
+        )
+        return f"Partition({self._n}: {blocks})"

@@ -1,0 +1,27 @@
+"""A small stochastic-activity-network-like modeling formalism.
+
+Substitutes for the Möbius front end the paper used: atomic models are
+places + timed activities with marking-dependent rates and probabilistic
+cases; models compose by *state sharing* (the Rep/Join operator's Join):
+places with equal names are identified.  The composed model compiles to an
+:class:`repro.statespace.events.EventModel` with the paper's level
+assignment — shared places at level 1, each submodel's private places at
+their own level — from which the MD, the Kronecker descriptor and the
+reachable state space all derive.
+"""
+
+from repro.san.model import Activity, Case, Place, SANModel
+from repro.san.composition import Join
+from repro.san.semantics import CompiledModel, compile_join
+from repro.san.replication import replicate
+
+__all__ = [
+    "Activity",
+    "Case",
+    "Place",
+    "SANModel",
+    "Join",
+    "CompiledModel",
+    "compile_join",
+    "replicate",
+]

@@ -1,0 +1,117 @@
+"""State-sharing composition (the Join of Möbius' Rep/Join editor).
+
+Submodels that declare places with equal names share those places: the
+joined model has a single copy, and every submodel's activities read and
+write it.  Shared places must agree on capacity and initial marking.
+
+The joined model fixes the paper's level assignment (Section 5): the
+shared places form level 1; each submodel's private places form one
+further level, in submodel order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import CompositionError
+from repro.san.model import Marking, Place, SANModel
+
+
+class Join:
+    """A state-sharing composition of submodels.
+
+    Parameters
+    ----------
+    submodels:
+        The atomic models to join.  Places with equal names are shared.
+    shared_invariant:
+        Optional predicate over the shared places' marking, used to bound
+        the enumeration of the shared level's local state space (e.g.
+        "the two pools together never hold more than J jobs").
+    """
+
+    def __init__(
+        self,
+        submodels: Sequence[SANModel],
+        shared_invariant: Optional[Callable[[Marking], bool]] = None,
+    ) -> None:
+        if len(submodels) < 2:
+            raise CompositionError("Join needs at least two submodels")
+        self.submodels: List[SANModel] = list(submodels)
+        self.shared_invariant = shared_invariant
+
+        owners: Dict[str, List[int]] = {}
+        declaration: Dict[str, Place] = {}
+        for index, model in enumerate(self.submodels):
+            for place in model.places:
+                owners.setdefault(place.name, []).append(index)
+                previous = declaration.get(place.name)
+                if previous is None:
+                    declaration[place.name] = place
+                elif (
+                    previous.capacity != place.capacity
+                    or previous.initial != place.initial
+                ):
+                    raise CompositionError(
+                        f"shared place {place.name!r} declared with "
+                        f"different capacity/initial marking in different "
+                        f"submodels"
+                    )
+        self.shared_places: List[Place] = [
+            declaration[name]
+            for name, models in owners.items()
+            if len(models) > 1
+        ]
+        shared_names = {place.name for place in self.shared_places}
+        if not shared_names:
+            raise CompositionError(
+                "Join shares no places; did you mean independent models?"
+            )
+        self.private_places: List[List[Place]] = [
+            [place for place in model.places if place.name not in shared_names]
+            for model in self.submodels
+        ]
+        for index, places in enumerate(self.private_places):
+            if not places:
+                raise CompositionError(
+                    f"submodel {self.submodels[index].name!r} has no private "
+                    f"places; give it at least one or merge it into another "
+                    f"submodel"
+                )
+
+    @property
+    def num_levels(self) -> int:
+        """1 (shared) + one level per submodel."""
+        return 1 + len(self.submodels)
+
+    def shared_place_names(self) -> List[str]:
+        """Names of the shared places (level 1), in a stable order."""
+        return [place.name for place in self.shared_places]
+
+    def private_place_names(self, submodel_index: int) -> List[str]:
+        """Names of a submodel's private places (its level)."""
+        return [
+            place.name for place in self.private_places[submodel_index]
+        ]
+
+    def initial_shared_marking(self) -> Marking:
+        """Initial marking of the shared places."""
+        return {place.name: place.initial for place in self.shared_places}
+
+    def check_shared_marking(self, marking: Marking) -> bool:
+        """Capacity + invariant check for a shared marking."""
+        for place in self.shared_places:
+            value = marking.get(place.name, 0)
+            if not 0 <= value <= place.capacity:
+                return False
+        if self.shared_invariant is not None and not self.shared_invariant(
+            marking
+        ):
+            return False
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"Join(submodels={[m.name for m in self.submodels]}, "
+            f"shared={self.shared_place_names()})"
+        )

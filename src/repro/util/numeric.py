@@ -1,0 +1,83 @@
+"""Numeric helpers: tolerant comparison, rate quantization, mixed-radix maps.
+
+Partition refinement compares floating-point transition rates for equality.
+Raw ``==`` on floats computed through different summation orders is fragile,
+so refinement keys are built from :func:`quantize`-d values: rates that agree
+to within a relative tolerance map to the same key.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+#: Default relative tolerance used when quantizing rates into hashable keys.
+DEFAULT_RTOL = 1e-9
+
+
+def close(a: float, b: float, rtol: float = DEFAULT_RTOL, atol: float = 1e-12) -> bool:
+    """True if ``a`` and ``b`` are equal within the given tolerances."""
+    return abs(a - b) <= max(atol, rtol * max(abs(a), abs(b)))
+
+
+def quantize(value: float, digits: int = 9) -> float:
+    """Round ``value`` to ``digits`` significant decimal digits.
+
+    Quantized values are used as hashable stand-ins for rates inside
+    refinement keys, so that rates differing only by floating-point noise
+    compare equal.  ``digits=9`` keeps nine significant digits, far more
+    precision than any model rate in practice while absorbing accumulation
+    error from different summation orders.
+    """
+    if value == 0.0:
+        return 0.0
+    return float(f"{value:.{digits}e}")
+
+
+def mixed_radix_index(digits: Sequence[int], radices: Sequence[int]) -> int:
+    """Map a tuple of per-level substate positions to a flat index.
+
+    ``digits[i]`` is the position of the level-(i+1) substate within its
+    level's local state space and ``radices[i]`` is that space's size.  The
+    top level is the most significant digit, matching the nested block
+    structure of a flattened matrix diagram (Section 3 of the paper).
+
+    >>> mixed_radix_index((1, 0, 2), (2, 3, 4))
+    14
+    """
+    if len(digits) != len(radices):
+        raise ValueError("digits and radices must have equal length")
+    index = 0
+    for digit, radix in zip(digits, radices):
+        if not 0 <= digit < radix:
+            raise ValueError(f"digit {digit} out of range for radix {radix}")
+        index = index * radix + digit
+    return index
+
+
+def mixed_radix_unindex(index: int, radices: Sequence[int]) -> Tuple[int, ...]:
+    """Inverse of :func:`mixed_radix_index`.
+
+    >>> mixed_radix_unindex(14, (2, 3, 4))
+    (1, 0, 2)
+    """
+    if index < 0:
+        raise ValueError("index must be non-negative")
+    digits = []
+    for radix in reversed(radices):
+        digits.append(index % radix)
+        index //= radix
+    if index:
+        raise ValueError("index out of range for the given radices")
+    return tuple(reversed(digits))
+
+
+def strides(radices: Sequence[int]) -> Tuple[int, ...]:
+    """Number of flat indices spanned by one step of each level's substate.
+
+    >>> strides((2, 3, 4))
+    (12, 4, 1)
+    """
+    out = [1] * len(radices)
+    for i in range(len(radices) - 2, -1, -1):
+        out[i] = out[i + 1] * radices[i + 1]
+    return tuple(out)

@@ -1,0 +1,79 @@
+"""Plain-text table rendering for the benchmark harness.
+
+The harness prints the same rows Table 1 of the paper reports; this module
+keeps the formatting in one place so every bench renders consistently.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_bytes(num_bytes: int) -> str:
+    """Render a byte count the way the paper does (KB with one decimal).
+
+    >>> format_bytes(53900)
+    '52.6 KB'
+    """
+    if num_bytes < 1024:
+        return f"{num_bytes} B"
+    if num_bytes < 1024 * 1024:
+        return f"{num_bytes / 1024:.1f} KB"
+    return f"{num_bytes / (1024 * 1024):.1f} MB"
+
+
+def format_seconds(seconds: float) -> str:
+    """Render seconds with two decimals, as in Table 1.
+
+    >>> format_seconds(0.804)
+    '0.80 s'
+    """
+    return f"{seconds:.2f} s"
+
+
+class Table:
+    """A minimal fixed-width text table.
+
+    >>> t = Table(["J", "overall"])
+    >>> t.add_row([1, 22100])
+    >>> print(t.render())  # doctest: +NORMALIZE_WHITESPACE
+    J | overall
+    --+--------
+    1 | 22100
+    """
+
+    def __init__(self, headers: Sequence[str], title: str = "") -> None:
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: List[List[str]] = []
+
+    def add_row(self, cells: Iterable[object]) -> None:
+        """Append a row; cells are stringified with ``str``."""
+        row = [str(c) for c in cells]
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(row)
+
+    def render(self) -> str:
+        """Render the table (and title, if any) as a string."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(
+            " | ".join(h.ljust(w) for h, w in zip(self.headers, widths)).rstrip()
+        )
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append(
+                " | ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip()
+            )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

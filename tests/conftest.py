@@ -1,0 +1,52 @@
+"""Shared fixtures: small models reused across test modules."""
+
+import numpy as np
+import pytest
+
+from repro.lumping import MDModel
+from repro.matrixdiagram import md_from_kronecker_terms
+from repro.models import TandemParams, build_tandem, tandem_md_model
+from repro.models.tandem import projected_event_model
+from repro.statespace import reachable_bfs
+
+
+@pytest.fixture(scope="session")
+def small_tandem():
+    """The smallest faithful tandem instance: J=1, 4-server hypercube,
+    2x2 MSMQ.  Session-scoped: building it is the expensive part of the
+    suite and every consumer treats it as read-only."""
+    params = TandemParams(jobs=1, cube_dim=2, msmq_servers=2, msmq_queues=2)
+    compiled = build_tandem(params)
+    reach = reachable_bfs(compiled.event_model)
+    event_model = projected_event_model(compiled, reach)
+    reach = reachable_bfs(event_model)
+    model = tandem_md_model(event_model, params, reachable=reach)
+    return {
+        "params": params,
+        "compiled": compiled,
+        "event_model": event_model,
+        "reach": reach,
+        "model": model,
+    }
+
+
+@pytest.fixture()
+def three_level_md():
+    """A deterministic 3-level MD with a lumpable middle level."""
+    rng = np.random.default_rng(42)
+    a1 = rng.random((2, 2))
+    a3 = rng.random((4, 4)) * 0.5
+    b1 = rng.random((2, 2)) * 0.3
+    b3 = rng.random((4, 4)) * 0.2
+    w2 = np.array([[0, 1, 1], [1, 0, 1], [1, 1, 0]], dtype=float) * 0.7
+    i3 = np.eye(3)
+    md = md_from_kronecker_terms(
+        [(1.5, [a1, w2, a3]), (0.8, [b1, i3, b3])], (2, 3, 4)
+    )
+    return md
+
+
+@pytest.fixture()
+def three_level_model(three_level_md):
+    """The MD above wrapped in an MDModel with trivial rewards."""
+    return MDModel(three_level_md)

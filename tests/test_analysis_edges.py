@@ -1,0 +1,97 @@
+"""Edge cases of the analysis pipeline and compositional result helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import lump_and_solve
+from repro.errors import LumpingError
+from repro.lumping import MDModel, compositional_lump
+from repro.matrixdiagram import md_from_kronecker_terms
+
+
+def irreducible_model():
+    flip = np.array([[0.0, 1.0], [2.0, 0.0]])
+    sym = np.array([[0.0, 1.0], [1.0, 0.0]])
+    md = md_from_kronecker_terms(
+        [(1.0, [flip, np.eye(2)]), (1.0, [np.eye(2), sym])], (2, 2)
+    )
+    return MDModel(md)
+
+
+def reducible_model():
+    one_way = np.array([[0.0, 1.0], [0.0, 0.0]])
+    md = md_from_kronecker_terms([(1.0, [one_way, np.eye(2)])], (2, 2))
+    return MDModel(md)
+
+
+class TestLumpAndSolveEdges:
+    def test_reducible_lumped_chain_rejected(self):
+        with pytest.raises(LumpingError):
+            lump_and_solve(reducible_model())
+
+    def test_solution_normalized(self):
+        solution = lump_and_solve(irreducible_model())
+        assert solution.stationary.sum() == pytest.approx(1.0)
+
+    def test_zero_rewards_give_zero_measure(self):
+        solution = lump_and_solve(irreducible_model())
+        assert solution.expected_reward() == 0.0
+
+    def test_iterate_flag_passthrough(self):
+        a = lump_and_solve(irreducible_model())
+        b = lump_and_solve(irreducible_model(), iterate=True)
+        assert a.num_states == b.num_states
+
+    def test_matrix_key_passthrough(self):
+        a = lump_and_solve(irreducible_model(), key="matrix")
+        assert a.stationary.sum() == pytest.approx(1.0)
+
+    def test_class_probability_unrestricted_model(self):
+        solution = lump_and_solve(irreducible_model())
+        assert solution.class_probability(lambda labels: True) == (
+            pytest.approx(1.0)
+        )
+
+
+class TestCompositionalHelpers:
+    def test_projection_vector_unrestricted(self):
+        model = irreducible_model()
+        result = compositional_lump(model, "ordinary")
+        projection = result.projection_vector()
+        assert projection.shape == (model.potential_size(),)
+        assert projection.max() < result.lumped.md.potential_size()
+
+    def test_single_substate_levels(self):
+        md = md_from_kronecker_terms(
+            [(1.0, [np.array([[1.0]]), np.array([[0.0, 1.0], [1.0, 0.0]])])],
+            (1, 2),
+        )
+        result = compositional_lump(MDModel(md), "ordinary")
+        assert result.reductions[0].original_size == 1
+        assert result.reductions[0].lumped_size == 1
+
+    def test_project_distribution_shape_checked(self):
+        model = irreducible_model()
+        result = compositional_lump(model, "ordinary")
+        with pytest.raises(LumpingError):
+            result.project_distribution(np.zeros(3))
+
+    def test_two_level_md_lumping(self):
+        sym = np.array(
+            [[0.0, 1.0, 1.0], [1.0, 0.0, 1.0], [1.0, 1.0, 0.0]]
+        )
+        md = md_from_kronecker_terms(
+            [(2.0, [np.array([[0.0, 1.0], [1.0, 0.0]]), sym])], (2, 3)
+        )
+        result = compositional_lump(MDModel(md), "ordinary")
+        assert result.lumped.md.level_sizes == (1, 1)
+
+    def test_one_level_md_lumping(self):
+        # Degenerate single-level MD: compositional == state-level local.
+        sym = np.array([[0.0, 1.0], [1.0, 0.0]])
+        md = md_from_kronecker_terms([(1.0, [sym])], (2,))
+        result = compositional_lump(MDModel(md), "ordinary")
+        assert result.lumped.md.level_sizes == (1,)
+        from repro.lumping.verify import verify_compositional_result
+
+        assert verify_compositional_result(result)

@@ -1,0 +1,114 @@
+"""Tests for the cluster availability model (Rep x2 + shared crew)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import lump_and_solve
+from repro.markov import steady_state
+from repro.models.cluster import (
+    IN_REPAIR,
+    UP,
+    availability_reward,
+    build_cluster,
+    expected_sizes,
+)
+from repro.san import compile_join
+from repro.san.rewards import build_md_model
+from repro.statespace import reachable_bfs
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    compiled = compile_join(build_cluster(front_ends=3, backends=2))
+    reach = reachable_bfs(compiled.event_model)
+    return compiled, reach
+
+
+class TestStructure:
+    def test_three_levels(self, cluster):
+        compiled, _ = cluster
+        assert compiled.event_model.num_levels == 3
+        assert compiled.level_names == ["shared", "frontends", "backends"]
+
+    def test_crew_is_shared(self, cluster):
+        compiled, _ = cluster
+        assert compiled.level_place_names[0] == ["crew"]
+
+    def test_crew_exclusion_invariant(self, cluster):
+        """At most one machine is in repair at any reachable state, and
+        the crew token is free iff nobody is being repaired."""
+        compiled, reach = cluster
+        model = compiled.event_model
+        for state in reach.states:
+            marking = compiled.marking_of_state(state)
+            in_repair = sum(
+                1
+                for name, value in marking.items()
+                if name.endswith(".state") and value == IN_REPAIR
+            )
+            assert in_repair <= 1
+            assert marking["crew"] == 1 - in_repair
+
+    def test_reachable_smaller_than_potential(self, cluster):
+        compiled, reach = cluster
+        fe_potential, be_potential = expected_sizes(3, 2)
+        sizes = reach.level_sizes()
+        assert sizes[1] <= fe_potential
+        assert sizes[2] <= be_potential
+
+
+class TestLumping:
+    def test_farms_lump_to_multisets(self, cluster):
+        compiled, reach = cluster
+        model = build_md_model(compiled, reachable=reach)
+        solution = lump_and_solve(model)
+        reductions = solution.lumping.reductions
+        # Both farm levels shrink (3 identical FEs, 2 identical BEs).
+        assert reductions[1].factor > 1.5
+        assert reductions[2].factor > 1.2
+        assert solution.reduction_factor > 2.0
+
+    def test_availability_preserved(self, cluster):
+        compiled, reach = cluster
+        reward = availability_reward(3, 2, quorum=2)
+        model = build_md_model(compiled, reachable=reach, rewards=reward)
+        solution = lump_and_solve(model)
+        mrp = model.flat_mrp()
+        exact = float(steady_state(mrp.ctmc).distribution @ mrp.rewards)
+        assert solution.expected_reward() == pytest.approx(exact, abs=1e-10)
+        assert 0.99 < exact < 1.0  # rare failures, fast repair
+
+    def test_availability_reward_does_not_hurt_lumping(self, cluster):
+        compiled, reach = cluster
+        plain = lump_and_solve(build_md_model(compiled, reachable=reach))
+        with_reward = lump_and_solve(
+            build_md_model(
+                compiled,
+                reachable=reach,
+                rewards=availability_reward(3, 2, quorum=2),
+            )
+        )
+        # The availability indicator is symmetric in the replicas, so the
+        # reward-constrained lumping is as coarse as the unconstrained one.
+        assert with_reward.num_states == plain.num_states
+
+    def test_quorum_strictness_orders_availability(self, cluster):
+        compiled, reach = cluster
+        values = []
+        for quorum in (1, 2, 3):
+            model = build_md_model(
+                compiled,
+                reachable=reach,
+                rewards=availability_reward(3, 2, quorum=quorum),
+            )
+            values.append(lump_and_solve(model).expected_reward())
+        assert values[0] >= values[1] >= values[2]
+        assert values[0] > values[2]
+
+    def test_bigger_cluster_scales(self):
+        compiled = compile_join(build_cluster(front_ends=5, backends=3))
+        reach = reachable_bfs(compiled.event_model)
+        model = build_md_model(compiled, reachable=reach)
+        solution = lump_and_solve(model)
+        # Lumped chain grows polynomially, not exponentially, in machines.
+        assert solution.num_states < reach.num_states / 5

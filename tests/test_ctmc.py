@@ -1,0 +1,115 @@
+"""Tests for the CTMC substrate."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.errors import ModelError
+from repro.markov import CTMC
+
+
+def two_state() -> CTMC:
+    return CTMC.from_transitions(2, [(0, 1, 2.0), (1, 0, 3.0)])
+
+
+class TestConstruction:
+    def test_from_transitions_sums_duplicates(self):
+        c = CTMC.from_transitions(2, [(0, 1, 1.0), (0, 1, 2.0)])
+        assert c.rate(0, 1) == 3.0
+
+    def test_from_dict(self):
+        c = CTMC.from_dict({(0, 1): 1.5, (1, 0): 0.5})
+        assert c.num_states == 2
+        assert c.rate(0, 1) == 1.5
+
+    def test_zero_rates_dropped(self):
+        c = CTMC.from_transitions(2, [(0, 1, 0.0)])
+        assert c.num_transitions == 0
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ModelError):
+            CTMC.from_transitions(2, [(0, 1, -1.0)])
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ModelError):
+            CTMC(np.zeros((2, 3)))
+
+    def test_label_count_checked(self):
+        with pytest.raises(ModelError):
+            CTMC(np.zeros((2, 2)), state_labels=["only-one"])
+
+    def test_labels_returned(self):
+        c = CTMC(np.zeros((2, 2)), state_labels=["a", "b"])
+        assert c.label(1) == "b"
+        assert c.state_labels == ["a", "b"]
+
+    def test_unlabeled_label_is_index(self):
+        assert two_state().label(1) == 1
+
+
+class TestMatrices:
+    def test_generator_rows_sum_to_zero(self):
+        q = two_state().generator_matrix()
+        assert np.allclose(np.asarray(q.sum(axis=1)).ravel(), 0.0)
+
+    def test_generator_cancels_self_loops(self):
+        c = CTMC.from_transitions(2, [(0, 0, 5.0), (0, 1, 1.0), (1, 0, 1.0)])
+        q = c.generator_matrix()
+        assert q[0, 0] == -1.0  # the self-loop rate vanished
+
+    def test_exit_rates_include_self_loops(self):
+        c = CTMC.from_transitions(2, [(0, 0, 5.0), (0, 1, 1.0), (1, 0, 1.0)])
+        assert c.exit_rates()[0] == 6.0
+
+    def test_embedded_dtmc_stochastic(self):
+        p = two_state().embedded_dtmc()
+        assert np.allclose(np.asarray(p.sum(axis=1)).ravel(), 1.0)
+
+    def test_embedded_dtmc_rate_too_small(self):
+        with pytest.raises(ModelError):
+            two_state().embedded_dtmc(rate=1.0)
+
+    def test_uniformization_rate_above_max_exit(self):
+        c = two_state()
+        assert c.uniformization_rate() > c.exit_rates().max()
+
+    def test_uniformization_rate_empty_chain(self):
+        assert CTMC(np.zeros((3, 3))).uniformization_rate() == 1.0
+
+
+class TestStructure:
+    def test_successors(self):
+        c = CTMC.from_transitions(3, [(0, 1, 1.0), (0, 2, 2.0)])
+        assert sorted(c.successors(0)) == [(1, 1.0), (2, 2.0)]
+        assert c.successors(1) == []
+
+    def test_reachable_from(self):
+        c = CTMC.from_transitions(4, [(0, 1, 1.0), (1, 2, 1.0), (3, 0, 1.0)])
+        assert c.reachable_from([0]) == [0, 1, 2]
+        assert c.reachable_from([3]) == [0, 1, 2, 3]
+
+    def test_restricted_to_closed_subset(self):
+        c = CTMC.from_transitions(4, [(0, 1, 1.0), (1, 0, 1.0), (2, 3, 1.0)])
+        sub = c.restricted_to([0, 1])
+        assert sub.num_states == 2
+        assert sub.rate(0, 1) == 1.0
+
+    def test_restricted_to_open_subset_rejected(self):
+        c = CTMC.from_transitions(3, [(0, 1, 1.0), (1, 2, 1.0)])
+        with pytest.raises(ModelError):
+            c.restricted_to([0, 1])
+
+    def test_restricted_keeps_labels(self):
+        c = CTMC.from_transitions(3, [(1, 2, 1.0), (2, 1, 1.0)])
+        c = CTMC(c.rate_matrix, state_labels=["x", "y", "z"])
+        sub = c.restricted_to([1, 2])
+        assert sub.state_labels == ["y", "z"]
+
+    def test_irreducibility(self):
+        assert two_state().is_irreducible()
+        chain = CTMC.from_transitions(2, [(0, 1, 1.0)])
+        assert not chain.is_irreducible()
+
+    def test_sparse_input_accepted(self):
+        matrix = sparse.csr_matrix(([1.0], ([0], [1])), shape=(2, 2))
+        assert CTMC(matrix).rate(0, 1) == 1.0

@@ -1,0 +1,29 @@
+"""Run the library's docstring doctests as part of the suite."""
+
+import doctest
+
+import pytest
+
+import repro.kronecker.ops
+import repro.markov.transient
+import repro.matrixdiagram.build
+import repro.util.numeric
+import repro.util.tables
+import repro.util.timing
+
+MODULES = [
+    repro.util.numeric,
+    repro.util.tables,
+    repro.util.timing,
+    repro.markov.transient,
+    repro.matrixdiagram.build,
+    repro.kronecker.ops,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES, ids=[m.__name__ for m in MODULES]
+)
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"

@@ -1,0 +1,119 @@
+"""Tests for the DTMC layer and discrete-time lumping."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError, SolverError
+from repro.markov import CTMC, steady_state
+from repro.markov.dtmc import DTMC, lump_dtmc
+from repro.markov.random_chains import random_ordinarily_lumpable
+from repro.partitions import Partition
+
+
+def two_state(p: float = 0.3, q: float = 0.6) -> DTMC:
+    return DTMC([[1 - p, p], [q, 1 - q]])
+
+
+class TestDTMC:
+    def test_row_sums_checked(self):
+        with pytest.raises(ModelError):
+            DTMC([[0.5, 0.4], [0.5, 0.5]])
+
+    def test_negative_probability_rejected(self):
+        with pytest.raises(ModelError):
+            DTMC([[1.2, -0.2], [0.5, 0.5]])
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ModelError):
+            DTMC(np.full((2, 3), 1 / 3))
+
+    def test_step(self):
+        chain = two_state()
+        pi = chain.step(np.array([1.0, 0.0]))
+        assert pi == pytest.approx([0.7, 0.3])
+        pi2 = chain.step(np.array([1.0, 0.0]), steps=2)
+        assert pi2.sum() == pytest.approx(1.0)
+
+    def test_stationary_two_state(self):
+        chain = two_state(p=0.3, q=0.6)
+        pi = chain.stationary_distribution()
+        # Balance: pi0 * p = pi1 * q.
+        assert pi[0] * 0.3 == pytest.approx(pi[1] * 0.6, abs=1e-10)
+
+    def test_stationary_periodic_chain(self):
+        # A 2-cycle: undamped power iteration would oscillate forever.
+        chain = DTMC([[0.0, 1.0], [1.0, 0.0]])
+        pi = chain.stationary_distribution()
+        assert pi == pytest.approx([0.5, 0.5], abs=1e-9)
+
+    def test_reducible_rejected(self):
+        chain = DTMC([[1.0, 0.0], [0.5, 0.5]])
+        with pytest.raises(SolverError):
+            chain.stationary_distribution()
+
+    def test_labels(self):
+        chain = DTMC(np.eye(2), state_labels=["a", "b"])
+        assert chain.state_labels == ["a", "b"]
+
+
+class TestConversions:
+    def test_uniformization_preserves_stationary(self):
+        ctmc = CTMC.from_transitions(3, [(0, 1, 2.0), (1, 2, 1.0), (2, 0, 0.5)])
+        dtmc = DTMC.from_ctmc(ctmc)
+        pi_ctmc = steady_state(ctmc).distribution
+        pi_dtmc = dtmc.stationary_distribution()
+        assert np.abs(pi_ctmc - pi_dtmc).max() < 1e-8
+
+    def test_roundtrip_to_ctmc(self):
+        dtmc = two_state()
+        ctmc = dtmc.to_ctmc(rate=2.0)
+        # The CTMC's stationary distribution matches (self-loops in R do
+        # not change Q-level behaviour).
+        pi = steady_state(ctmc).distribution
+        assert np.abs(pi - dtmc.stationary_distribution()).max() < 1e-8
+
+    def test_to_ctmc_rate_checked(self):
+        with pytest.raises(ModelError):
+            two_state().to_ctmc(rate=0.0)
+
+
+class TestDTMCLumping:
+    def _lumpable_dtmc(self, seed: int = 0):
+        chain, planted = random_ordinarily_lumpable(12, 3, seed=seed)
+        # Normalize rows to make it stochastic; row scaling preserves the
+        # planted partition only if scales are equal within blocks, so
+        # normalize by the max exit rate (uniformization-style).
+        return DTMC.from_ctmc(chain), planted
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_recovers_planted_partition(self, seed):
+        dtmc, planted = self._lumpable_dtmc(seed)
+        partition, lumped = lump_dtmc(dtmc)
+        assert planted.refines(partition)
+        assert lumped.num_states == len(partition)
+
+    def test_lumped_is_stochastic_and_consistent(self):
+        dtmc, _ = self._lumpable_dtmc(7)
+        partition, lumped = lump_dtmc(dtmc)
+        # Constructor of DTMC checks stochasticity; also compare
+        # aggregated stationary distributions.
+        pi = dtmc.stationary_distribution()
+        pi_hat = lumped.stationary_distribution()
+        aggregated = np.zeros(len(partition))
+        class_of = partition.state_class_vector()
+        np.add.at(aggregated, class_of, pi)
+        assert np.abs(aggregated - pi_hat).max() < 1e-7
+
+    def test_exact_lumping(self):
+        # Doubly-stochastic symmetric chain: exact w.r.t. full merge.
+        p = np.full((4, 4), 0.25)
+        partition, lumped = lump_dtmc(DTMC(p), kind="exact")
+        assert len(partition) == 1
+        assert lumped.num_states == 1
+        assert lumped.probability(0, 0) == pytest.approx(1.0)
+
+    def test_initial_partition_respected(self):
+        dtmc, _ = self._lumpable_dtmc(9)
+        forced = Partition(12, [[0], list(range(1, 12))])
+        partition, _ = lump_dtmc(dtmc, initial=forced)
+        assert not partition.same_block(0, 1)

@@ -1,0 +1,90 @@
+"""Tests for FormalSum: the entries of non-terminal MD nodes."""
+
+from repro.matrixdiagram import FormalSum
+
+
+class TestConstruction:
+    def test_zero_coefficients_dropped(self):
+        fs = FormalSum({1: 0.0, 2: 3.0})
+        assert fs.children() == (2,)
+
+    def test_cancellation_during_accumulation(self):
+        fs = FormalSum([(1, 2.0), (1, -2.0)])
+        assert fs.is_zero()
+
+    def test_of_single_term(self):
+        fs = FormalSum.of(5, 2.5)
+        assert fs.coefficient(5) == 2.5
+        assert len(fs) == 1
+
+    def test_zero(self):
+        assert FormalSum.zero().is_zero()
+        assert FormalSum.zero().children() == ()
+
+    def test_missing_coefficient_is_zero(self):
+        assert FormalSum.of(1).coefficient(99) == 0.0
+
+
+class TestArithmetic:
+    def test_add_merges_children(self):
+        a = FormalSum({1: 1.0, 2: 2.0})
+        b = FormalSum({2: 3.0, 3: 4.0})
+        c = a + b
+        assert c.coefficient(1) == 1.0
+        assert c.coefficient(2) == 5.0
+        assert c.coefficient(3) == 4.0
+
+    def test_add_cancels(self):
+        a = FormalSum({1: 1.0})
+        b = FormalSum({1: -1.0})
+        assert (a + b).is_zero()
+
+    def test_scaled(self):
+        fs = FormalSum({1: 2.0}).scaled(3.0)
+        assert fs.coefficient(1) == 6.0
+
+    def test_scaled_by_zero_is_zero(self):
+        assert FormalSum({1: 2.0}).scaled(0.0).is_zero()
+
+    def test_accumulate(self):
+        total = FormalSum.accumulate(
+            [FormalSum.of(1, 1.0), FormalSum.of(1, 2.0), FormalSum.of(2, 1.0)]
+        )
+        assert total.coefficient(1) == 3.0
+        assert total.coefficient(2) == 1.0
+
+    def test_remapped_merges_renamed_children(self):
+        fs = FormalSum({1: 1.0, 2: 2.0})
+        out = fs.remapped({2: 1})
+        assert out.children() == (1,)
+        assert out.coefficient(1) == 3.0
+
+    def test_remapped_identity_for_unmapped(self):
+        fs = FormalSum({7: 1.5})
+        assert fs.remapped({}) == fs
+
+
+class TestEquality:
+    def test_structural_equality(self):
+        assert FormalSum({1: 1.0, 2: 2.0}) == FormalSum({2: 2.0, 1: 1.0})
+
+    def test_hashable_and_consistent(self):
+        a = FormalSum({1: 1.0})
+        b = FormalSum({1: 1.0})
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_quantized_tolerance(self):
+        noisy = sum([0.1] * 10)  # 0.9999999999999999
+        assert FormalSum({1: noisy}) == FormalSum({1: 1.0})
+
+    def test_distinct_coefficients_differ(self):
+        assert FormalSum({1: 1.0}) != FormalSum({1: 1.5})
+
+    def test_signature_sorted(self):
+        fs = FormalSum({3: 1.0, 1: 2.0})
+        assert fs.signature == ((1, 2.0), (3, 1.0))
+
+    def test_repr(self):
+        assert "R1" in repr(FormalSum.of(1, 2.0))
+        assert repr(FormalSum.zero()) == "FormalSum(0)"

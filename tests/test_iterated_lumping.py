@@ -1,0 +1,106 @@
+"""Tests for the iterated compositional lumping extension.
+
+The paper notes (Section 4) that its local condition is only sufficient,
+partly because "R_ni = R_ni' <=> ni = ni' does not necessarily hold for an
+arbitrary MD" — two distinct nodes may represent equal matrices, hiding a
+symmetry from the formal-sum key.  Iterating lumping passes with
+canonicalization between them recovers some of those cases.
+"""
+
+import numpy as np
+
+from repro.lumping import MDModel, compositional_lump
+from repro.lumping.verify import verify_compositional_result
+from repro.markov import CTMC, steady_state
+from repro.matrixdiagram import (
+    FormalSum,
+    MatrixDiagram,
+    MDNode,
+    flatten,
+)
+
+
+def blocked_md() -> MatrixDiagram:
+    """A 3-level MD where level 2's symmetry is hidden behind two nodes
+    that represent the same matrix with different structure (2*C vs 1*D
+    with D = 2C), so the single-pass formal key cannot lump level 2."""
+    c = MDNode(3, {(0, 0): 1.0, (0, 1): 2.0, (1, 0): 0.5}, terminal=True)
+    d = MDNode(3, {(0, 0): 2.0, (0, 1): 4.0, (1, 0): 1.0}, terminal=True)
+    # Level 2: states 0 and 1 behave identically *semantically*: row 0
+    # references only node 4 (2*C per entry), row 1 only node 5 (1*D per
+    # entry), and 2*C == 1*D as matrices — but the formal sums differ.
+    mid = MDNode(
+        2,
+        {
+            (0, 0): FormalSum.of(4, 2.0),
+            (0, 1): FormalSum.of(4, 2.0),
+            (1, 0): FormalSum.of(5, 1.0),
+            (1, 1): FormalSum.of(5, 1.0),
+        },
+        terminal=False,
+    )
+    root = MDNode(1, {(0, 0): FormalSum.of(2, 1.0)}, terminal=False)
+    return MatrixDiagram((1, 2, 2), {1: root, 2: mid, 4: c, 5: d}, root=1)
+
+
+class TestIteratedLumping:
+    def test_single_pass_blocked_by_distinct_equal_nodes(self):
+        model = MDModel(blocked_md())
+        once = compositional_lump(model, "ordinary")
+        # The formal key sees {4: 2.0} != {5: 1.0} and cannot lump level 2.
+        assert once.lumped.md.level_size(2) == 2
+
+    def test_iteration_recovers_hidden_symmetry(self):
+        model = MDModel(blocked_md())
+        iterated = compositional_lump(model, "ordinary", iterate=True)
+        assert iterated.lumped.md.level_size(2) == 1
+        assert verify_compositional_result(iterated)
+
+    def test_iterated_preserves_stationary_aggregation(self):
+        md = blocked_md()
+        # Make the flat chain irreducible by a small uniform background.
+        flat = flatten(md).toarray()
+        flat += 0.01 * (np.ones_like(flat) - np.eye(flat.shape[0]))
+        # Instead of perturbing (which would break MD equality), check the
+        # projection property on the original reducible chain's matrix
+        # directly: lumped flat equals aggregate of original flat.
+        result = compositional_lump(MDModel(md), "ordinary", iterate=True)
+        original = flatten(md).toarray()
+        lumped = flatten(result.lumped.md).toarray()
+        projection = result.projection_vector()
+        k = result.lumped.md.potential_size()
+        aggregated = np.zeros((original.shape[0], k))
+        for col in range(original.shape[1]):
+            aggregated[:, projection[col]] += original[:, col]
+        for row in range(original.shape[0]):
+            assert np.allclose(aggregated[row], lumped[projection[row]])
+
+    def test_iteration_noop_when_single_pass_suffices(self, three_level_model):
+        once = compositional_lump(three_level_model, "ordinary")
+        iterated = compositional_lump(
+            three_level_model, "ordinary", iterate=True
+        )
+        assert (
+            iterated.lumped.md.level_sizes == once.lumped.md.level_sizes
+        )
+        for p_once, p_iter in zip(once.partitions, iterated.partitions):
+            assert p_once == p_iter
+
+    def test_iterated_on_tandem_matches_single_pass(self, small_tandem):
+        # The tandem has no hidden equal-node pairs: iteration terminates
+        # after one productive pass with the same result.
+        once = compositional_lump(small_tandem["model"], "ordinary")
+        iterated = compositional_lump(
+            small_tandem["model"], "ordinary", iterate=True
+        )
+        assert (
+            iterated.lumped.md.level_sizes == once.lumped.md.level_sizes
+        )
+
+    def test_composed_partitions_cover_original_sizes(self):
+        model = MDModel(blocked_md())
+        iterated = compositional_lump(model, "ordinary", iterate=True)
+        for partition, size in zip(
+            iterated.partitions, model.md.level_sizes
+        ):
+            assert partition.n == size

@@ -1,0 +1,137 @@
+"""Tests for the MD-local machinery: key functions, initial partitions and
+comp_lumping_level (Figure 3a), checked against Definition 3 semantics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LumpingError
+from repro.lumping import (
+    MDModel,
+    comp_lumping_level,
+    initial_partition_exact,
+    initial_partition_ordinary,
+)
+from repro.lumping.verify import check_local_exact, check_local_ordinary
+from repro.matrixdiagram import md_from_kronecker_terms
+from repro.partitions import Partition
+
+
+def symmetric_md():
+    """3-level MD whose middle level has the symmetry {0,1} (not 2)."""
+    rng = np.random.default_rng(8)
+    a1 = rng.random((2, 2))
+    a3 = rng.random((3, 3))
+    # States 0 and 1 symmetric: equal row sums into {0,1} and into {2}.
+    w2 = np.array(
+        [
+            [0.0, 2.0, 1.0],
+            [2.0, 0.0, 1.0],
+            [3.0, 3.0, 0.5],
+        ]
+    )
+    return md_from_kronecker_terms([(1.0, [a1, w2, a3])], (2, 3, 3))
+
+
+class TestInitialPartitions:
+    def test_ordinary_groups_by_reward(self, three_level_md):
+        model = MDModel(
+            three_level_md, level_rewards=[[0, 0], [1.0, 2.0, 1.0], [0, 0, 0, 0]]
+        )
+        partition = initial_partition_ordinary(model, 2)
+        assert partition.canonical() == ((0, 2), (1,))
+
+    def test_ordinary_trivial_when_rewards_constant(self, three_level_md):
+        model = MDModel(three_level_md)
+        assert len(initial_partition_ordinary(model, 2)) == 1
+
+    def test_exact_includes_row_sum_condition(self):
+        md = symmetric_md()
+        model = MDModel(md)
+        partition = initial_partition_exact(model, 2)
+        # Row sums: rows 0,1 have total 3, row 2 has 6.5 -> split off.
+        assert not partition.same_block(0, 2)
+        assert partition.same_block(0, 1)
+
+    def test_exact_includes_initial_factor(self):
+        md = symmetric_md()
+        model = MDModel(
+            md, level_initial=[[1, 1], [0.5, 0.2, 0.3], [1, 1, 1]]
+        )
+        partition = initial_partition_exact(model, 2)
+        assert partition.is_discrete() or not partition.same_block(0, 1)
+
+
+class TestCompLumpingLevel:
+    def test_finds_symmetry(self):
+        md = symmetric_md()
+        partition = comp_lumping_level(md, 2, Partition.trivial(3))
+        assert partition.canonical() == ((0, 1), (2,))
+        assert check_local_ordinary(md, 2, partition)
+
+    def test_exact_kind(self):
+        md = symmetric_md()
+        # Columns into {0,1} from class members: w2 is symmetric enough.
+        partition = comp_lumping_level(
+            md, 2, Partition.trivial(3), kind="exact"
+        )
+        assert check_local_exact(md, 2, partition)
+
+    def test_result_refines_initial(self):
+        md = symmetric_md()
+        initial = Partition(3, [[0], [1, 2]])
+        partition = comp_lumping_level(md, 2, initial)
+        assert partition.refines(initial)
+
+    def test_matrix_key_agrees_with_formal_key(self, three_level_md):
+        for kind in ("ordinary", "exact"):
+            formal = comp_lumping_level(
+                three_level_md, 2, Partition.trivial(3), kind=kind, key="formal"
+            )
+            concrete = comp_lumping_level(
+                three_level_md, 2, Partition.trivial(3), kind=kind, key="matrix"
+            )
+            # The formal key is only sufficient: it refines the concrete
+            # (necessary-and-sufficient on represented matrices) result.
+            assert formal.refines(concrete)
+
+    def test_identity_level_lumps_fully(self):
+        # A level carrying only identity behaviour lumps to one class.
+        md = md_from_kronecker_terms(
+            [(2.0, [np.array([[0.0, 1.0], [1.0, 0.0]]), np.eye(4)])], (2, 4)
+        )
+        partition = comp_lumping_level(md, 2, Partition.trivial(4))
+        assert len(partition) == 1
+
+    def test_asymmetric_level_stays_discrete(self):
+        rng = np.random.default_rng(3)
+        md = md_from_kronecker_terms(
+            [(1.0, [np.eye(2), rng.random((4, 4))])], (2, 4)
+        )
+        partition = comp_lumping_level(md, 2, Partition.trivial(4))
+        assert partition.is_discrete()
+
+    def test_bad_kind_and_key(self, three_level_md):
+        with pytest.raises(LumpingError):
+            comp_lumping_level(
+                three_level_md, 2, Partition.trivial(3), kind="weird"
+            )
+        with pytest.raises(LumpingError):
+            comp_lumping_level(
+                three_level_md, 2, Partition.trivial(3), key="weird"
+            )
+
+    def test_partition_size_checked(self, three_level_md):
+        with pytest.raises(LumpingError):
+            comp_lumping_level(three_level_md, 2, Partition.trivial(7))
+
+    def test_multi_node_fixed_point(self, small_tandem):
+        # The tandem's level 3 has several nodes; the fixed point must be
+        # stable for every node simultaneously.
+        md = small_tandem["model"].md
+        partition = comp_lumping_level(
+            md, 3, Partition.trivial(md.level_size(3))
+        )
+        for _again in range(2):
+            stable = comp_lumping_level(md, 3, partition)
+            assert stable == partition
+        assert check_local_ordinary(md, 3, partition)

@@ -1,0 +1,116 @@
+"""Tests for MDNode."""
+
+import pytest
+
+from repro.errors import MatrixDiagramError
+from repro.matrixdiagram import FormalSum, MDNode
+
+
+def inner_node() -> MDNode:
+    return MDNode(
+        1,
+        {
+            (0, 0): FormalSum.of(10, 2.0),
+            (0, 1): FormalSum({10: 1.0, 11: 3.0}),
+            (2, 1): FormalSum.of(11, 4.0),
+        },
+        terminal=False,
+    )
+
+
+def terminal_node() -> MDNode:
+    return MDNode(2, {(0, 1): 1.5, (1, 0): 2.5, (1, 1): 0.5}, terminal=True)
+
+
+class TestConstruction:
+    def test_zero_entries_dropped(self):
+        node = MDNode(1, {(0, 0): FormalSum.zero()}, terminal=False)
+        assert node.num_entries == 0
+        node = MDNode(1, {(0, 0): 0.0}, terminal=True)
+        assert node.num_entries == 0
+
+    def test_terminal_rejects_formal_sums(self):
+        with pytest.raises(MatrixDiagramError):
+            MDNode(1, {(0, 0): FormalSum.of(1)}, terminal=True)
+
+    def test_inner_rejects_floats(self):
+        with pytest.raises(MatrixDiagramError):
+            MDNode(1, {(0, 0): 1.0}, terminal=False)
+
+    def test_negative_substate_rejected(self):
+        with pytest.raises(MatrixDiagramError):
+            MDNode(1, {(-1, 0): 1.0}, terminal=True)
+
+    def test_invalid_level_rejected(self):
+        with pytest.raises(MatrixDiagramError):
+            MDNode(0, {}, terminal=True)
+
+
+class TestAccessors:
+    def test_entry_lookup_and_default(self):
+        node = terminal_node()
+        assert node.entry(0, 1) == 1.5
+        assert node.entry(5, 5) == 0.0
+        inner = inner_node()
+        assert inner.entry(9, 9) == FormalSum.zero()
+
+    def test_supports(self):
+        node = inner_node()
+        assert node.row_support() == (0, 2)
+        assert node.col_support() == (0, 1)
+
+    def test_max_substate(self):
+        assert inner_node().max_substate() == 2
+        assert MDNode(1, {}, terminal=True).max_substate() == -1
+
+    def test_children_sorted_unique(self):
+        assert inner_node().children() == (10, 11)
+        assert terminal_node().children() == ()
+
+
+class TestAggregation:
+    def test_row_sum_over_formal(self):
+        node = inner_node()
+        total = node.row_sum_over(0, (0, 1))
+        assert total.coefficient(10) == 3.0
+        assert total.coefficient(11) == 3.0
+
+    def test_row_sum_over_subset(self):
+        node = inner_node()
+        assert node.row_sum_over(0, (0,)) == FormalSum.of(10, 2.0)
+
+    def test_row_sum_terminal(self):
+        assert terminal_node().row_sum_over(1, (0, 1)) == 3.0
+
+    def test_col_sum_over(self):
+        node = inner_node()
+        total = node.col_sum_over((0, 2), 1)
+        assert total.coefficient(10) == 1.0
+        assert total.coefficient(11) == 7.0
+
+    def test_col_sum_terminal(self):
+        assert terminal_node().col_sum_over((0, 1), 1) == 2.0
+
+    def test_empty_sum(self):
+        assert inner_node().row_sum_over(0, ()).is_zero()
+
+
+class TestStructure:
+    def test_structure_key_equality(self):
+        assert inner_node().structure_key() == inner_node().structure_key()
+
+    def test_structure_key_differs_by_level(self):
+        a = MDNode(1, {(0, 0): 1.0}, terminal=True)
+        b = MDNode(2, {(0, 0): 1.0}, terminal=True)
+        assert a.structure_key() != b.structure_key()
+
+    def test_remapped_children(self):
+        node = inner_node()
+        remapped = node.remapped_children({10: 20, 11: 21})
+        assert remapped.children() == (20, 21)
+        # Structure preserved up to renaming.
+        assert remapped.entry(0, 0) == FormalSum.of(20, 2.0)
+
+    def test_remapped_terminal_noop(self):
+        node = terminal_node()
+        assert node.remapped_children({1: 2}).structure_key() == node.structure_key()

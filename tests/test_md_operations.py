@@ -1,0 +1,197 @@
+"""Tests for MD operations: flatten, level merging, equality, multiply,
+canonicalization and stats."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MatrixDiagramError
+from repro.matrixdiagram import (
+    MDOperator,
+    canonicalize,
+    flatten,
+    md_equal,
+    md_from_kronecker_terms,
+    md_stats,
+    md_vector_multiply,
+    merge_bottom_up,
+    merge_top_down,
+    to_dot,
+)
+from repro.matrixdiagram.operations import (
+    add_artificial_bottom,
+    add_artificial_top,
+    to_three_level,
+)
+
+
+@pytest.fixture()
+def kron_md():
+    rng = np.random.default_rng(11)
+    matrices = {}
+    matrices["a"] = [rng.random((2, 2)), rng.random((3, 3)), rng.random((2, 2))]
+    matrices["b"] = [rng.random((2, 2)), np.eye(3), rng.random((2, 2))]
+    md = md_from_kronecker_terms(
+        [(1.5, matrices["a"]), (0.25, matrices["b"])], (2, 3, 2)
+    )
+    reference = 1.5 * np.kron(
+        np.kron(matrices["a"][0], matrices["a"][1]), matrices["a"][2]
+    ) + 0.25 * np.kron(
+        np.kron(matrices["b"][0], matrices["b"][1]), matrices["b"][2]
+    )
+    return md, reference
+
+
+class TestFlatten:
+    def test_flatten_matches_kronecker(self, kron_md):
+        md, reference = kron_md
+        assert np.abs(flatten(md).toarray() - reference).max() < 1e-12
+
+    def test_md_equal_true(self, kron_md):
+        md, _ = kron_md
+        assert md_equal(md, md.quasi_reduce())
+
+    def test_md_equal_false(self, kron_md):
+        md, _ = kron_md
+        other = md_from_kronecker_terms(
+            [(1.0, [np.eye(2), np.eye(3), np.eye(2)])], (2, 3, 2)
+        )
+        assert not md_equal(md, other)
+
+    def test_md_equal_different_potential(self):
+        a = md_from_kronecker_terms([(1.0, [np.eye(2)])], (2,))
+        b = md_from_kronecker_terms([(1.0, [np.eye(3)])], (3,))
+        assert not md_equal(a, b)
+
+
+class TestMerging:
+    def test_merge_bottom_up_preserves_matrix(self, kron_md):
+        md, reference = kron_md
+        for level in (1, 2, 3):
+            merged = merge_bottom_up(md, level)
+            assert merged.num_levels == level
+            assert np.abs(flatten(merged).toarray() - reference).max() < 1e-12
+
+    def test_merge_top_down_preserves_matrix(self, kron_md):
+        md, reference = kron_md
+        for level in (1, 2):
+            merged = merge_top_down(md, level)
+            assert np.abs(flatten(merged).toarray() - reference).max() < 1e-12
+
+    def test_merge_top_down_level_count(self, kron_md):
+        md, _ = kron_md
+        assert merge_top_down(md, 2).num_levels == 2
+
+    def test_merge_top_down_rejects_last_level(self, kron_md):
+        md, _ = kron_md
+        with pytest.raises(MatrixDiagramError):
+            merge_top_down(md, 3)
+
+    def test_artificial_top(self, kron_md):
+        md, reference = kron_md
+        extended = add_artificial_top(md)
+        assert extended.num_levels == 4
+        assert extended.level_sizes[0] == 1
+        assert np.abs(flatten(extended).toarray() - reference).max() < 1e-12
+
+    def test_artificial_bottom(self, kron_md):
+        md, reference = kron_md
+        extended = add_artificial_bottom(md)
+        assert extended.num_levels == 4
+        assert extended.level_sizes[-1] == 1
+        assert np.abs(flatten(extended).toarray() - reference).max() < 1e-12
+
+    @pytest.mark.parametrize("focus", [1, 2, 3])
+    def test_to_three_level(self, kron_md, focus):
+        md, reference = kron_md
+        three = to_three_level(md, focus)
+        assert three.num_levels == 3
+        assert np.abs(flatten(three).toarray() - reference).max() < 1e-12
+
+    def test_to_three_level_single_level_md(self):
+        md = md_from_kronecker_terms([(2.0, [np.eye(2)])], (2,))
+        three = to_three_level(md, 1)
+        assert three.num_levels == 3
+        assert np.abs(flatten(three).toarray() - 2 * np.eye(2)).max() < 1e-12
+
+
+class TestMultiply:
+    def test_left_and_right_products(self, kron_md):
+        md, reference = kron_md
+        x = np.random.default_rng(0).random(12)
+        assert np.abs(md_vector_multiply(md, x, "left") - x @ reference).max() < 1e-12
+        assert np.abs(md_vector_multiply(md, x, "right") - reference @ x).max() < 1e-12
+
+    def test_operator_row_sums(self, kron_md):
+        md, reference = kron_md
+        op = MDOperator(md)
+        assert np.abs(op.row_sums() - reference.sum(axis=1)).max() < 1e-12
+
+    def test_wrong_vector_shape(self, kron_md):
+        md, _ = kron_md
+        with pytest.raises(MatrixDiagramError):
+            md_vector_multiply(md, np.zeros(5))
+
+    def test_bad_side(self, kron_md):
+        md, _ = kron_md
+        with pytest.raises(MatrixDiagramError):
+            md_vector_multiply(md, np.zeros(12), side="up")
+
+    def test_single_level_multiply(self):
+        matrix = np.array([[0.0, 2.0], [1.0, 0.0]])
+        md = md_from_kronecker_terms([(1.0, [matrix])], (2,))
+        x = np.array([1.0, 3.0])
+        assert np.array_equal(md_vector_multiply(md, x), x @ matrix)
+
+    def test_steady_state_power_matches_direct(self):
+        # A small irreducible Kronecker chain: independent 2-state flips.
+        flip = np.array([[0.0, 1.0], [2.0, 0.0]])
+        md = md_from_kronecker_terms(
+            [(1.0, [flip, np.eye(2)]), (1.0, [np.eye(2), flip])], (2, 2)
+        )
+        op = MDOperator(md)
+        pi = op.steady_state_power(np.full(4, 0.25), tol=1e-13)
+        # Product-form stationary: each component independently (2/3, 1/3).
+        expected = np.kron([2 / 3, 1 / 3], [2 / 3, 1 / 3])
+        assert np.abs(pi - expected).max() < 1e-9
+
+
+class TestCanonical:
+    def test_scalar_multiples_shared(self):
+        a = np.array([[0.0, 1.0], [1.0, 0.0]])
+        md = md_from_kronecker_terms(
+            [(1.0, [np.eye(2), a]), (1.0, [np.eye(2) * 0.5, a * 2.0])],
+            (2, 2),
+        )
+        # a and 2a are distinct terminal nodes before canonicalization.
+        before = md.num_nodes
+        canonical = canonicalize(md)
+        assert canonical.num_nodes < before
+        assert md_equal(md, canonical)
+
+    def test_canonical_preserves_semantics(self, kron_md):
+        md, reference = kron_md
+        canonical = canonicalize(md)
+        assert np.abs(flatten(canonical).toarray() - reference).max() < 1e-12
+
+
+class TestStats:
+    def test_counts(self, kron_md):
+        md, _ = kron_md
+        stats = md_stats(md)
+        assert stats.num_levels == 3
+        assert stats.nodes_per_level[0] == 1
+        assert stats.num_nodes == md.num_nodes
+        assert stats.memory_bytes > 0
+        assert stats.potential_size == 12
+        assert len(stats.per_level_memory) == 3
+        assert sum(stats.per_level_memory) == stats.memory_bytes
+
+    def test_summary_mentions_sizes(self, kron_md):
+        md, _ = kron_md
+        assert "L=3" in md_stats(md).summary()
+
+    def test_to_dot_renders(self, kron_md):
+        md, _ = kron_md
+        dot = to_dot(md)
+        assert dot.startswith("digraph")
+        assert "->" in dot

@@ -1,0 +1,73 @@
+"""Miscellaneous edge-case coverage across small utilities."""
+
+import numpy as np
+import pytest
+
+from repro.markov import CTMC
+from repro.markov.dtmc import DTMC
+from repro.matrixdiagram import md_from_kronecker_terms, to_dot
+from repro.partitions import Partition
+
+
+class TestPartitionEdges:
+    def test_refine_within_empty_states(self):
+        partition = Partition(4, [[0, 1], [2, 3]])
+        created = partition.refine_within(lambda s: s, [])
+        assert created == []
+        assert len(partition) == 2
+
+    def test_split_block_singleton_never_splits(self):
+        partition = Partition.discrete(3)
+        for block_id in partition.block_ids():
+            assert partition.split_block(block_id, lambda s: s) == []
+
+    def test_block_ids_stable_across_unrelated_splits(self):
+        partition = Partition(6, [[0, 1, 2], [3, 4, 5]])
+        first_block = partition.block_of(0)
+        partition.split_block(partition.block_of(3), lambda s: s)
+        assert partition.block_of(0) == first_block
+
+
+class TestCTMCEdges:
+    def test_from_dict_empty(self):
+        chain = CTMC.from_dict({})
+        assert chain.num_states == 0
+
+    def test_from_dict_infers_size(self):
+        chain = CTMC.from_dict({(0, 4): 1.0})
+        assert chain.num_states == 5
+
+    def test_zero_state_chain_operations(self):
+        chain = CTMC(np.zeros((0, 0)))
+        assert chain.exit_rates().shape == (0,)
+        assert chain.generator_matrix().shape == (0, 0)
+
+
+class TestDTMCSteps:
+    def test_multi_step_matches_matrix_power(self):
+        rng = np.random.default_rng(9)
+        raw = rng.random((4, 4))
+        matrix = raw / raw.sum(axis=1, keepdims=True)
+        chain = DTMC(matrix)
+        pi0 = np.array([1.0, 0, 0, 0])
+        stepped = chain.step(pi0, steps=5)
+        expected = pi0 @ np.linalg.matrix_power(matrix, 5)
+        assert np.abs(stepped - expected).max() < 1e-12
+
+    def test_zero_steps_identity(self):
+        chain = DTMC(np.eye(3))
+        pi0 = np.array([0.2, 0.3, 0.5])
+        assert np.array_equal(chain.step(pi0, steps=0), pi0)
+
+
+class TestDotExport:
+    def test_max_entries_truncation(self):
+        dense = np.arange(1, 26, dtype=float).reshape(5, 5)
+        md = md_from_kronecker_terms([(1.0, [dense])], (5,))
+        dot = to_dot(md, max_entries=3)
+        assert "..." in dot
+
+    def test_small_node_not_truncated(self):
+        md = md_from_kronecker_terms([(1.0, [np.eye(2)])], (2,))
+        dot = to_dot(md, max_entries=10)
+        assert "..." not in dot

@@ -1,0 +1,171 @@
+"""Behavioral tests of the tandem submodels' activity semantics (Figures
+4 and 5), exercised directly on markings."""
+
+import pytest
+
+from repro.models.hypercube import build_hypercube, neighbors
+from repro.models.msmq import build_msmq
+
+
+@pytest.fixture()
+def hypercube():
+    return build_hypercube(2, cube_dim=2)
+
+
+@pytest.fixture()
+def msmq():
+    return build_msmq(2, num_servers=2, num_queues=2)
+
+
+def activity(model, name):
+    for candidate in model.activities:
+        if candidate.name == name:
+            return candidate
+    raise AssertionError(f"no activity {name!r}")
+
+
+class TestHypercubeBehavior:
+    def base_marking(self, model):
+        marking = model.initial_marking()
+        return marking
+
+    def test_dispatch_disabled_on_empty_pool(self, hypercube):
+        marking = self.base_marking(hypercube)
+        assert activity(hypercube, "dispatch").rate_in(marking) == 0.0
+
+    def test_dispatch_favors_shorter_queue(self, hypercube):
+        marking = self.base_marking(hypercube)
+        marking["pool_hyper"] = 1
+        marking["q0"] = 1  # A busier than A' (= q3 for cube_dim 2)
+        dispatch = activity(hypercube, "dispatch")
+        to_a, to_a_prime = dispatch.cases
+        assert to_a.probability_in(marking) < to_a_prime.probability_in(
+            marking
+        )
+        assert to_a.probability_in(marking) + to_a_prime.probability_in(
+            marking
+        ) == pytest.approx(1.0)
+
+    def test_dispatch_moves_job(self, hypercube):
+        marking = self.base_marking(hypercube)
+        marking["pool_hyper"] = 1
+        updated = activity(hypercube, "dispatch").cases[0].update(marking)
+        assert updated["pool_hyper"] == 0
+        assert updated["q0"] == 1
+
+    def test_service_requires_up_server_and_job(self, hypercube):
+        marking = self.base_marking(hypercube)
+        serve = activity(hypercube, "serve0")
+        assert serve.rate_in(marking) == 0.0  # no job
+        marking["q0"] = 1
+        assert serve.rate_in(marking) > 0.0
+        marking["f0"] = 1  # failed
+        assert serve.rate_in(marking) == 0.0
+
+    def test_service_outputs_to_msmq_pool(self, hypercube):
+        marking = self.base_marking(hypercube)
+        marking["q0"] = 1
+        marking["pool_msmq"] = 0
+        updated = activity(hypercube, "serve0").cases[0].update(marking)
+        assert updated["pool_msmq"] == 1
+        assert updated["q0"] == 0
+
+    def test_repair_rate_splits_across_failed(self, hypercube):
+        marking = self.base_marking(hypercube)
+        marking["f0"] = 1
+        single = activity(hypercube, "repair0").rate_in(marking)
+        marking["f1"] = 1
+        shared = activity(hypercube, "repair0").rate_in(marking)
+        assert shared == pytest.approx(single / 2)
+
+    def test_balance_needs_excess_greater_than_one(self, hypercube):
+        marking = self.base_marking(hypercube)
+        balance = activity(hypercube, "balance0")
+        marking["q0"] = 1
+        assert balance.rate_in(marking) == 0.0  # diff of 1 is fine
+        marking["q0"] = 2
+        assert balance.rate_in(marking) > 0.0
+
+    def test_balance_targets_underloaded_neighbor(self, hypercube):
+        marking = self.base_marking(hypercube)
+        marking["q0"] = 2
+        balance = activity(hypercube, "balance0")
+        total = sum(
+            case.probability_in(marking) for case in balance.cases
+        )
+        assert total == pytest.approx(1.0)
+        for case, neighbor in zip(balance.cases, neighbors(0, 2)):
+            updated = case.update(marking)
+            assert updated["q0"] == 1
+            assert updated[f"q{neighbor}"] == 1
+
+    def test_transfer_only_from_failed_with_up_neighbor(self, hypercube):
+        marking = self.base_marking(hypercube)
+        transfer = activity(hypercube, "transfer0")
+        marking["q0"] = 1
+        assert transfer.rate_in(marking) == 0.0  # up server keeps jobs
+        marking["f0"] = 1
+        assert transfer.rate_in(marking) > 0.0
+        for neighbor in neighbors(0, 2):
+            marking[f"f{neighbor}"] = 1
+        assert transfer.rate_in(marking) == 0.0  # nowhere to send
+
+    def test_transfer_uniform_over_up_neighbors(self, hypercube):
+        marking = self.base_marking(hypercube)
+        marking["f0"] = 1
+        marking["q0"] = 1
+        transfer = activity(hypercube, "transfer0")
+        probabilities = [
+            case.probability_in(marking) for case in transfer.cases
+        ]
+        assert probabilities == pytest.approx([0.5, 0.5])
+
+
+class TestMSMQBehavior:
+    def test_walk_polls_and_grabs_job(self, msmq):
+        marking = msmq.initial_marking()
+        # Server 0 starts at queue 0; queue 1 has a waiting job.
+        marking["w1"] = 1
+        updated = activity(msmq, "walk0").cases[0].update(marking)
+        assert updated["pos0"] == 1
+        assert updated["mode0"] == 1
+        assert updated["w1"] == 0
+
+    def test_walk_keeps_walking_past_empty_queue(self, msmq):
+        marking = msmq.initial_marking()
+        updated = activity(msmq, "walk0").cases[0].update(marking)
+        assert updated["pos0"] == 1
+        assert updated["mode0"] == 0
+
+    def test_walk_wraps_around(self, msmq):
+        marking = msmq.initial_marking()
+        marking["pos0"] = 1  # last queue in a 2-queue system
+        updated = activity(msmq, "walk0").cases[0].update(marking)
+        assert updated["pos0"] == 0
+
+    def test_walk_disabled_while_serving(self, msmq):
+        marking = msmq.initial_marking()
+        marking["mode0"] = 1
+        assert activity(msmq, "walk0").rate_in(marking) == 0.0
+
+    def test_serve_completes_to_pool(self, msmq):
+        marking = msmq.initial_marking()
+        marking["mode0"] = 1
+        serve = activity(msmq, "serve0")
+        assert serve.rate_in(marking) > 0
+        updated = serve.cases[0].update(marking)
+        assert updated["mode0"] == 0
+        assert updated["pool_hyper"] == 1
+
+    def test_dispatch_uniform_over_queues(self, msmq):
+        marking = msmq.initial_marking()
+        dispatch = activity(msmq, "dispatch")
+        assert marking["pool_msmq"] == 2
+        assert dispatch.rate_in(marking) > 0
+        probabilities = [
+            case.probability_in(marking) for case in dispatch.cases
+        ]
+        assert probabilities == pytest.approx([0.5, 0.5])
+        updated = dispatch.cases[1].update(marking)
+        assert updated["w1"] == 1
+        assert updated["pool_msmq"] == 1

@@ -1,0 +1,185 @@
+"""Tests for the example models: structure, invariants, lumpability."""
+
+import numpy as np
+import pytest
+
+from repro.lumping import compositional_lump
+from repro.markov import steady_state
+from repro.models import (
+    TandemParams,
+    build_hypercube,
+    build_msmq,
+    build_tandem,
+    redundant_units_join,
+    tandem_md_model,
+)
+from repro.models.hypercube import down_count, neighbors, queued_jobs
+from repro.models.tandem import projected_event_model
+from repro.san import compile_join
+from repro.statespace import reachable_bfs
+
+
+class TestHypercubeStructure:
+    def test_neighbors_of_cube(self):
+        assert sorted(neighbors(0, 3)) == [1, 2, 4]
+        assert sorted(neighbors(7, 3)) == [3, 5, 6]
+
+    def test_neighbor_relation_symmetric(self):
+        for v in range(8):
+            for u in neighbors(v, 3):
+                assert v in neighbors(u, 3)
+
+    def test_label_helpers(self):
+        # label layout: (q0, f0, q1, f1, ...)
+        label = (2, 1, 0, 0, 1, 1, 0, 0)
+        assert down_count(label, 2) == 2
+        assert queued_jobs(label, 2) == 3
+
+    def test_model_places(self):
+        model = build_hypercube(2, cube_dim=2)
+        names = model.place_names()
+        assert "pool_hyper" in names and "pool_msmq" in names
+        assert "q3" in names and "f3" in names
+        assert "q4" not in names
+
+    def test_per_server_rates_used(self):
+        model = build_hypercube(1, cube_dim=2, service_rates=[1.0, 2.0, 3.0, 4.0])
+        serve2 = [a for a in model.activities if a.name == "serve2"][0]
+        marking = model.initial_marking()
+        marking["q2"] = 1
+        assert serve2.rate_in(marking) == 3.0
+
+    def test_per_server_rates_length_checked(self):
+        from repro.errors import ModelError
+
+        with pytest.raises(ModelError):
+            build_hypercube(1, cube_dim=2, service_rates=[1.0, 2.0])
+
+
+class TestMSMQStructure:
+    def test_model_places(self):
+        model = build_msmq(2, num_servers=2, num_queues=3)
+        names = model.place_names()
+        assert "w2" in names and "w3" not in names
+        assert "pos1" in names and "mode1" in names
+
+    def test_invariant_bounds_jobs(self):
+        model = build_msmq(1, num_servers=2, num_queues=2)
+        ok = {"w0": 1, "w1": 0, "mode0": 0, "mode1": 0}
+        too_many = {"w0": 1, "w1": 0, "mode0": 1, "mode1": 0}
+        assert model.local_invariant(ok)
+        assert not model.local_invariant(too_many)
+
+
+class TestTandem:
+    def test_job_conservation(self, small_tandem):
+        compiled = small_tandem["compiled"]
+        reach = small_tandem["reach"]
+        params = small_tandem["params"]
+        model = small_tandem["event_model"]
+        for state in reach.states:
+            marking = compiled.marking_of_state(
+                tuple(
+                    compiled.event_model.levels[level].index(
+                        model.levels[level].label(substate)
+                    )
+                    for level, substate in enumerate(state)
+                )
+            )
+            total = marking["pool_hyper"] + marking["pool_msmq"]
+            total += sum(
+                marking[f"q{v}"] for v in range(params.num_hyper_servers())
+            )
+            total += sum(
+                marking[f"w{k}"] for k in range(params.msmq_queues)
+            )
+            total += sum(
+                marking[f"mode{i}"] for i in range(params.msmq_servers)
+            )
+            assert total == params.jobs
+
+    def test_chain_is_irreducible(self, small_tandem):
+        ctmc = small_tandem["reach"].to_ctmc()
+        assert ctmc.is_irreducible()
+
+    def test_level_order_matches_paper(self, small_tandem):
+        compiled = small_tandem["compiled"]
+        assert compiled.level_names == ["shared", "hypercube", "msmq"]
+
+    def test_lumping_factors_scale_with_symmetry(self, small_tandem):
+        # 2 MSMQ servers -> at least factor ~2 at level 3; A/A' swap plus
+        # the {1,2} corner symmetry -> >2x at level 2.
+        result = compositional_lump(small_tandem["model"], "ordinary")
+        assert result.reductions[1].factor > 2.0
+        assert result.reductions[2].factor > 2.0
+
+    def test_unavailability_reward_symmetric(self, small_tandem):
+        # The availability indicator respects the cube symmetry, so it
+        # does not reduce the lumping at all.
+        model_plain = small_tandem["model"]
+        model_reward = tandem_md_model(
+            small_tandem["event_model"],
+            small_tandem["params"],
+            reachable=small_tandem["reach"],
+            reward="unavailability",
+        )
+        plain = compositional_lump(model_plain, "ordinary")
+        with_reward = compositional_lump(model_reward, "ordinary")
+        assert (
+            with_reward.lumped.md.level_sizes == plain.lumped.md.level_sizes
+        )
+
+    def test_hyper_jobs_reward(self, small_tandem):
+        model = tandem_md_model(
+            small_tandem["event_model"],
+            small_tandem["params"],
+            reachable=small_tandem["reach"],
+            reward="hyper_jobs",
+        )
+        mrp = model.flat_mrp()
+        value = steady_state(mrp.ctmc).distribution @ mrp.rewards
+        assert 0.0 < value < small_tandem["params"].jobs + 1e-9
+
+    def test_unknown_reward_rejected(self, small_tandem):
+        with pytest.raises(ValueError):
+            tandem_md_model(
+                small_tandem["event_model"],
+                small_tandem["params"],
+                reward="profit",
+            )
+
+    def test_params_mismatch_rejected(self):
+        from repro.bench import run_table1_row
+
+        with pytest.raises(ValueError):
+            run_table1_row(2, TandemParams(jobs=1))
+
+
+class TestRedundantUnits:
+    def test_massively_lumpable(self):
+        compiled = compile_join(redundant_units_join(num_units=4, spares=1))
+        reach = reachable_bfs(compiled.event_model)
+        model_md = compiled.event_model.to_md()
+        from repro.lumping import MDModel
+
+        model = MDModel(model_md, reachable=reach.potential_indices())
+        result = compositional_lump(model, "ordinary")
+        # The unit level (level 2) lumps by failed-unit count:
+        # 2^4 = 16 bit-vectors -> 5 count classes.
+        unit_level = result.reductions[1]
+        assert unit_level.original_size == 16
+        assert unit_level.lumped_size == 5
+
+    def test_availability_preserved_under_lumping(self):
+        compiled = compile_join(redundant_units_join(num_units=3, spares=1))
+        reach = reachable_bfs(compiled.event_model)
+        ctmc = reach.to_ctmc()
+        pi = steady_state(ctmc).distribution
+        # "All units up" probability via the flat chain.
+        model = compiled.event_model
+        up_probability = 0.0
+        for probability, state in zip(pi, reach.states):
+            label = model.levels[1].label(state[1])
+            if all(bit == 1 for bit in label):
+                up_probability += probability
+        assert 0.5 < up_probability < 1.0

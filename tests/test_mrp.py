@@ -1,0 +1,96 @@
+"""Tests for MarkovRewardProcess and the random chain generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.markov import CTMC, MarkovRewardProcess
+from repro.markov.random_chains import (
+    block_constant_vector,
+    random_ctmc,
+    random_distribution,
+    random_exactly_lumpable,
+    random_ordinarily_lumpable,
+    random_partition,
+)
+from repro.lumping.verify import is_exactly_lumpable, is_ordinarily_lumpable
+
+
+def chain2() -> CTMC:
+    return CTMC.from_transitions(2, [(0, 1, 1.0), (1, 0, 1.0)])
+
+
+class TestMRP:
+    def test_defaults(self):
+        mrp = MarkovRewardProcess(chain2())
+        assert np.array_equal(mrp.rewards, [0.0, 0.0])
+        assert np.array_equal(mrp.initial_distribution, [0.5, 0.5])
+
+    def test_point_mass(self):
+        mrp = MarkovRewardProcess.point_mass(chain2(), 1)
+        assert np.array_equal(mrp.initial_distribution, [0.0, 1.0])
+
+    def test_point_mass_out_of_range(self):
+        with pytest.raises(ModelError):
+            MarkovRewardProcess.point_mass(chain2(), 5)
+
+    def test_reward_shape_checked(self):
+        with pytest.raises(ModelError):
+            MarkovRewardProcess(chain2(), rewards=[1.0])
+
+    def test_initial_must_sum_to_one(self):
+        with pytest.raises(ModelError):
+            MarkovRewardProcess(chain2(), initial_distribution=[0.3, 0.3])
+
+    def test_initial_no_negatives(self):
+        with pytest.raises(ModelError):
+            MarkovRewardProcess(chain2(), initial_distribution=[1.2, -0.2])
+
+    def test_vectors_are_copies(self):
+        rewards = np.array([1.0, 2.0])
+        mrp = MarkovRewardProcess(chain2(), rewards=rewards)
+        rewards[0] = 99.0
+        assert mrp.reward(0) == 1.0
+        out = mrp.rewards
+        out[1] = -1
+        assert mrp.reward(1) == 2.0
+
+
+class TestRandomChains:
+    def test_random_ctmc_irreducible(self):
+        chain = random_ctmc(12, seed=7)
+        assert chain.is_irreducible()
+
+    def test_random_ctmc_deterministic_by_seed(self):
+        a = random_ctmc(8, seed=3).rate_matrix
+        b = random_ctmc(8, seed=3).rate_matrix
+        assert (a != b).nnz == 0
+
+    def test_random_partition_block_count(self):
+        p = random_partition(10, 4, seed=1)
+        assert p.n == 10 and len(p) == 4
+
+    def test_random_partition_bad_args(self):
+        with pytest.raises(ValueError):
+            random_partition(3, 5)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_planted_ordinary_partition_is_lumpable(self, seed):
+        chain, partition = random_ordinarily_lumpable(20, 4, seed=seed)
+        assert is_ordinarily_lumpable(chain.rate_matrix, partition)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_planted_exact_partition_is_lumpable(self, seed):
+        chain, partition = random_exactly_lumpable(20, 4, seed=seed)
+        assert is_exactly_lumpable(chain.rate_matrix, partition)
+
+    def test_random_distribution_normalized(self):
+        pi = random_distribution(9, seed=2)
+        assert pi.sum() == pytest.approx(1.0)
+        assert (pi > 0).all()
+
+    def test_block_constant_vector(self):
+        p = random_partition(12, 3, seed=5)
+        v = block_constant_vector(p, seed=5)
+        for block in p.blocks():
+            assert len({v[s] for s in block}) == 1

@@ -1,0 +1,170 @@
+"""Tests for the Partition data structure."""
+
+import pytest
+
+from repro.errors import LumpingError
+from repro.partitions import Partition
+
+
+class TestConstruction:
+    def test_trivial_has_one_block(self):
+        p = Partition.trivial(5)
+        assert len(p) == 1
+        assert p.block(p.block_ids()[0]) == (0, 1, 2, 3, 4)
+
+    def test_discrete_has_singletons(self):
+        p = Partition.discrete(4)
+        assert len(p) == 4
+        assert all(p.size_of(b) == 1 for b in p.block_ids())
+
+    def test_explicit_blocks(self):
+        p = Partition(4, [[0, 2], [1, 3]])
+        assert p.same_block(0, 2)
+        assert p.same_block(1, 3)
+        assert not p.same_block(0, 1)
+
+    def test_from_key_groups_by_value(self):
+        p = Partition.from_key(6, lambda s: s % 3)
+        assert len(p) == 3
+        assert p.same_block(0, 3)
+        assert p.same_block(1, 4)
+
+    def test_from_labels(self):
+        p = Partition.from_labels(["a", "b", "a", "b"])
+        assert p.same_block(0, 2)
+        assert not p.same_block(0, 1)
+
+    def test_missing_state_rejected(self):
+        with pytest.raises(LumpingError):
+            Partition(4, [[0, 1], [3]])
+
+    def test_duplicate_state_rejected(self):
+        with pytest.raises(LumpingError):
+            Partition(3, [[0, 1], [1, 2]])
+
+    def test_empty_block_rejected(self):
+        with pytest.raises(LumpingError):
+            Partition(2, [[0, 1], []])
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(LumpingError):
+            Partition(-1)
+
+    def test_zero_states_allowed(self):
+        p = Partition(0)
+        assert len(p) == 0
+        assert p.n == 0
+
+
+class TestQueries:
+    def test_block_of(self):
+        p = Partition(4, [[0, 1], [2, 3]])
+        assert p.block_of(0) == p.block_of(1)
+        assert p.block_of(2) == p.block_of(3)
+        assert p.block_of(0) != p.block_of(2)
+
+    def test_representative_is_smallest(self):
+        p = Partition(5, [[4, 2, 3], [0, 1]])
+        ids = {p.block_of(2): 2, p.block_of(0): 0}
+        for block_id, expected in ids.items():
+            assert p.representative(block_id) == expected
+
+    def test_block_index_map_orders_by_min_member(self):
+        p = Partition(5, [[3, 4], [0, 1, 2]])
+        index = p.block_index_map()
+        assert index[p.block_of(0)] == 0
+        assert index[p.block_of(3)] == 1
+
+    def test_state_class_vector(self):
+        p = Partition(4, [[0, 3], [1, 2]])
+        assert p.state_class_vector() == [0, 1, 1, 0]
+
+    def test_is_discrete(self):
+        assert Partition.discrete(3).is_discrete()
+        assert not Partition.trivial(3).is_discrete()
+        assert Partition.trivial(1).is_discrete()
+
+
+class TestSplitting:
+    def test_split_by_key(self):
+        p = Partition.trivial(6)
+        created = p.split_block(p.block_ids()[0], lambda s: s % 2)
+        assert len(created) == 1
+        assert len(p) == 2
+        assert p.same_block(0, 2) and p.same_block(1, 3)
+
+    def test_split_noop_when_constant_key(self):
+        p = Partition.trivial(4)
+        created = p.split_block(p.block_ids()[0], lambda s: 1)
+        assert created == []
+        assert len(p) == 1
+
+    def test_largest_group_keeps_id(self):
+        p = Partition.trivial(5)
+        original = p.block_ids()[0]
+        p.split_block(original, lambda s: 0 if s < 3 else 1)
+        assert set(p.block(original)) == {0, 1, 2}
+
+    def test_refine_splits_every_block(self):
+        p = Partition(6, [[0, 1, 2], [3, 4, 5]])
+        p.refine(lambda s: s % 2)
+        assert len(p) == 4
+
+    def test_refine_within_only_touched_blocks(self):
+        p = Partition(6, [[0, 1, 2], [3, 4, 5]])
+        # Key varies everywhere, but only the first block is touched.
+        created = p.refine_within(lambda s: s, [0])
+        assert len(p) == 4  # first block fully split into singletons
+        assert p.same_block(3, 4)
+
+    def test_ids_never_reused(self):
+        p = Partition.trivial(4)
+        first = set(p.block_ids())
+        created = p.refine(lambda s: s)
+        assert not (set(created) & first)
+
+
+class TestStructural:
+    def test_refines(self):
+        coarse = Partition(4, [[0, 1], [2, 3]])
+        fine = Partition.discrete(4)
+        assert fine.refines(coarse)
+        assert not coarse.refines(fine)
+        assert coarse.refines(coarse)
+
+    def test_meet(self):
+        a = Partition(4, [[0, 1], [2, 3]])
+        b = Partition(4, [[0, 2], [1, 3]])
+        m = a.meet(b)
+        assert m.is_discrete()
+        assert m.refines(a) and m.refines(b)
+
+    def test_meet_with_trivial_is_identity(self):
+        a = Partition(5, [[0, 1, 2], [3, 4]])
+        assert a.meet(Partition.trivial(5)) == a
+
+    def test_equality_ignores_history(self):
+        a = Partition(4, [[0, 1], [2, 3]])
+        b = Partition.trivial(4)
+        b.refine(lambda s: s < 2)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_canonical_sorted_by_min(self):
+        p = Partition(4, [[2, 3], [0, 1]])
+        assert p.canonical() == ((0, 1), (2, 3))
+
+    def test_copy_is_independent(self):
+        p = Partition(4, [[0, 1], [2, 3]])
+        q = p.copy()
+        q.refine(lambda s: s)
+        assert len(p) == 2
+        assert len(q) == 4
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(LumpingError):
+            Partition.trivial(3).refines(Partition.trivial(4))
+
+    def test_repr_stable(self):
+        p = Partition(3, [[0, 2], [1]])
+        assert "0,2" in repr(p)

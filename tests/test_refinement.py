@@ -1,0 +1,107 @@
+"""Tests for the generic partition-refinement engine (CompLumping)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LumpingError
+from repro.lumping import comp_lumping
+from repro.lumping.keys import flat_exact_splitter, flat_ordinary_splitter
+from repro.markov import CTMC
+from repro.partitions import Partition
+
+
+def chain_matrix():
+    """A 4-state chain where {0,1} and {2,3} are ordinarily lumpable."""
+    return CTMC.from_transitions(
+        4,
+        [
+            (0, 2, 1.0),
+            (1, 2, 0.4),
+            (1, 3, 0.6),
+            (2, 0, 2.0),
+            (3, 1, 2.0),
+        ],
+    ).rate_matrix
+
+
+class TestEngine:
+    def test_reaches_fixed_point(self):
+        rate_matrix = chain_matrix()
+        result = comp_lumping(
+            4, flat_ordinary_splitter(rate_matrix), Partition.trivial(4)
+        )
+        assert result.canonical() == ((0, 1), (2, 3))
+
+    def test_strategies_agree(self):
+        rate_matrix = chain_matrix()
+        paper = comp_lumping(
+            4, flat_ordinary_splitter(rate_matrix), Partition.trivial(4),
+            strategy="paper",
+        )
+        optimized = comp_lumping(
+            4, flat_ordinary_splitter(rate_matrix), Partition.trivial(4),
+            strategy="all-but-largest",
+        )
+        assert paper == optimized
+
+    def test_unknown_strategy(self):
+        with pytest.raises(LumpingError):
+            comp_lumping(
+                2,
+                flat_ordinary_splitter(np.zeros((2, 2))),
+                Partition.trivial(2),
+                strategy="magic",
+            )
+
+    def test_initial_partition_respected(self):
+        # All rows identical -> nothing forces a split, so the initial
+        # partition is returned unchanged.
+        rate_matrix = CTMC.from_transitions(
+            3, [(i, j, 1.0) for i in range(3) for j in range(3) if i != j]
+        ).rate_matrix
+        initial = Partition(3, [[0], [1, 2]])
+        result = comp_lumping(
+            3, flat_ordinary_splitter(rate_matrix), initial
+        )
+        # Refinement may only refine, never coarsen.
+        assert result.refines(initial)
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(LumpingError):
+            comp_lumping(
+                3,
+                flat_ordinary_splitter(np.zeros((3, 3))),
+                Partition.trivial(4),
+            )
+
+    def test_discrete_initial_is_fixed_point(self):
+        rate_matrix = chain_matrix()
+        result = comp_lumping(
+            4, flat_ordinary_splitter(rate_matrix), Partition.discrete(4)
+        )
+        assert result.is_discrete()
+
+    def test_exact_splitter_on_column_structure(self):
+        # Transposed chain: {0,1} and {2,3} are exactly lumpable.
+        rate_matrix = chain_matrix().T.tocsr()
+        result = comp_lumping(
+            4, flat_exact_splitter(rate_matrix), Partition.trivial(4)
+        )
+        assert result.canonical() == ((0, 1), (2, 3))
+
+    def test_custom_key_function(self):
+        # A splitter factory ignoring the splitter: groups by parity once.
+        def factory(_members):
+            return (lambda s: s % 2), None
+
+        result = comp_lumping(6, factory, Partition.trivial(6))
+        assert len(result) == 2
+
+    def test_result_is_stable(self):
+        # Running the engine again starting from its own output changes
+        # nothing (the fixed-point property).
+        rate_matrix = chain_matrix()
+        factory = flat_ordinary_splitter(rate_matrix)
+        once = comp_lumping(4, factory, Partition.trivial(4))
+        twice = comp_lumping(4, factory, once)
+        assert once == twice

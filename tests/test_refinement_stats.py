@@ -1,0 +1,104 @@
+"""Tests for refinement work counters and related integration checks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.lumping import MDModel, compositional_lump
+from repro.lumping.keys import flat_ordinary_splitter
+from repro.lumping.refinement import RefinementStats, comp_lumping
+from repro.markov import MarkovRewardProcess
+from repro.markov.random_chains import random_ordinarily_lumpable
+from repro.matrixdiagram import MDOperator, flatten, md_from_kronecker_terms
+from repro.partitions import Partition
+
+
+class TestStats:
+    def test_counters_populated(self):
+        chain, _ = random_ordinarily_lumpable(30, 5, seed=1)
+        stats = RefinementStats()
+        partition = comp_lumping(
+            30,
+            flat_ordinary_splitter(chain.rate_matrix),
+            Partition.trivial(30),
+            stats=stats,
+        )
+        assert stats.splitters_processed >= len(partition.block_ids())
+        assert stats.blocks_created >= len(partition) - 1
+
+    def test_all_but_largest_does_less_work(self):
+        chain, _ = random_ordinarily_lumpable(200, 20, seed=2)
+        factory = flat_ordinary_splitter(chain.rate_matrix)
+        paper = RefinementStats()
+        comp_lumping(200, factory, Partition.trivial(200), "paper", paper)
+        optimized = RefinementStats()
+        comp_lumping(
+            200, factory, Partition.trivial(200), "all-but-largest", optimized
+        )
+        assert (
+            optimized.splitters_processed <= paper.splitters_processed
+        )
+
+    def test_no_stats_by_default(self):
+        chain, planted = random_ordinarily_lumpable(10, 2, seed=3)
+        partition = comp_lumping(
+            10, flat_ordinary_splitter(chain.rate_matrix), Partition.trivial(10)
+        )
+        # Still a valid result (at least as coarse as the planted one).
+        assert partition.n == 10
+        assert planted.refines(partition)
+
+
+class TestFlattenGuard:
+    def test_oversized_flatten_rejected(self):
+        md = md_from_kronecker_terms(
+            [(1.0, [np.eye(4)] * 5)], (4, 4, 4, 4, 4)
+        )
+        model = MDModel(md)
+        with pytest.raises(ModelError):
+            model.flat_ctmc(max_states=100)
+
+    def test_within_limit_allowed(self):
+        sym = np.array([[0.0, 1.0], [1.0, 0.0]])
+        md = md_from_kronecker_terms([(1.0, [sym, np.eye(2)])], (2, 2))
+        model = MDModel(md)
+        assert model.flat_ctmc(max_states=100).num_states == 4
+
+
+class TestMDTransientOnTandem:
+    def test_md_transient_matches_flat_and_lumped(self, small_tandem):
+        """Transient analysis three ways: flat unlumped, MD-product over
+        the potential space, and flat lumped — all must agree on
+        aggregated distributions."""
+        from repro.markov import transient_distribution
+
+        model = small_tandem["model"]
+        t = 0.5
+
+        # Flat unlumped (restricted space).
+        mrp = model.flat_mrp()
+        pi_flat = transient_distribution(
+            mrp.ctmc, mrp.initial_distribution, t
+        )
+
+        # MD-product over the potential space.
+        operator = MDOperator(model.md)
+        pi0_potential = np.zeros(model.potential_size())
+        reachable = model.reachable
+        pi0_potential[reachable] = mrp.initial_distribution
+        pi_md = operator.transient(pi0_potential, t)
+        assert np.abs(pi_md[reachable] - pi_flat).max() < 1e-9
+        # No probability leaks outside the reachable set.
+        assert pi_md.sum() == pytest.approx(1.0)
+        off_support = np.delete(pi_md, reachable)
+        assert off_support.max(initial=0.0) < 1e-12
+
+        # Lumped chain.
+        result = compositional_lump(model, "ordinary")
+        lumped_mrp = result.lumped.flat_mrp()
+        pi_lumped = transient_distribution(
+            lumped_mrp.ctmc, lumped_mrp.initial_distribution, t
+        )
+        assert np.abs(
+            result.project_distribution(pi_flat) - pi_lumped
+        ).max() < 1e-9

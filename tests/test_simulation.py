@@ -1,0 +1,123 @@
+"""Simulation as an independent oracle: long-run occupancies from the
+Gillespie simulator must agree with the numeric stationary solution, both
+unlumped and through the lumping pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StateSpaceError
+from repro.markov import steady_state
+from repro.models.simple import closed_tandem_join
+from repro.san import compile_join
+from repro.statespace import Event, EventModel, LevelSpace, reachable_bfs
+from repro.statespace.simulate import (
+    Trajectory,
+    estimate_reward,
+    estimate_stationary,
+    simulate,
+)
+
+
+def flip_model(rate_up: float = 1.0, rate_down: float = 3.0) -> EventModel:
+    level = LevelSpace("bit", [0, 1])
+    up = Event("up", rate_up, {1: {0: [(1, 1.0)]}})
+    down = Event("down", rate_down, {1: {1: [(0, 1.0)]}})
+    return EventModel([level], [up, down], [0])
+
+
+class TestSimulator:
+    def test_trajectory_structure(self):
+        trajectory = simulate(flip_model(), horizon=10.0, seed=1)
+        assert trajectory.times[0] == 0.0
+        assert len(trajectory.times) == len(trajectory.states)
+        assert trajectory.total_time == 10.0
+        assert all(
+            t1 < t2
+            for t1, t2 in zip(trajectory.times, trajectory.times[1:])
+        )
+
+    def test_occupancy_sums_to_one(self):
+        trajectory = simulate(flip_model(), horizon=50.0, seed=2)
+        occupancy = trajectory.occupancy()
+        assert sum(occupancy.values()) == pytest.approx(1.0)
+
+    def test_deterministic_by_seed(self):
+        a = simulate(flip_model(), horizon=20.0, seed=3)
+        b = simulate(flip_model(), horizon=20.0, seed=3)
+        assert a.states == b.states
+
+    def test_absorbing_state_handled(self):
+        level = LevelSpace("x", [0, 1])
+        once = Event("once", 1.0, {1: {0: [(1, 1.0)]}})
+        model = EventModel([level], [once], [0])
+        trajectory = simulate(model, horizon=1000.0, seed=4)
+        assert trajectory.states[-1] == (1,)
+        occupancy = trajectory.occupancy()
+        assert occupancy[(1,)] > 0.9
+
+    def test_bad_horizon(self):
+        with pytest.raises(StateSpaceError):
+            simulate(flip_model(), horizon=0.0)
+
+    def test_bad_burn_in(self):
+        with pytest.raises(StateSpaceError):
+            estimate_stationary(flip_model(), total_time=10.0, burn_in=10.0)
+
+
+class TestAgainstNumerics:
+    def test_two_state_occupancy_matches_analytic(self):
+        model = flip_model(rate_up=1.0, rate_down=3.0)
+        occupancy = estimate_stationary(
+            model, total_time=20_000.0, burn_in=100.0, seed=5
+        )
+        # Analytic stationary: pi(1) = 1/(1+3) = 0.25.
+        assert occupancy[(1,)] == pytest.approx(0.25, abs=0.02)
+
+    def test_closed_tandem_matches_numeric_solution(self):
+        compiled = compile_join(closed_tandem_join(jobs=2))
+        model = compiled.event_model
+        reach = reachable_bfs(model)
+        pi = steady_state(reach.to_ctmc()).distribution
+        occupancy = estimate_stationary(
+            model, total_time=30_000.0, burn_in=100.0, seed=6
+        )
+        for index, state in enumerate(reach.states):
+            assert occupancy.get(state, 0.0) == pytest.approx(
+                float(pi[index]), abs=0.02
+            )
+
+    def test_reward_estimate_matches_lumped_solution(self):
+        """Simulation (unlumped semantics) vs measure computed on the
+        LUMPED chain: the full-stack cross-validation."""
+        from repro.analysis import lump_and_solve
+        from repro.lumping import MDModel
+
+        compiled = compile_join(closed_tandem_join(jobs=2))
+        model = compiled.event_model
+        reach = reachable_bfs(model)
+
+        queue_index = model.levels[1]  # stationA level
+
+        def jobs_at_station_a(state):
+            label = queue_index.label(state[1])
+            return float(label[0])
+
+        md_model = MDModel(
+            model.to_md(),
+            level_rewards=[
+                np.zeros(len(model.levels[0])),
+                np.array([float(l[0]) for l in model.levels[1].labels]),
+                np.zeros(len(model.levels[2])),
+            ],
+            reachable=reach.potential_indices(),
+        )
+        solution = lump_and_solve(md_model)
+        numeric = solution.expected_reward()
+        simulated = estimate_reward(
+            model,
+            jobs_at_station_a,
+            total_time=30_000.0,
+            burn_in=100.0,
+            seed=7,
+        )
+        assert simulated == pytest.approx(numeric, abs=0.03)

@@ -1,0 +1,140 @@
+"""Tests for steady-state solvers, transient analysis and measures."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.markov import (
+    CTMC,
+    MarkovRewardProcess,
+    accumulated_reward,
+    expected_reward_at,
+    steady_state,
+    steady_state_reward,
+    transient_distribution,
+)
+from repro.markov.measures import probability_of_states
+from repro.models.simple import birth_death_ctmc, birth_death_stationary
+
+ALL_METHODS = ["direct", "power", "jacobi", "gauss-seidel"]
+
+
+@pytest.mark.parametrize("method", ALL_METHODS)
+class TestSteadyState:
+    def test_two_state_balance(self, method):
+        chain = CTMC.from_transitions(2, [(0, 1, 2.0), (1, 0, 3.0)])
+        pi = steady_state(chain, method=method).distribution
+        assert pi == pytest.approx([0.6, 0.4], abs=1e-8)
+
+    def test_birth_death_matches_analytic(self, method):
+        chain = birth_death_ctmc(6, birth_rate=1.0, death_rate=2.0)
+        pi = steady_state(chain, method=method).distribution
+        expected = birth_death_stationary(6, 1.0, 2.0)
+        assert np.abs(pi - expected).max() < 1e-7
+
+    def test_residual_small(self, method):
+        chain = birth_death_ctmc(5)
+        result = steady_state(chain, method=method)
+        assert result.residual < 1e-7
+
+    def test_self_loops_do_not_change_result(self, method):
+        plain = CTMC.from_transitions(2, [(0, 1, 1.0), (1, 0, 1.0)])
+        loopy = CTMC.from_transitions(
+            2, [(0, 1, 1.0), (1, 0, 1.0), (0, 0, 7.0)]
+        )
+        a = steady_state(plain, method=method).distribution
+        b = steady_state(loopy, method=method).distribution
+        assert np.abs(a - b).max() < 1e-8
+
+
+class TestSolverErrors:
+    def test_reducible_chain_rejected(self):
+        chain = CTMC.from_transitions(2, [(0, 1, 1.0)])
+        with pytest.raises(SolverError):
+            steady_state(chain)
+
+    def test_unknown_method(self):
+        chain = CTMC.from_transitions(2, [(0, 1, 1.0), (1, 0, 1.0)])
+        with pytest.raises(SolverError):
+            steady_state(chain, method="nope")
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(SolverError):
+            steady_state(CTMC(np.zeros((0, 0))))
+
+    def test_power_iteration_limit(self):
+        chain = birth_death_ctmc(4)
+        with pytest.raises(SolverError):
+            steady_state(chain, method="power", max_iterations=1)
+
+
+class TestTransient:
+    def test_time_zero_returns_initial(self):
+        chain = birth_death_ctmc(4)
+        pi0 = np.array([1.0, 0, 0, 0])
+        assert np.array_equal(transient_distribution(chain, pi0, 0.0), pi0)
+
+    def test_long_horizon_converges_to_stationary(self):
+        chain = birth_death_ctmc(5)
+        pi0 = np.array([1.0, 0, 0, 0, 0])
+        pi_inf = steady_state(chain).distribution
+        pi_t = transient_distribution(chain, pi0, 500.0)
+        assert np.abs(pi_t - pi_inf).max() < 1e-8
+
+    def test_two_state_analytic(self):
+        # pi_0(t) for symmetric 2-state chain: 0.5 (1 + exp(-2 lambda t)).
+        lam = 1.3
+        chain = CTMC.from_transitions(2, [(0, 1, lam), (1, 0, lam)])
+        t = 0.7
+        pi_t = transient_distribution(chain, [1.0, 0.0], t)
+        expected = 0.5 * (1 + np.exp(-2 * lam * t))
+        assert pi_t[0] == pytest.approx(expected, abs=1e-10)
+
+    def test_distribution_stays_normalized(self):
+        chain = birth_death_ctmc(6)
+        pi0 = np.full(6, 1 / 6)
+        for t in (0.1, 1.0, 10.0):
+            pi_t = transient_distribution(chain, pi0, t)
+            assert pi_t.sum() == pytest.approx(1.0)
+            assert (pi_t >= 0).all()
+
+    def test_negative_time_rejected(self):
+        chain = birth_death_ctmc(3)
+        with pytest.raises(SolverError):
+            transient_distribution(chain, [1, 0, 0], -1.0)
+
+    def test_bad_initial_rejected(self):
+        chain = birth_death_ctmc(3)
+        with pytest.raises(SolverError):
+            transient_distribution(chain, [0.5, 0.2, 0.1], 1.0)
+
+
+class TestMeasures:
+    def test_steady_state_reward(self):
+        chain = CTMC.from_transitions(2, [(0, 1, 1.0), (1, 0, 1.0)])
+        mrp = MarkovRewardProcess(chain, rewards=[0.0, 10.0])
+        assert steady_state_reward(mrp) == pytest.approx(5.0)
+
+    def test_expected_reward_at_time(self):
+        chain = CTMC.from_transitions(2, [(0, 1, 1.0), (1, 0, 1.0)])
+        mrp = MarkovRewardProcess.point_mass(chain, 0, rewards=[1.0, 0.0])
+        # At t=0 the reward is exactly the initial state's.
+        assert expected_reward_at(mrp, 0.0) == pytest.approx(1.0)
+        # For t -> infinity it approaches the stationary mean 0.5.
+        assert expected_reward_at(mrp, 100.0) == pytest.approx(0.5, abs=1e-9)
+
+    def test_accumulated_reward_constant_rate(self):
+        chain = CTMC.from_transitions(2, [(0, 1, 1.0), (1, 0, 1.0)])
+        mrp = MarkovRewardProcess.point_mass(chain, 0, rewards=[2.0, 2.0])
+        # Constant reward 2 accumulates to 2 * T exactly.
+        assert accumulated_reward(mrp, 3.0, steps=8) == pytest.approx(6.0)
+
+    def test_accumulated_reward_zero_horizon(self):
+        chain = birth_death_ctmc(3)
+        mrp = MarkovRewardProcess.point_mass(chain, 0, rewards=[1, 1, 1])
+        assert accumulated_reward(mrp, 0.0) == 0.0
+
+    def test_probability_of_states(self):
+        chain = CTMC.from_transitions(2, [(0, 1, 2.0), (1, 0, 3.0)])
+        mrp = MarkovRewardProcess(chain)
+        assert probability_of_states(mrp, [0]) == pytest.approx(0.6)

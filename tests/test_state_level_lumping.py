@@ -1,0 +1,247 @@
+"""Tests for optimal state-level lumping (the baseline algorithm [9])."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.errors import LumpingError
+from repro.lumping import lump_mrp, lump_rate_matrix
+from repro.lumping.verify import is_exactly_lumpable, is_ordinarily_lumpable
+from repro.markov import (
+    CTMC,
+    MarkovRewardProcess,
+    steady_state,
+    transient_distribution,
+)
+from repro.markov.random_chains import (
+    block_constant_vector,
+    random_exactly_lumpable,
+    random_ordinarily_lumpable,
+)
+from repro.partitions import Partition
+
+
+def brute_force_coarsest_ordinary(rate_matrix, rewards=None):
+    """Enumerate all partitions of a tiny state space; return the coarsest
+    ordinarily lumpable one.  Ground truth for optimality tests."""
+    n = rate_matrix.shape[0]
+    best = None
+    for assignment in itertools.product(range(n), repeat=n):
+        blocks = {}
+        for state, block in enumerate(assignment):
+            blocks.setdefault(block, []).append(state)
+        partition = Partition(n, blocks.values())
+        if is_ordinarily_lumpable(rate_matrix, partition, rewards=rewards):
+            if best is None or len(partition) < len(best):
+                best = partition
+    return best
+
+
+class TestOrdinary:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_recovers_planted_partition(self, seed):
+        chain, planted = random_ordinarily_lumpable(18, 4, seed=seed)
+        result = lump_mrp(MarkovRewardProcess(chain), "ordinary")
+        # The found partition is at least as coarse as the planted one.
+        assert planted.refines(result.partition)
+        assert is_ordinarily_lumpable(chain.rate_matrix, result.partition)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_optimality_vs_brute_force(self, seed):
+        chain, _ = random_ordinarily_lumpable(5, 2, seed=seed)
+        result = lump_mrp(MarkovRewardProcess(chain), "ordinary")
+        best = brute_force_coarsest_ordinary(chain.rate_matrix)
+        assert len(result.partition) == len(best)
+
+    def test_reward_constraint_limits_lumping(self):
+        chain, planted = random_ordinarily_lumpable(12, 3, seed=9)
+        # A reward distinguishing one state prevents it from lumping.
+        rewards = block_constant_vector(planted, seed=9)
+        rewards[0] += 123.0
+        result = lump_mrp(
+            MarkovRewardProcess(chain, rewards=rewards), "ordinary"
+        )
+        assert result.partition.size_of(result.partition.block_of(0)) == 1
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_stationary_aggregation_preserved(self, seed):
+        chain, planted = random_ordinarily_lumpable(16, 4, seed=seed)
+        mrp = MarkovRewardProcess(
+            chain, rewards=block_constant_vector(planted, seed=seed)
+        )
+        result = lump_mrp(mrp, "ordinary")
+        pi = steady_state(chain).distribution
+        pi_hat = steady_state(result.lumped.ctmc).distribution
+        assert np.abs(result.project_distribution(pi) - pi_hat).max() < 1e-8
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_transient_aggregation_preserved(self, seed):
+        chain, planted = random_ordinarily_lumpable(12, 3, seed=seed)
+        mrp = MarkovRewardProcess(chain)
+        result = lump_mrp(mrp, "ordinary")
+        pi0 = np.zeros(chain.num_states)
+        pi0[0] = 1.0
+        pi0_hat = result.project_distribution(pi0)
+        for t in (0.1, 1.0, 5.0):
+            pi_t = transient_distribution(chain, pi0, t)
+            pi_t_hat = transient_distribution(result.lumped.ctmc, pi0_hat, t)
+            assert np.abs(
+                result.project_distribution(pi_t) - pi_t_hat
+            ).max() < 1e-8
+
+    def test_reward_measure_preserved(self):
+        chain, planted = random_ordinarily_lumpable(14, 4, seed=21)
+        rewards = block_constant_vector(planted, seed=21)
+        mrp = MarkovRewardProcess(chain, rewards=rewards)
+        result = lump_mrp(mrp, "ordinary")
+        pi = steady_state(chain).distribution
+        pi_hat = steady_state(result.lumped.ctmc).distribution
+        assert pi @ rewards == pytest.approx(
+            float(pi_hat @ result.lumped.rewards), abs=1e-8
+        )
+
+    def test_self_loop_rates_block_lumping_in_r(self):
+        # Two states identical in Q but with different self-loop rates in
+        # R: R-level lumping must keep them apart (the paper's remark that
+        # the converse of Theorem 1 fails).
+        rate_matrix = CTMC.from_transitions(
+            2, [(0, 0, 5.0), (0, 1, 1.0), (1, 0, 1.0)]
+        ).rate_matrix
+        partition, _lumped = lump_rate_matrix(rate_matrix, "ordinary")
+        assert len(partition) == 2
+
+
+class TestExact:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_recovers_planted_partition(self, seed):
+        chain, planted = random_exactly_lumpable(18, 4, seed=seed)
+        result = lump_mrp(MarkovRewardProcess(chain), "exact")
+        assert planted.refines(result.partition)
+        assert is_exactly_lumpable(chain.rate_matrix, result.partition)
+
+    def test_initial_distribution_constraint(self):
+        chain, planted = random_exactly_lumpable(12, 3, seed=31)
+        pi0 = block_constant_vector(planted, seed=31) + 0.1
+        pi0 /= pi0.sum()
+        pi0_bad = pi0.copy()
+        swap = pi0_bad[0]
+        pi0_bad[0] = swap * 2
+        pi0_bad /= pi0_bad.sum()
+        free = lump_mrp(
+            MarkovRewardProcess(chain, initial_distribution=pi0), "exact"
+        )
+        constrained = lump_mrp(
+            MarkovRewardProcess(chain, initial_distribution=pi0_bad), "exact"
+        )
+        assert len(constrained.partition) >= len(free.partition)
+
+    def test_exact_lumped_matrix_is_scaled_column_sums(self):
+        # Rhat(i~, j~) = R(C_i, C_j) / |C_i| (Buchholz 1994): the lumped
+        # chain evolves aggregated class probabilities.
+        chain, planted = random_exactly_lumpable(10, 3, seed=41)
+        result = lump_mrp(MarkovRewardProcess(chain), "exact")
+        dense = chain.rate_matrix.toarray()
+        lumped = result.lumped.ctmc.rate_matrix.toarray()
+        blocks = list(result.partition.blocks())
+        order = np.argsort([b[0] for b in blocks])
+        blocks = [blocks[i] for i in order]
+        for i, block_i in enumerate(blocks):
+            for j, block_j in enumerate(blocks):
+                expected = dense[np.ix_(block_i, block_j)].sum() / len(block_i)
+                assert lumped[i, j] == pytest.approx(expected)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_exact_preserves_arbitrary_reward_measures(self, seed):
+        """Under exact lumpability the stationary distribution is uniform
+        within classes (Schweitzer), so the averaged lumped rewards
+        preserve the steady-state measure for ARBITRARY reward vectors —
+        rewards need not be constant on classes."""
+        chain, _planted = random_exactly_lumpable(15, 4, seed=seed + 80)
+        rng = np.random.default_rng(seed)
+        rewards = rng.uniform(0.0, 5.0, size=15)
+        mrp = MarkovRewardProcess(chain, rewards=rewards)
+        # Exact lumping ignores rewards in its conditions; measure mapping
+        # uses the class average (Theorem 2).
+        result = lump_mrp(MarkovRewardProcess(chain), "exact")
+        pi = steady_state(chain).distribution
+        pi_hat = steady_state(result.lumped.ctmc).distribution
+        averaged = np.zeros(result.num_classes)
+        sizes = np.zeros(result.num_classes)
+        np.add.at(averaged, result.class_of, rewards)
+        np.add.at(sizes, result.class_of, 1.0)
+        averaged /= sizes
+        assert pi @ rewards == pytest.approx(
+            float(pi_hat @ averaged), abs=1e-8
+        )
+        # And indeed the stationary distribution is uniform within classes.
+        for block in result.partition.blocks():
+            values = pi[list(block)]
+            assert values.max() - values.min() < 1e-9
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_exact_stationary_aggregation_preserved(self, seed):
+        chain, _planted = random_exactly_lumpable(15, 4, seed=seed + 60)
+        result = lump_mrp(MarkovRewardProcess(chain), "exact")
+        pi = steady_state(chain).distribution
+        pi_hat = steady_state(result.lumped.ctmc).distribution
+        assert np.abs(result.project_distribution(pi) - pi_hat).max() < 1e-7
+
+    def test_exact_lift_reconstructs_uniform_start(self):
+        # Starting uniformly inside blocks, exact lumping preserves the
+        # full transient distribution through lift_distribution.
+        chain, planted = random_exactly_lumpable(12, 3, seed=51)
+        result = lump_mrp(MarkovRewardProcess(chain), "exact")
+        pi0 = result.lift_distribution(
+            np.ones(result.num_classes) / result.num_classes
+        )
+        t = 0.8
+        pi_t = transient_distribution(chain, pi0, t)
+        pi0_hat = result.project_distribution(pi0)
+        pi_t_hat = transient_distribution(result.lumped.ctmc, pi0_hat, t)
+        assert np.abs(pi_t - result.lift_distribution(pi_t_hat)).max() < 1e-8
+
+
+class TestInterface:
+    def test_unknown_kind(self):
+        chain = CTMC.from_transitions(2, [(0, 1, 1.0), (1, 0, 1.0)])
+        with pytest.raises(LumpingError):
+            lump_mrp(MarkovRewardProcess(chain), "both")
+
+    def test_class_of_vector(self):
+        chain, _ = random_ordinarily_lumpable(8, 3, seed=2)
+        result = lump_mrp(MarkovRewardProcess(chain), "ordinary")
+        class_of = result.class_of
+        for block in result.partition.blocks():
+            assert len({class_of[s] for s in block}) == 1
+
+    def test_lumped_labels_are_member_tuples(self):
+        chain, _ = random_ordinarily_lumpable(8, 3, seed=3)
+        chain = CTMC(
+            chain.rate_matrix,
+            state_labels=[f"s{i}" for i in range(chain.num_states)],
+        )
+        result = lump_mrp(MarkovRewardProcess(chain), "ordinary")
+        labels = result.lumped.ctmc.state_labels
+        assert labels is not None
+        assert sum(len(t) for t in labels) == 8
+
+    def test_reduction_factor(self):
+        chain, planted = random_ordinarily_lumpable(20, 4, seed=4)
+        result = lump_mrp(MarkovRewardProcess(chain), "ordinary")
+        assert result.reduction_factor >= 20 / len(planted) - 1e-9
+
+    def test_project_distribution_shape_checked(self):
+        chain, _ = random_ordinarily_lumpable(8, 2, seed=5)
+        result = lump_mrp(MarkovRewardProcess(chain), "ordinary")
+        with pytest.raises(LumpingError):
+            result.project_distribution(np.zeros(3))
+
+    def test_initial_partition_argument(self):
+        chain, planted = random_ordinarily_lumpable(12, 3, seed=6)
+        # Force states 0 and 1 apart through the initial partition.
+        initial = Partition(12, [[0], list(range(1, 12))])
+        result = lump_mrp(
+            MarkovRewardProcess(chain), "ordinary", initial=initial
+        )
+        assert not result.partition.same_block(0, 1)

@@ -1,0 +1,52 @@
+"""Transient analysis at extreme uniformization means (overflow-safe
+Poisson branch) and related solver corners."""
+
+import numpy as np
+import pytest
+
+from repro.markov import CTMC, transient_distribution
+from repro.markov.transient import _poisson_weights
+
+
+class TestLargeMeanPoisson:
+    def test_weights_sum_to_one(self):
+        for mean in (5.0, 50.0, 800.0, 5000.0):
+            weights = _poisson_weights(mean, 1e-10)
+            assert weights.sum() == pytest.approx(1.0, abs=1e-8)
+            assert (weights >= 0).all()
+
+    def test_mode_near_mean(self):
+        weights = _poisson_weights(1000.0, 1e-10)
+        assert abs(int(np.argmax(weights)) - 1000) <= 2
+
+    def test_fast_chain_reaches_stationary_quickly(self):
+        # lambda*t ~ 2000: exercises the large-mean branch end to end.
+        chain = CTMC.from_transitions(
+            2, [(0, 1, 1000.0), (1, 0, 1000.0)]
+        )
+        pi_t = transient_distribution(chain, [1.0, 0.0], 1.0)
+        assert pi_t == pytest.approx([0.5, 0.5], abs=1e-9)
+
+    def test_asymmetric_fast_chain(self):
+        chain = CTMC.from_transitions(
+            2, [(0, 1, 900.0), (1, 0, 300.0)]
+        )
+        pi_t = transient_distribution(chain, [1.0, 0.0], 2.0)
+        assert pi_t == pytest.approx([0.25, 0.75], abs=1e-9)
+
+    def test_absurd_mean_rejected_cleanly(self):
+        # lambda*t ~ 2e9 would need billions of Poisson terms; the solver
+        # must refuse with a clear error instead of exhausting memory.
+        from repro.errors import SolverError
+
+        chain = CTMC.from_transitions(2, [(0, 1, 1.0), (1, 0, 1.0)])
+        with pytest.raises(SolverError):
+            transient_distribution(chain, [1.0, 0.0], 1e9)
+
+    def test_moderate_time_matches_analytic(self):
+        lam = 400.0
+        chain = CTMC.from_transitions(2, [(0, 1, lam), (1, 0, lam)])
+        t = 0.002  # lambda*t = 0.8: small mean, while rates are large
+        pi_t = transient_distribution(chain, [1.0, 0.0], t)
+        expected = 0.5 * (1 + np.exp(-2 * lam * t))
+        assert pi_t[0] == pytest.approx(expected, abs=1e-9)

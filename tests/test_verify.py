@@ -1,0 +1,141 @@
+"""Tests for the lumpability condition checkers themselves."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LumpingError
+from repro.lumping.verify import (
+    check_local_exact,
+    check_local_ordinary,
+    global_product_partition,
+    is_exactly_lumpable,
+    is_ordinarily_lumpable,
+)
+from repro.markov import CTMC
+from repro.markov.random_chains import (
+    random_ctmc,
+    random_exactly_lumpable,
+    random_ordinarily_lumpable,
+)
+from repro.matrixdiagram import md_from_kronecker_terms
+from repro.partitions import Partition
+
+
+class TestFlatCheckers:
+    def test_accepts_planted_ordinary(self):
+        chain, partition = random_ordinarily_lumpable(15, 4, seed=1)
+        assert is_ordinarily_lumpable(chain.rate_matrix, partition)
+
+    def test_rejects_random_partition_on_random_chain(self):
+        chain = random_ctmc(12, seed=2)
+        partition = Partition(12, [list(range(6)), list(range(6, 12))])
+        assert not is_ordinarily_lumpable(chain.rate_matrix, partition)
+
+    def test_discrete_partition_always_lumpable(self):
+        chain = random_ctmc(8, seed=3)
+        discrete = Partition.discrete(8)
+        assert is_ordinarily_lumpable(chain.rate_matrix, discrete)
+        assert is_exactly_lumpable(chain.rate_matrix, discrete)
+
+    def test_reward_condition_enforced(self):
+        chain, partition = random_ordinarily_lumpable(10, 3, seed=4)
+        rewards = np.zeros(10)
+        assert is_ordinarily_lumpable(
+            chain.rate_matrix, partition, rewards=rewards
+        )
+        rewards[0] = 1.0
+        if partition.size_of(partition.block_of(0)) > 1:
+            assert not is_ordinarily_lumpable(
+                chain.rate_matrix, partition, rewards=rewards
+            )
+
+    def test_exact_exit_rate_condition(self):
+        # Equal column sums but different exit rates -> not exactly lumpable.
+        rate_matrix = CTMC.from_transitions(
+            3, [(0, 2, 1.0), (1, 2, 1.0), (1, 0, 5.0), (2, 0, 1.0), (2, 1, 1.0)]
+        ).rate_matrix
+        partition = Partition(3, [[0, 1], [2]])
+        assert not is_exactly_lumpable(rate_matrix, partition)
+
+    def test_exact_initial_condition(self):
+        chain, partition = random_exactly_lumpable(12, 3, seed=5)
+        uniform = np.full(12, 1 / 12)
+        assert is_exactly_lumpable(
+            chain.rate_matrix, partition, initial_distribution=uniform
+        )
+        skewed = uniform.copy()
+        skewed[0] *= 2
+        skewed /= skewed.sum()
+        if partition.size_of(partition.block_of(0)) > 1:
+            assert not is_exactly_lumpable(
+                chain.rate_matrix, partition, initial_distribution=skewed
+            )
+
+    def test_size_mismatch_rejected(self):
+        chain = random_ctmc(5, seed=6)
+        with pytest.raises(LumpingError):
+            is_ordinarily_lumpable(chain.rate_matrix, Partition.trivial(6))
+
+
+class TestGlobalProductPartition:
+    def test_block_count_is_product(self):
+        p1 = Partition(2, [[0], [1]])
+        p2 = Partition(3, [[0, 1], [2]])
+        product = global_product_partition([p1, p2], (2, 3))
+        assert len(product) == 4
+        assert product.n == 6
+
+    def test_equivalence_matches_levels(self):
+        p1 = Partition.trivial(2)
+        p2 = Partition(2, [[0, 1]])
+        product = global_product_partition([p1, p2], (2, 2))
+        # All four states equivalent.
+        assert len(product) == 1
+
+    def test_size_mismatch(self):
+        with pytest.raises(LumpingError):
+            global_product_partition([Partition.trivial(2)], (3,))
+
+    def test_arity_mismatch(self):
+        with pytest.raises(LumpingError):
+            global_product_partition([Partition.trivial(2)], (2, 2))
+
+
+class TestLocalCheckers:
+    def test_accepts_symmetric_level(self):
+        w2 = np.array([[0.0, 1.0], [1.0, 0.0]])
+        md = md_from_kronecker_terms(
+            [(1.0, [np.eye(2), w2, np.eye(2)])], (2, 2, 2)
+        )
+        partition = Partition.trivial(2)
+        assert check_local_ordinary(md, 2, partition)
+        assert check_local_exact(md, 2, partition)
+
+    def test_rejects_asymmetric_level(self):
+        w2 = np.array([[0.0, 1.0], [3.0, 0.0]])
+        md = md_from_kronecker_terms(
+            [(1.0, [np.eye(2), w2, np.eye(2)])], (2, 2, 2)
+        )
+        partition = Partition.trivial(2)
+        assert not check_local_ordinary(md, 2, partition)
+
+    def test_exact_needs_equal_row_sums(self):
+        # Doubly symmetric matrix passes; asymmetric one fails.
+        w2 = np.array([[1.0, 1.0], [1.0, 1.0]])
+        md = md_from_kronecker_terms(
+            [(1.0, [np.eye(2), w2, np.eye(2)])], (2, 2, 2)
+        )
+        w2_bad = np.array([[1.0, 2.0], [3.0, 0.0]])
+        md_bad = md_from_kronecker_terms(
+            [(1.0, [np.eye(2), w2_bad, np.eye(2)])], (2, 2, 2)
+        )
+        partition = Partition.trivial(2)
+        assert check_local_exact(md, 2, partition)
+        assert not check_local_exact(md_bad, 2, partition)
+
+    def test_partition_size_checked(self):
+        md = md_from_kronecker_terms(
+            [(1.0, [np.eye(2), np.eye(2)])], (2, 2)
+        )
+        with pytest.raises(LumpingError):
+            check_local_ordinary(md, 2, Partition.trivial(5))

@@ -1,0 +1,141 @@
+"""Adversarial tests: the verifiers must REJECT broken lumpings.
+
+Positive tests show the checkers accept correct results; these show they
+are not vacuous — tampered partitions, rates and lumped MDs all fail.
+"""
+
+import numpy as np
+import pytest
+
+from repro.lumping import MDModel, compositional_lump
+from repro.lumping.compositional import CompositionalLumpingResult
+from repro.lumping.verify import (
+    check_local_ordinary,
+    is_ordinarily_lumpable,
+    verify_compositional_result,
+)
+from repro.markov.random_chains import random_ordinarily_lumpable
+from repro.matrixdiagram import MDNode, md_from_kronecker_terms
+from repro.partitions import Partition
+
+
+def lumpable_md():
+    rng = np.random.default_rng(5)
+    a1 = rng.random((2, 2))
+    a3 = rng.random((2, 2))
+    w2 = np.array([[0.0, 1.0, 1.0], [1.0, 0.0, 1.0], [1.0, 1.0, 0.0]])
+    return md_from_kronecker_terms([(1.0, [a1, w2, a3])], (2, 3, 2))
+
+
+class TestTamperedPartitions:
+    def test_merging_inequivalent_states_rejected_flat(self):
+        chain, planted = random_ordinarily_lumpable(12, 4, seed=3)
+        # Merge two blocks of the planted partition with a third state
+        # moved across: almost surely not lumpable.
+        blocks = [list(b) for b in planted.blocks()]
+        if len(blocks) >= 2:
+            blocks[0] = blocks[0] + [blocks[1].pop(0)]
+            blocks = [b for b in blocks if b]
+            tampered = Partition(12, blocks)
+            if not planted.refines(tampered):
+                assert not is_ordinarily_lumpable(
+                    chain.rate_matrix, tampered
+                )
+
+    def test_too_coarse_local_partition_rejected(self):
+        md = lumpable_md()
+        # {0,1,2} as one class: state 2's rows differ from 0/1's.
+        too_coarse = Partition.trivial(3)
+        correct = Partition(3, [[0, 1], [2]])
+        assert check_local_ordinary(md, 2, correct)
+        # The fully symmetric w2 actually lumps completely; build an
+        # asymmetric variant to get a genuine rejection.
+        rng = np.random.default_rng(6)
+        bad_md = md_from_kronecker_terms(
+            [(1.0, [rng.random((2, 2)), rng.random((3, 3)), rng.random((2, 2))])],
+            (2, 3, 2),
+        )
+        assert not check_local_ordinary(bad_md, 2, too_coarse)
+
+
+class TestTamperedResults:
+    def _result(self):
+        model = MDModel(lumpable_md())
+        return model, compositional_lump(model, "ordinary")
+
+    def test_intact_result_verifies(self):
+        _model, result = self._result()
+        assert verify_compositional_result(result)
+
+    def test_tampered_partition_rejected(self):
+        model, result = self._result()
+        # Claim level 3 lumps fully (it does not; its matrix is generic).
+        rng = np.random.default_rng(7)
+        bad_md = md_from_kronecker_terms(
+            [(1.0, [rng.random((2, 2)), np.eye(3), rng.random((2, 2))])],
+            (2, 3, 2),
+        )
+        bad_model = MDModel(bad_md)
+        honest = compositional_lump(bad_model, "ordinary")
+        tampered = CompositionalLumpingResult(
+            kind="ordinary",
+            original=bad_model,
+            lumped=honest.lumped,
+            partitions=[
+                honest.partitions[0],
+                honest.partitions[1],
+                Partition.trivial(2),  # claims level 3 lumps to 1 class
+            ],
+            reductions=honest.reductions,
+        )
+        assert not verify_compositional_result(tampered)
+
+    def test_tampered_lumped_rates_rejected(self):
+        model, result = self._result()
+        lumped_md = result.lumped.md
+        # Scale one terminal node's entries: Theorem 2 agreement breaks.
+        terminal_level = lumped_md.num_levels
+        index, node = next(iter(lumped_md.nodes_at(terminal_level).items()))
+        corrupted_entries = {
+            (r, c): value * 1.5 for r, c, value in node.entries()
+        }
+        corrupted = lumped_md.with_nodes(
+            {index: MDNode(terminal_level, corrupted_entries, terminal=True)}
+        )
+        tampered_model = MDModel(
+            corrupted,
+            level_rewards=result.lumped.level_rewards,
+            level_initial=result.lumped.level_initial,
+            reward_combiner=result.lumped.reward_combiner,
+        )
+        tampered = CompositionalLumpingResult(
+            kind="ordinary",
+            original=result.original,
+            lumped=tampered_model,
+            partitions=result.partitions,
+            reductions=result.reductions,
+        )
+        assert not verify_compositional_result(tampered)
+
+    def test_wrong_kind_rejected(self):
+        # An ordinary-lumped result claimed as exact must fail (the
+        # asymmetric column structure breaks the exact conditions).
+        rng = np.random.default_rng(11)
+        # Rows of {0,1} agree on class sums (ordinary holds) but columns
+        # do not (exact fails): col0 receives 1, col1 receives 3 from
+        # the class {0,1}.
+        w2 = np.array([[0.0, 2.0, 1.0], [1.0, 1.0, 1.0], [0.5, 0.5, 0.0]])
+        md = md_from_kronecker_terms(
+            [(1.0, [rng.random((2, 2)), w2, rng.random((2, 2))])], (2, 3, 2)
+        )
+        model = MDModel(md)
+        ordinary = compositional_lump(model, "ordinary")
+        if any(len(p) < p.n for p in ordinary.partitions):
+            relabeled = CompositionalLumpingResult(
+                kind="exact",
+                original=ordinary.original,
+                lumped=ordinary.lumped,
+                partitions=ordinary.partitions,
+                reductions=ordinary.reductions,
+            )
+            assert not verify_compositional_result(relabeled)

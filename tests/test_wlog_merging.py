@@ -1,0 +1,77 @@
+"""The paper's 'without loss of generality, 3 levels' argument, tested.
+
+Section 3 merges levels above and below the level of interest so that the
+analysis can focus on level 2 of a 3-level MD, and stresses the merge is
+purely notational.  These tests validate that claim computationally:
+lumping level ``l`` of the original MD and lumping level 2 of
+``to_three_level(md, l)`` produce the same partition of the same substate
+space (with the semantically complete matrix key; the formal key is
+representation-dependent by design)."""
+
+import numpy as np
+import pytest
+
+from repro.lumping import comp_lumping_level
+from repro.matrixdiagram import md_from_kronecker_terms
+from repro.matrixdiagram.operations import to_three_level
+from repro.partitions import Partition
+
+
+@pytest.fixture()
+def four_level_md():
+    rng = np.random.default_rng(23)
+    w1 = rng.random((2, 2))
+    w2 = np.array([[0.0, 1.0, 1.0], [1.0, 0.0, 1.0], [1.0, 1.0, 0.0]])
+    w3 = np.array([[0.0, 2.0], [2.0, 0.0]])
+    w4 = rng.random((2, 2))
+    identity = [np.eye(2), np.eye(3), np.eye(2), np.eye(2)]
+    terms = [
+        (1.0, [w1, w2, np.eye(2), w4]),
+        (0.5, [np.eye(2), np.eye(3), w3, w4]),
+        (0.25, identity),
+    ]
+    return md_from_kronecker_terms(terms, (2, 3, 2, 2))
+
+
+@pytest.mark.parametrize("level", [1, 2, 3, 4])
+@pytest.mark.parametrize("kind", ["ordinary", "exact"])
+def test_merged_level2_partition_matches_direct(four_level_md, level, kind):
+    md = four_level_md
+    size = md.level_size(level)
+    direct = comp_lumping_level(
+        md, level, Partition.trivial(size), kind=kind, key="matrix"
+    )
+    merged = to_three_level(md, level)
+    assert merged.num_levels == 3
+    assert merged.level_size(2) == size
+    via_merge = comp_lumping_level(
+        merged, 2, Partition.trivial(size), kind=kind, key="matrix"
+    )
+    assert direct == via_merge
+
+
+@pytest.mark.parametrize("level", [2, 3])
+def test_formal_key_agrees_on_this_md(four_level_md, level):
+    """On Kronecker-built reduced MDs the formal key typically matches the
+    matrix key both before and after merging."""
+    md = four_level_md
+    size = md.level_size(level)
+    direct = comp_lumping_level(md, level, Partition.trivial(size))
+    merged = to_three_level(md, level)
+    via_merge = comp_lumping_level(merged, 2, Partition.trivial(size))
+    assert direct == via_merge
+
+
+def test_three_level_form_of_tandem(small_tandem):
+    """The tandem MD focused on its MSMQ level: merging must preserve the
+    level's local space and the lumpable partition."""
+    md = small_tandem["model"].md
+    size = md.level_size(3)
+    direct = comp_lumping_level(md, 3, Partition.trivial(size))
+    merged = to_three_level(md, 3)
+    via_merge = comp_lumping_level(
+        merged, 2, Partition.trivial(size), key="matrix"
+    )
+    assert direct.refines(via_merge)
+    # For the tandem the formal result is already semantically optimal.
+    assert direct == via_merge
