@@ -1,0 +1,46 @@
+"""A budgeted analysis run that degrades gracefully instead of dying.
+
+Runs the tandem pipeline twice: once clean, and once with the fault
+injector taking down the direct solver and the MDD reachability engine
+while a resource budget caps the run.  Both runs complete; the second
+one's RunReport records exactly which fallbacks fired, and the computed
+measure is identical — degradation costs time, never correctness.
+
+Run:  python examples/robust_pipeline.py
+"""
+
+import numpy as np
+
+from repro.bench.table1 import run_table1_row_robust
+from repro.models import TandemParams
+from repro.robust.budgets import Budget
+from repro.robust.faults import inject_faults
+
+
+def main() -> None:
+    params = TandemParams(jobs=1, cube_dim=2, msmq_servers=2, msmq_queues=2)
+
+    print("=== clean run (MDD engine, direct solver) ===")
+    clean = run_table1_row_robust(1, params, engines=("mdd", "bfs"))
+    print(clean.report.render())
+
+    print()
+    print("=== degraded run (direct solver and MDD engine down, "
+          "60s budget) ===")
+    budget = Budget(wall_clock_seconds=60, max_states=1_000_000)
+    with inject_faults("solver.direct,reachability.mdd"):
+        degraded = run_table1_row_robust(
+            1, params, engines=("mdd", "bfs"), budget=budget
+        )
+    print(degraded.report.render())
+
+    drift = float(np.abs(degraded.stationary - clean.stationary).max())
+    print()
+    print(f"engine used:   {clean.reach_engine} -> {degraded.reach_engine}")
+    print(f"solver used:   {clean.solve_method} -> {degraded.solve_method}")
+    print(f"max |pi drift|: {drift:.2e} (identical up to solver tolerance)")
+    assert drift < 1e-8
+
+
+if __name__ == "__main__":
+    main()

@@ -61,6 +61,17 @@ from repro.lumping import (
     lump_mrp,
 )
 from repro.analysis import LumpedSolution, lump_and_solve
+from repro.robust import (
+    Budget,
+    BudgetExceeded,
+    FaultInjector,
+    RunReport,
+    inject_faults,
+)
+from repro.robust.fallback import (
+    reachable_with_fallback,
+    solve_with_fallback,
+)
 
 __version__ = "1.0.0"
 
@@ -104,5 +115,12 @@ __all__ = [
     "lump_mrp",
     "LumpedSolution",
     "lump_and_solve",
+    "Budget",
+    "BudgetExceeded",
+    "FaultInjector",
+    "inject_faults",
+    "RunReport",
+    "solve_with_fallback",
+    "reachable_with_fallback",
     "__version__",
 ]

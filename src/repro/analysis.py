@@ -8,8 +8,9 @@ evaluation — all without ever solving the unlumped chain.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
@@ -21,6 +22,8 @@ from repro.lumping.compositional import (
 from repro.lumping.md_model import MDModel
 from repro.markov.solvers import steady_state
 from repro.markov.transient import transient_distribution
+from repro.robust.budgets import Budget
+from repro.robust.report import RunReport
 
 
 @dataclass
@@ -29,6 +32,8 @@ class LumpedSolution:
 
     lumping: CompositionalLumpingResult
     stationary: np.ndarray  # over the lumped (restricted) state space
+    report: Optional[RunReport] = field(default=None, compare=False)
+    solve_method: str = "direct"
 
     @property
     def lumped_model(self) -> MDModel:
@@ -99,18 +104,126 @@ def lump_and_solve(
     method: str = "direct",
     iterate: bool = False,
     key: str = "formal",
+    *,
+    robust: bool = False,
+    budget: Optional[Budget] = None,
+    solver_chain: Optional[Sequence[str]] = None,
+    report: Optional[RunReport] = None,
 ) -> LumpedSolution:
     """Lump ``model`` compositionally and solve the lumped chain.
 
     The model must carry a ``reachable`` restriction (or be fully
     reachable): the lumped chain is solved over the restricted space.
+
+    With ``robust=True`` the pipeline degrades instead of dying: levels
+    whose lumping fails are skipped (identity partition), the solve walks
+    a fallback chain starting at ``method`` (see
+    :func:`repro.robust.fallback.solve_with_fallback`), everything runs
+    under ``budget`` when one is given, and the returned solution carries
+    a :class:`~repro.robust.report.RunReport` describing what degraded
+    and why.
     """
-    result = compositional_lump(model, kind=kind, key=key, iterate=iterate)
-    lumped_ctmc = result.lumped.flat_ctmc()
-    if not lumped_ctmc.is_irreducible():
-        raise LumpingError(
-            "the lumped chain is not irreducible; restrict the model to a "
-            "single recurrent class before solving"
+    if not robust:
+        result = compositional_lump(
+            model, kind=kind, key=key, iterate=iterate
         )
-    stationary = steady_state(lumped_ctmc, method=method).distribution
-    return LumpedSolution(lumping=result, stationary=stationary)
+        lumped_ctmc = result.lumped.flat_ctmc()
+        if not lumped_ctmc.is_irreducible():
+            raise LumpingError(
+                "the lumped chain is not irreducible; restrict the model to "
+                "a single recurrent class before solving"
+            )
+        stationary = steady_state(lumped_ctmc, method=method).distribution
+        return LumpedSolution(
+            lumping=result, stationary=stationary, solve_method=method
+        )
+    return _lump_and_solve_robust(
+        model,
+        kind=kind,
+        method=method,
+        iterate=iterate,
+        key=key,
+        budget=budget,
+        solver_chain=solver_chain,
+        report=report,
+    )
+
+
+def _lump_and_solve_robust(
+    model: MDModel,
+    kind: str,
+    method: str,
+    iterate: bool,
+    key: str,
+    budget: Optional[Budget],
+    solver_chain: Optional[Sequence[str]],
+    report: Optional[RunReport],
+) -> LumpedSolution:
+    """The degrading variant of :func:`lump_and_solve`."""
+    from repro.robust.fallback import (
+        DEFAULT_SOLVER_CHAIN,
+        solve_with_fallback,
+    )
+
+    if report is None:
+        report = RunReport()
+    if solver_chain is None:
+        # Start at the requested method, then the remaining defaults.
+        solver_chain = [method] + [
+            m for m in DEFAULT_SOLVER_CHAIN if m != method
+        ]
+    scope = budget if budget is not None else nullcontext()
+    with scope:
+        with report.stage("lumping") as stage:
+            result = compositional_lump(
+                model, kind=kind, key=key, iterate=iterate,
+                degrade=True, report=report,
+            )
+            if result.skipped_levels:
+                stage.status = "degraded"
+                stage.detail = (
+                    f"{len(result.skipped_levels)} level(s) kept the "
+                    "identity partition"
+                )
+        with report.stage("solve") as stage:
+            lumped_ctmc = result.lumped.flat_ctmc()
+            if not lumped_ctmc.is_irreducible():
+                raise LumpingError(
+                    "the lumped chain is not irreducible; restrict the "
+                    "model to a single recurrent class before solving"
+                )
+            solution = solve_with_fallback(lumped_ctmc, chain=solver_chain)
+            for attempt in solution.attempts:
+                report.record_attempt(
+                    stage="solve",
+                    name=attempt.method,
+                    succeeded=attempt.succeeded,
+                    seconds=attempt.seconds,
+                    error=attempt.error,
+                    iterations=attempt.iterations,
+                    residual=attempt.residual,
+                )
+            if solution.degraded:
+                stage.status = "degraded"
+                stage.detail = f"solved by {solution.method!r}"
+                report.record_fallback(
+                    stage="solve",
+                    requested=solution.requested_method,
+                    used=solution.method
+                    + (
+                        f" (tol relaxed to {solution.relaxed_tolerance:g})"
+                        if solution.relaxed_tolerance is not None
+                        else ""
+                    ),
+                    reason="; ".join(
+                        a.error for a in solution.attempts if a.error
+                    )
+                    or "earlier attempts failed",
+                )
+    report.attach_budget(budget)
+    return LumpedSolution(
+        lumping=result,
+        stationary=solution.distribution,
+        report=report,
+        solve_method=solution.method,
+    )

@@ -59,11 +59,25 @@ def main(argv=None) -> int:
         "paper's configuration)",
     )
     parser.add_argument(
+        "--robust",
+        action="store_true",
+        help="use the resilient pipeline (engine + solver fallback chains, "
+        "graceful lumping degradation) and print a run report per J; "
+        "combine with REPRO_FAULTS / --time-budget to exercise degraded "
+        "paths",
+    )
+    parser.add_argument(
+        "--time-budget",
+        type=float,
+        help="wall-clock budget in seconds for each robust J run",
+    )
+    parser.add_argument(
         "--output", help="also write the rendered table to this file"
     )
     args = parser.parse_args(argv)
 
     rows = []
+    reports = []
     for jobs in (int(x) for x in args.jobs.split(",")):
         params = TandemParams(
             jobs=jobs,
@@ -72,7 +86,31 @@ def main(argv=None) -> int:
             msmq_queues=args.msmq_queues,
         )
         print(f"running J={jobs} ...", file=sys.stderr, flush=True)
-        if args.symbolic:
+        if args.robust:
+            from repro.bench.table1 import run_table1_row_robust
+            from repro.robust.budgets import Budget, BudgetExceeded
+
+            if args.time_budget is not None and args.time_budget <= 0:
+                parser.error("--time-budget must be positive")
+            budget = (
+                Budget(wall_clock_seconds=args.time_budget)
+                if args.time_budget is not None
+                else None
+            )
+            engines = (
+                ("mdd", "bfs") if args.engine == "mdd" else ("bfs", "mdd")
+            )
+            try:
+                run = run_table1_row_robust(
+                    jobs, params, engines=engines, kind=args.kind,
+                    budget=budget,
+                )
+            except BudgetExceeded as exc:
+                print(f"J={jobs}: budget exhausted: {exc}", file=sys.stderr)
+                return 2
+            rows.append(run.row)
+            reports.append((jobs, run.report))
+        elif args.symbolic:
             from repro.bench.table1 import run_table1_row_symbolic
 
             rows.append(
@@ -85,6 +123,8 @@ def main(argv=None) -> int:
                 )
             )
     rendered = render_table1(rows)
+    for jobs, run_report in reports:
+        rendered += f"\n\nJ={jobs} {run_report.render()}"
     print(rendered)
     if args.output:
         with open(args.output, "w") as handle:

@@ -21,13 +21,18 @@ recorded in EXPERIMENTS.md.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Sequence
+
+import numpy as np
 
 from repro.lumping import compositional_lump
 from repro.matrixdiagram import md_stats
 from repro.models import TandemParams, build_tandem, tandem_md_model
 from repro.models.tandem import projected_event_model
+from repro.robust.budgets import Budget
+from repro.robust.report import RunReport
 from repro.statespace import reachable_bfs, reachable_mdd
 from repro.util import Stopwatch, Table, format_bytes, format_seconds
 
@@ -172,6 +177,155 @@ def run_table1_row_symbolic(
         md_memory_bytes=unlumped_stats.memory_bytes,
         lump_seconds=watch.elapsed("lumping"),
         lumped_md_memory_bytes=lumped_stats.memory_bytes,
+    )
+
+
+@dataclass
+class RobustTable1Run:
+    """A Table-1 row produced by the resilient pipeline.
+
+    Besides the row itself, carries the steady-state solution of the
+    lumped chain and the :class:`~repro.robust.report.RunReport` saying
+    which engines/solvers/levels degraded along the way.
+    """
+
+    row: Table1Row
+    report: RunReport
+    stationary: np.ndarray
+    solve_method: str
+    reach_engine: str
+
+
+def run_table1_row_robust(
+    jobs: int,
+    params: Optional[TandemParams] = None,
+    engines: Sequence[str] = ("mdd", "bfs"),
+    kind: str = "ordinary",
+    solver_chain: Optional[Sequence[str]] = None,
+    budget: Optional[Budget] = None,
+    report: Optional[RunReport] = None,
+) -> RobustTable1Run:
+    """The Table-1 pipeline with fallbacks, degradation, and a report.
+
+    Runs generation -> lumping -> steady-state solve end to end:
+    reachability falls back across ``engines`` (default MDD -> BFS),
+    lumping skips levels that fail (identity partition), and the solve
+    walks the solver fallback chain.  Every degradation is recorded in
+    the returned report, so the driver can print what degraded and why.
+    """
+    from repro.robust.fallback import (
+        DEFAULT_SOLVER_CHAIN,
+        reachable_with_fallback,
+        solve_with_fallback,
+    )
+
+    if params is None:
+        params = TandemParams(jobs=jobs)
+    elif params.jobs != jobs:
+        raise ValueError("params.jobs disagrees with the jobs argument")
+    if report is None:
+        report = RunReport()
+    if solver_chain is None:
+        solver_chain = DEFAULT_SOLVER_CHAIN
+    scope = budget if budget is not None else nullcontext()
+    with scope:
+        with report.stage("generation") as stage:
+            compiled = build_tandem(params)
+            engine_run = reachable_with_fallback(
+                compiled.event_model, engines=engines
+            )
+            for attempt in engine_run.attempts:
+                report.record_attempt(
+                    stage="generation",
+                    name=attempt.engine,
+                    succeeded=attempt.succeeded,
+                    seconds=attempt.seconds,
+                    error=attempt.error,
+                )
+            if engine_run.degraded:
+                stage.status = "degraded"
+                stage.detail = f"reachability via {engine_run.engine!r}"
+                report.record_fallback(
+                    stage="generation",
+                    requested=engine_run.requested_engine,
+                    used=engine_run.engine,
+                    reason="; ".join(
+                        a.error for a in engine_run.attempts if a.error
+                    )
+                    or "earlier engines failed",
+                )
+            reach = engine_run.result
+            event_model = projected_event_model(compiled, reach)
+            if (
+                event_model.level_sizes()
+                != compiled.event_model.level_sizes()
+            ):
+                # Same recomputation as run_table1_row: the projection
+                # shrank a level, so re-derive the set in the projected
+                # coordinates (BFS is always available here).
+                reach = reachable_bfs(event_model)
+            else:
+                reach.model = event_model
+            model = tandem_md_model(event_model, params, reachable=reach)
+        unlumped_stats = md_stats(model.md)
+
+        with report.stage("lumping") as stage:
+            result = compositional_lump(
+                model, kind, degrade=True, report=report
+            )
+            if result.skipped_levels:
+                stage.status = "degraded"
+                stage.detail = (
+                    f"{len(result.skipped_levels)} level(s) kept the "
+                    "identity partition"
+                )
+        lumped_stats = md_stats(result.lumped.md)
+
+        with report.stage("solve") as stage:
+            lumped_ctmc = result.lumped.flat_ctmc()
+            solution = solve_with_fallback(lumped_ctmc, chain=solver_chain)
+            for attempt in solution.attempts:
+                report.record_attempt(
+                    stage="solve",
+                    name=attempt.method,
+                    succeeded=attempt.succeeded,
+                    seconds=attempt.seconds,
+                    error=attempt.error,
+                    iterations=attempt.iterations,
+                    residual=attempt.residual,
+                )
+            if solution.degraded:
+                stage.status = "degraded"
+                stage.detail = f"solved by {solution.method!r}"
+                report.record_fallback(
+                    stage="solve",
+                    requested=solution.requested_method,
+                    used=solution.method,
+                    reason="; ".join(
+                        a.error for a in solution.attempts if a.error
+                    )
+                    or "earlier attempts failed",
+                )
+    report.attach_budget(budget)
+
+    row = Table1Row(
+        jobs=jobs,
+        unlumped_overall=reach.num_states,
+        unlumped_level_sizes=list(reach.level_sizes()),
+        md_nodes_per_level=list(unlumped_stats.nodes_per_level),
+        lumped_overall=len(result.lumped.reachable),
+        lumped_level_sizes=list(result.lumped.md.level_sizes),
+        generation_seconds=report.stage_seconds("generation"),
+        md_memory_bytes=unlumped_stats.memory_bytes,
+        lump_seconds=report.stage_seconds("lumping"),
+        lumped_md_memory_bytes=lumped_stats.memory_bytes,
+    )
+    return RobustTable1Run(
+        row=row,
+        report=report,
+        stationary=solution.distribution,
+        solve_method=solution.method,
+        reach_engine=engine_run.engine,
     )
 
 

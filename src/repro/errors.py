@@ -38,7 +38,40 @@ class NotLumpableError(LumpingError):
 
 
 class SolverError(ReproError):
-    """A numerical solver failed to converge or was misconfigured."""
+    """A numerical solver failed to converge or was misconfigured.
+
+    Non-convergence failures carry structured context so callers (notably
+    :func:`repro.robust.fallback.solve_with_fallback`) can report what
+    happened and reuse partial progress instead of restarting from the
+    uniform vector:
+
+    Attributes
+    ----------
+    method:
+        Name of the solver that failed (``None`` if not applicable).
+    iterations:
+        Iterations performed before giving up (``None`` if not applicable).
+    residual:
+        Infinity-norm of ``pi Q`` at the last iterate (``None`` if unknown).
+    last_iterate:
+        The final (normalized) iterate, reusable as a warm start for
+        another iterative method (``None`` for hard failures).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        method=None,
+        iterations=None,
+        residual=None,
+        last_iterate=None,
+    ) -> None:
+        super().__init__(message)
+        self.method = method
+        self.iterations = iterations
+        self.residual = residual
+        self.last_iterate = last_iterate
 
 
 class CompositionError(ReproError):

@@ -25,6 +25,7 @@ from repro.lumping.local import (
 )
 from repro.lumping.compositional import (
     CompositionalLumpingResult,
+    SkippedLevel,
     compositional_lump,
 )
 from repro.lumping.verify import (
@@ -43,6 +44,7 @@ __all__ = [
     "initial_partition_exact",
     "initial_partition_ordinary",
     "CompositionalLumpingResult",
+    "SkippedLevel",
     "compositional_lump",
     "global_product_partition",
     "is_exactly_lumpable",

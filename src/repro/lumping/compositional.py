@@ -36,6 +36,8 @@ from repro.lumping.md_model import MDModel
 from repro.matrixdiagram.md import MatrixDiagram
 from repro.matrixdiagram.node import MDNode
 from repro.partitions import Partition
+from repro.robust import budgets, faults
+from repro.robust.budgets import BudgetExceeded
 
 
 @dataclass
@@ -53,6 +55,19 @@ class LevelReduction:
 
 
 @dataclass
+class SkippedLevel:
+    """A level whose local lumping was skipped (graceful degradation).
+
+    The level keeps the discrete (identity) partition, so the resulting
+    MD is still a valid — just less lumped — representation: the level's
+    contribution to the flattened CTMC is exactly the input's.
+    """
+
+    level: int
+    reason: str
+
+
+@dataclass
 class CompositionalLumpingResult:
     """Outcome of :func:`compositional_lump`."""
 
@@ -61,6 +76,12 @@ class CompositionalLumpingResult:
     lumped: MDModel
     partitions: List[Partition]  # one per level
     reductions: List[LevelReduction] = field(default_factory=list)
+    skipped_levels: List[SkippedLevel] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any level's lumping was skipped."""
+        return bool(self.skipped_levels)
 
     @property
     def potential_reduction_factor(self) -> float:
@@ -216,6 +237,8 @@ def compositional_lump(
     key: str = "formal",
     strategy: str = "paper",
     iterate: bool = False,
+    degrade: bool = False,
+    report=None,
 ) -> CompositionalLumpingResult:
     """Lump an MD-represented MRP level by level (Figure 3b).
 
@@ -243,13 +266,29 @@ def compositional_lump(
         repeat until a fixed point.  The composed result is reported as a
         single :class:`CompositionalLumpingResult` whose per-level
         partitions are the compositions of all passes.
+    degrade:
+        Graceful degradation: when a level's local lumping fails (a
+        :class:`~repro.errors.LumpingError`) or exhausts an active budget
+        (:class:`~repro.robust.budgets.BudgetExceeded`), skip the level —
+        it keeps the identity partition, the failure is recorded in
+        ``skipped_levels`` (and in ``report`` when given), and lumping
+        continues with the remaining levels.  The result is still a
+        valid, just less-lumped, MD.  Without ``degrade`` such failures
+        propagate.
+    report:
+        Optional :class:`~repro.robust.report.RunReport` that receives a
+        fallback event per skipped level.
     """
     if not iterate:
-        return _compositional_lump_once(model, kind, levels, key, strategy)
+        return _compositional_lump_once(
+            model, kind, levels, key, strategy, degrade, report
+        )
     current = model
     composed: Optional[CompositionalLumpingResult] = None
     while True:
-        result = _compositional_lump_once(current, kind, levels, key, strategy)
+        result = _compositional_lump_once(
+            current, kind, levels, key, strategy, degrade, report
+        )
         composed = result if composed is None else _compose_results(
             composed, result
         )
@@ -302,6 +341,7 @@ def _compose_results(
         lumped=second.lumped,
         partitions=partitions,
         reductions=reductions,
+        skipped_levels=first.skipped_levels + second.skipped_levels,
     )
 
 
@@ -311,6 +351,8 @@ def _compositional_lump_once(
     levels: Optional[Sequence[int]],
     key: str,
     strategy: str,
+    degrade: bool = False,
+    report=None,
 ) -> CompositionalLumpingResult:
     """One pass of Figure 3b."""
     if kind not in ("ordinary", "exact"):
@@ -326,19 +368,39 @@ def _compositional_lump_once(
             raise LumpingError(f"invalid level {level}")
 
     partitions: List[Partition] = []
+    skipped: List[SkippedLevel] = []
     for level in range(1, md.num_levels + 1):
         if level not in selected:
             partitions.append(Partition.discrete(md.level_size(level)))
             continue
-        if kind == "ordinary":
-            start = initial_partition_ordinary(model, level)
-        else:
-            start = initial_partition_exact(model, level)
-        partitions.append(
-            comp_lumping_level(
-                md, level, start, kind=kind, key=key, strategy=strategy
+        try:
+            faults.check("lumping.level")
+            budgets.check_time("lumping")
+            if kind == "ordinary":
+                start = initial_partition_ordinary(model, level)
+            else:
+                start = initial_partition_exact(model, level)
+            partitions.append(
+                comp_lumping_level(
+                    md, level, start, kind=kind, key=key, strategy=strategy
+                )
             )
-        )
+        except (LumpingError, BudgetExceeded) as exc:
+            if not degrade:
+                raise
+            # Graceful degradation: the level keeps the identity
+            # partition, so its contribution to the flattened CTMC is
+            # exactly the input's (valid, just not lumped).
+            partitions.append(Partition.discrete(md.level_size(level)))
+            reason = f"{type(exc).__name__}: {exc}"
+            skipped.append(SkippedLevel(level=level, reason=reason))
+            if report is not None:
+                report.record_fallback(
+                    stage="lumping",
+                    requested=f"lump level {level}",
+                    used="identity partition",
+                    reason=reason,
+                )
 
     # Build the lumped MD: same node indices, shrunken contents.
     new_nodes: Dict[int, MDNode] = {}
@@ -420,4 +482,5 @@ def _compositional_lump_once(
         lumped=lumped_model,
         partitions=partitions,
         reductions=reductions,
+        skipped_levels=skipped,
     )

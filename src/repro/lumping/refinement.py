@@ -25,6 +25,7 @@ from typing import Callable, Hashable, Iterable, Optional, Tuple
 
 from repro.errors import LumpingError
 from repro.partitions import Partition
+from repro.robust import budgets
 
 
 @dataclass
@@ -100,6 +101,7 @@ def comp_lumping(
             worklist.append(block_id)
 
     while worklist:
+        budgets.charge_iterations(1, stage="refinement")
         splitter_id = worklist.popleft()
         queued.discard(splitter_id)
         members = partition.block(splitter_id)

@@ -11,11 +11,20 @@ per-iteration cost of exactly these solvers.  We provide:
 all returning a :class:`SteadyStateResult` with the distribution, residual
 and iteration count.  Solvers require an irreducible chain; callers solving
 a chain with transient states should first restrict to the recurrent class.
+
+Robustness integration: every solver checks the fault-injection site
+``solver.<name>`` at entry and charges active resource budgets once per
+iteration (see :mod:`repro.robust`).  Non-convergence errors carry the
+last iterate, final residual, and iteration count so the fallback chain
+(:func:`repro.robust.fallback.solve_with_fallback`) can warm-start the
+next method instead of recomputing from scratch; the iterative solvers
+accept that warm start via ``x0``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 from scipy import sparse
@@ -23,6 +32,7 @@ from scipy.sparse import linalg as sparse_linalg
 
 from repro.errors import SolverError
 from repro.markov.ctmc import CTMC
+from repro.robust import budgets, faults
 
 
 @dataclass
@@ -51,14 +61,34 @@ def _residual(pi: np.ndarray, q: sparse.csr_matrix) -> float:
     return float(np.abs(pi @ q).max()) if pi.size else 0.0
 
 
-def _check_irreducible(ctmc: CTMC) -> None:
+def _check_irreducible(ctmc: CTMC, method: str) -> None:
     if ctmc.num_states == 0:
-        raise SolverError("cannot solve an empty chain")
+        raise SolverError("cannot solve an empty chain", method=method)
     if not ctmc.is_irreducible():
         raise SolverError(
-            "steady-state solvers require an irreducible chain; "
-            "restrict to the recurrent class first"
+            f"steady-state solver {method!r} requires an irreducible chain, "
+            f"but this {ctmc.num_states}-state chain has more than one "
+            "communicating class; restrict to the recurrent class first "
+            "(or use repro.robust.fallback.solve_with_fallback, which "
+            "reports per-attempt diagnostics for degraded runs)",
+            method=method,
         )
+
+
+def _initial_vector(n: int, x0: Optional[np.ndarray]) -> np.ndarray:
+    """Uniform start, or a normalized copy of a warm-start vector."""
+    if x0 is None:
+        return np.full(n, 1.0 / n)
+    pi = np.asarray(x0, dtype=float).ravel().copy()
+    if pi.shape != (n,):
+        raise SolverError(
+            f"warm start x0 has shape {pi.shape}, expected ({n},)"
+        )
+    pi = np.clip(pi, 0.0, None)
+    total = pi.sum()
+    if not np.isfinite(total) or total <= 0:
+        return np.full(n, 1.0 / n)
+    return pi / total
 
 
 def steady_state_direct(ctmc: CTMC) -> SteadyStateResult:
@@ -67,7 +97,9 @@ def steady_state_direct(ctmc: CTMC) -> SteadyStateResult:
     Replaces the last balance equation with the normalization constraint,
     which is the standard full-rank reformulation.
     """
-    _check_irreducible(ctmc)
+    faults.check("solver.direct")
+    _check_irreducible(ctmc, "direct")
+    budgets.check_time("solve")
     n = ctmc.num_states
     q = ctmc.generator_matrix()
     a = sparse.lil_matrix(q.T)
@@ -77,14 +109,27 @@ def steady_state_direct(ctmc: CTMC) -> SteadyStateResult:
     try:
         pi = sparse_linalg.spsolve(sparse.csc_matrix(a), b)
     except RuntimeError as exc:  # singular factorization
-        raise SolverError(f"direct solve failed: {exc}") from exc
+        raise SolverError(
+            f"direct solve failed on the {n}-state chain: {exc}",
+            method="direct",
+            iterations=0,
+        ) from exc
     pi = np.asarray(pi, dtype=float).ravel()
     if np.any(~np.isfinite(pi)):
-        raise SolverError("direct solve produced non-finite entries")
+        raise SolverError(
+            f"direct solve produced non-finite entries on the {n}-state "
+            "chain (singular or ill-conditioned balance equations)",
+            method="direct",
+            iterations=0,
+        )
     pi = np.clip(pi, 0.0, None)
     total = pi.sum()
     if total <= 0:
-        raise SolverError("direct solve produced a zero vector")
+        raise SolverError(
+            f"direct solve produced a zero vector on the {n}-state chain",
+            method="direct",
+            iterations=0,
+        )
     pi /= total
     return SteadyStateResult(pi, 0, _residual(pi, q), "direct")
 
@@ -93,14 +138,17 @@ def steady_state_power(
     ctmc: CTMC,
     tol: float = 1e-12,
     max_iterations: int = 200_000,
+    x0: Optional[np.ndarray] = None,
 ) -> SteadyStateResult:
     """Power iteration ``pi <- pi P`` on the uniformized DTMC."""
-    _check_irreducible(ctmc)
+    faults.check("solver.power")
+    _check_irreducible(ctmc, "power")
     n = ctmc.num_states
     p = ctmc.embedded_dtmc()
     q = ctmc.generator_matrix()
-    pi = np.full(n, 1.0 / n)
+    pi = _initial_vector(n, x0)
     for iteration in range(1, max_iterations + 1):
+        budgets.charge_iterations(1, stage="solve")
         new_pi = pi @ p
         delta = float(np.abs(new_pi - pi).max())
         pi = new_pi
@@ -108,8 +156,14 @@ def steady_state_power(
             pi = np.clip(pi, 0.0, None)
             pi /= pi.sum()
             return SteadyStateResult(pi, iteration, _residual(pi, q), "power")
+    pi = np.clip(pi, 0.0, None)
+    pi /= pi.sum()
     raise SolverError(
-        f"power iteration did not converge in {max_iterations} iterations"
+        f"power iteration did not converge in {max_iterations} iterations",
+        method="power",
+        iterations=max_iterations,
+        residual=_residual(pi, q),
+        last_iterate=pi,
     )
 
 
@@ -118,6 +172,7 @@ def steady_state_jacobi(
     tol: float = 1e-12,
     max_iterations: int = 200_000,
     relaxation: float = 0.9,
+    x0: Optional[np.ndarray] = None,
 ) -> SteadyStateResult:
     """Damped Jacobi iteration on ``pi Q = 0``.
 
@@ -127,8 +182,9 @@ def steady_state_jacobi(
     relaxed: ``pi <- (1 - w) pi + w * step(pi)`` with ``0 < w < 1``.
     """
     if not 0 < relaxation <= 1:
-        raise SolverError("relaxation must be in (0, 1]")
-    _check_irreducible(ctmc)
+        raise SolverError("relaxation must be in (0, 1]", method="jacobi")
+    faults.check("solver.jacobi")
+    _check_irreducible(ctmc, "jacobi")
     n = ctmc.num_states
     q = ctmc.generator_matrix()
     diag = q.diagonal()
@@ -139,12 +195,19 @@ def steady_state_jacobi(
     off = q - sparse.diags(diag)
     off = sparse.csr_matrix(off)
     inv_diag = -1.0 / diag
-    pi = np.full(n, 1.0 / n)
+    pi = _initial_vector(n, x0)
     for iteration in range(1, max_iterations + 1):
+        budgets.charge_iterations(1, stage="solve")
         step = (pi @ off) * inv_diag
         total = step.sum()
         if total <= 0:
-            raise SolverError("jacobi iteration collapsed to zero")
+            raise SolverError(
+                "jacobi iteration collapsed to zero",
+                method="jacobi",
+                iterations=iteration,
+                residual=_residual(pi, q),
+                last_iterate=pi,
+            )
         new_pi = (1.0 - relaxation) * pi + relaxation * (step / total)
         new_pi /= new_pi.sum()
         delta = float(np.abs(new_pi - pi).max())
@@ -152,7 +215,11 @@ def steady_state_jacobi(
         if delta < tol:
             return SteadyStateResult(pi, iteration, _residual(pi, q), "jacobi")
     raise SolverError(
-        f"jacobi iteration did not converge in {max_iterations} iterations"
+        f"jacobi iteration did not converge in {max_iterations} iterations",
+        method="jacobi",
+        iterations=max_iterations,
+        residual=_residual(pi, q),
+        last_iterate=pi,
     )
 
 
@@ -160,13 +227,15 @@ def steady_state_gauss_seidel(
     ctmc: CTMC,
     tol: float = 1e-12,
     max_iterations: int = 100_000,
+    x0: Optional[np.ndarray] = None,
 ) -> SteadyStateResult:
     """Gauss-Seidel iteration on ``Q^T pi^T = 0`` with in-place updates.
 
     Uses the column (CSC-of-Q, i.e. CSR-of-Q^T) structure so each state's
     new value sees already-updated predecessors, the standard forward sweep.
     """
-    _check_irreducible(ctmc)
+    faults.check("solver.gauss-seidel")
+    _check_irreducible(ctmc, "gauss-seidel")
     n = ctmc.num_states
     q = ctmc.generator_matrix()
     qt = sparse.csr_matrix(q.T)
@@ -175,8 +244,9 @@ def steady_state_gauss_seidel(
         pi = np.ones(n) / n
         return SteadyStateResult(pi, 0, _residual(pi, q), "gauss-seidel")
     indptr, indices, data = qt.indptr, qt.indices, qt.data
-    pi = np.full(n, 1.0 / n)
+    pi = _initial_vector(n, x0)
     for iteration in range(1, max_iterations + 1):
+        budgets.charge_iterations(1, stage="solve")
         delta = 0.0
         for j in range(n):
             acc = 0.0
@@ -189,7 +259,13 @@ def steady_state_gauss_seidel(
             pi[j] = new_value
         total = pi.sum()
         if total <= 0:
-            raise SolverError("gauss-seidel iteration collapsed to zero")
+            raise SolverError(
+                "gauss-seidel iteration collapsed to zero",
+                method="gauss-seidel",
+                iterations=iteration,
+                residual=_residual(pi, q),
+                last_iterate=pi,
+            )
         pi /= total
         if delta < tol:
             pi = np.clip(pi, 0.0, None)
@@ -197,8 +273,14 @@ def steady_state_gauss_seidel(
             return SteadyStateResult(
                 pi, iteration, _residual(pi, q), "gauss-seidel"
             )
+    pi = np.clip(pi, 0.0, None)
+    pi /= pi.sum()
     raise SolverError(
-        f"gauss-seidel did not converge in {max_iterations} iterations"
+        f"gauss-seidel did not converge in {max_iterations} iterations",
+        method="gauss-seidel",
+        iterations=max_iterations,
+        residual=_residual(pi, q),
+        last_iterate=pi,
     )
 
 

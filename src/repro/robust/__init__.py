@@ -1,0 +1,95 @@
+"""Resilience layer: budgets, fault injection, fallbacks, run reports.
+
+Production Markov tooling must degrade, not die.  This package makes
+degradation first-class across the pipeline:
+
+* :mod:`repro.robust.budgets` — composable wall-clock / iteration /
+  state-count budgets, checked cooperatively inside reachability,
+  refinement, and solver loops;
+* :mod:`repro.robust.faults` — a deterministic, seedable fault injector
+  (context manager or ``REPRO_FAULTS`` env var) so every degradation
+  path is testable in CI;
+* :mod:`repro.robust.fallback` — solver and reachability-engine fallback
+  chains with per-attempt diagnostics and warm starts;
+* :mod:`repro.robust.report` — a structured :class:`RunReport` of stage
+  timings, attempts, fallbacks taken, and budget consumption.
+
+``fallback`` is loaded lazily (PEP 562): it imports the solvers, which in
+turn import :mod:`budgets`/:mod:`faults` for their cooperative hooks.
+"""
+
+from repro.robust.budgets import (
+    Budget,
+    BudgetConsumption,
+    BudgetExceeded,
+    IterationBudgetExceeded,
+    StateBudgetExceeded,
+    TimeBudgetExceeded,
+    active_budget,
+)
+from repro.robust.faults import (
+    FaultInjector,
+    FaultRule,
+    InjectedBudgetFault,
+    InjectedFault,
+    InjectedLumpingFault,
+    InjectedSolverFault,
+    InjectedStateSpaceFault,
+    inject_faults,
+)
+from repro.robust.report import (
+    AttemptReport,
+    FallbackEvent,
+    RunReport,
+    StageReport,
+)
+
+_FALLBACK_EXPORTS = frozenset(
+    {
+        "DEFAULT_SOLVER_CHAIN",
+        "EngineAttempt",
+        "EngineFallbackResult",
+        "FallbackSolution",
+        "SolveAttempt",
+        "reachable_with_fallback",
+        "solve_with_fallback",
+    }
+)
+
+
+def __getattr__(name):
+    if name in _FALLBACK_EXPORTS:
+        from repro.robust import fallback
+
+        return getattr(fallback, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "Budget",
+    "BudgetConsumption",
+    "BudgetExceeded",
+    "TimeBudgetExceeded",
+    "IterationBudgetExceeded",
+    "StateBudgetExceeded",
+    "active_budget",
+    "FaultInjector",
+    "FaultRule",
+    "InjectedFault",
+    "InjectedSolverFault",
+    "InjectedStateSpaceFault",
+    "InjectedLumpingFault",
+    "InjectedBudgetFault",
+    "inject_faults",
+    "RunReport",
+    "StageReport",
+    "AttemptReport",
+    "FallbackEvent",
+    "DEFAULT_SOLVER_CHAIN",
+    "SolveAttempt",
+    "FallbackSolution",
+    "EngineAttempt",
+    "EngineFallbackResult",
+    "solve_with_fallback",
+    "reachable_with_fallback",
+]

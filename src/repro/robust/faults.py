@@ -1,0 +1,252 @@
+"""Deterministic, seedable fault injection for the analysis pipeline.
+
+Every degradation path in the pipeline must be testable without waiting
+for a genuinely singular matrix or a genuinely exploding state space.
+The library therefore calls :func:`check` with a *site* name at each
+failure-prone entry point:
+
+======================  ====================================================
+site                    effect when a matching rule fires
+======================  ====================================================
+``solver.direct``       :class:`InjectedSolverFault` (a ``SolverError``)
+``solver.power``        same, at the power-iteration entry
+``solver.jacobi``       same, at the Jacobi entry
+``solver.gauss-seidel`` same, at the Gauss-Seidel entry
+``reachability.mdd``    :class:`InjectedStateSpaceFault` (MDD engine down)
+``reachability.bfs``    same, at the BFS engine
+``lumping.level``       :class:`InjectedLumpingFault` (per-level lumping)
+``budget``              :class:`InjectedBudgetFault` (a ``BudgetExceeded``),
+                        fired from the cooperative budget hooks — a budget
+                        must be active for these to run
+======================  ====================================================
+
+Injected exceptions subclass both :class:`InjectedFault` and the error
+type a *real* failure at that site would raise, so the production
+fallback/degradation code paths handle them identically — which is the
+point: CI exercises the same ``except`` clauses users will hit.
+
+Rules are matched by call count (1-based, per site, deterministic) or by
+a seeded Bernoulli draw, so runs are reproducible.  Activation is either
+lexical::
+
+    with inject_faults("solver.direct"):
+        ...  # every direct solve in this block fails
+
+or ambient via the ``REPRO_FAULTS`` environment variable (read once at
+first use; tests that mutate the environment call :func:`reload_env`)::
+
+    REPRO_FAULTS="solver.direct,reachability.mdd:1-2" python -m repro.bench
+
+The spec grammar is ``site[:when]`` comma-separated, where ``when`` is a
+call number (``3``), an inclusive range (``1-2``), a comma-free list via
+``|`` (``1|3``), or ``*`` / omitted for every call.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import (
+    LumpingError,
+    ReproError,
+    SolverError,
+    StateSpaceError,
+)
+from repro.robust.budgets import BudgetExceeded
+
+
+class InjectedFault(ReproError):
+    """Marker base class for every injected failure."""
+
+
+class InjectedSolverFault(InjectedFault, SolverError):
+    """An injected solver non-convergence (caught as ``SolverError``)."""
+
+
+class InjectedStateSpaceFault(InjectedFault, StateSpaceError):
+    """An injected reachability-engine failure."""
+
+
+class InjectedLumpingFault(InjectedFault, LumpingError):
+    """An injected per-level lumping failure."""
+
+
+class InjectedBudgetFault(InjectedFault, BudgetExceeded):
+    """An injected budget exhaustion."""
+
+
+_SITE_EXCEPTIONS = {
+    "solver": InjectedSolverFault,
+    "reachability": InjectedStateSpaceFault,
+    "lumping": InjectedLumpingFault,
+    "budget": InjectedBudgetFault,
+}
+
+
+def _exception_for(site: str) -> type:
+    return _SITE_EXCEPTIONS.get(site.split(".", 1)[0], InjectedFault)
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """When a given site should fail.
+
+    Exactly one trigger applies: ``fail_on`` (explicit 1-based call
+    numbers), ``first`` (the first N calls), ``probability`` (a seeded
+    Bernoulli draw per call), or none of them — meaning *every* call.
+    """
+
+    site: str
+    fail_on: Optional[frozenset] = None
+    first: Optional[int] = None
+    probability: Optional[float] = None
+
+    def should_fail(self, call_number: int, rng: random.Random) -> bool:
+        """Whether this rule fires for the ``call_number``-th call."""
+        if self.fail_on is not None:
+            return call_number in self.fail_on
+        if self.first is not None:
+            return call_number <= self.first
+        if self.probability is not None:
+            return rng.random() < self.probability
+        return True
+
+
+class FaultInjector:
+    """A set of :class:`FaultRule` with per-site call counters.
+
+    Use as a context manager to activate; :func:`check` consults every
+    active injector (plus the ``REPRO_FAULTS`` one).  The ``fired`` list
+    records ``(site, call_number)`` for every injected failure, so tests
+    and reports can assert exactly which paths were exercised.
+    """
+
+    def __init__(self, rules, seed: int = 0) -> None:
+        self.rules: List[FaultRule] = list(rules)
+        self._rng = random.Random(seed)
+        self._counts: Dict[str, int] = {}
+        self.fired: List[Tuple[str, int]] = []
+
+    @classmethod
+    def from_spec(cls, spec: str, seed: int = 0) -> "FaultInjector":
+        """Build an injector from the ``REPRO_FAULTS`` grammar."""
+        rules = []
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            site, _, when = part.partition(":")
+            try:
+                rules.append(_parse_rule(site.strip(), when.strip()))
+            except ValueError as exc:
+                raise ValueError(
+                    f"invalid fault rule {part!r} in spec {spec!r} "
+                    f"(grammar: site[:N | N-M | N|M | *], "
+                    f"comma-separated): {exc}"
+                ) from None
+        return cls(rules, seed=seed)
+
+    @classmethod
+    def from_env(
+        cls, value: Optional[str] = None
+    ) -> Optional["FaultInjector"]:
+        """Injector from ``REPRO_FAULTS`` (or ``value``); ``None`` if unset."""
+        if value is None:
+            value = os.environ.get("REPRO_FAULTS", "")
+        value = value.strip()
+        if not value:
+            return None
+        try:
+            return cls.from_spec(value)
+        except ValueError as exc:
+            raise ValueError(f"bad REPRO_FAULTS environment value: {exc}") from None
+
+    def check(self, site: str) -> None:
+        """Count a call at ``site``; raise if any matching rule fires."""
+        matching = [rule for rule in self.rules if rule.site == site]
+        if not matching:
+            return
+        call_number = self._counts.get(site, 0) + 1
+        self._counts[site] = call_number
+        for rule in matching:
+            if rule.should_fail(call_number, self._rng):
+                self.fired.append((site, call_number))
+                raise _exception_for(site)(
+                    f"injected fault at {site!r} (call {call_number})"
+                )
+
+    def call_count(self, site: str) -> int:
+        """How many calls this injector has seen at ``site``."""
+        return self._counts.get(site, 0)
+
+    def __enter__(self) -> "FaultInjector":
+        _ACTIVE.append(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        _ACTIVE.remove(self)
+
+
+def _parse_rule(site: str, when: str) -> FaultRule:
+    if not site:
+        raise ValueError("empty fault site in REPRO_FAULTS spec")
+    if not when or when == "*":
+        return FaultRule(site)
+    if "-" in when:
+        low, _, high = when.partition("-")
+        return FaultRule(
+            site, fail_on=frozenset(range(int(low), int(high) + 1))
+        )
+    if "|" in when:
+        return FaultRule(
+            site, fail_on=frozenset(int(x) for x in when.split("|"))
+        )
+    return FaultRule(site, fail_on=frozenset({int(when)}))
+
+
+#: Stack of lexically-activated injectors (innermost last).
+_ACTIVE: List[FaultInjector] = []
+
+#: The ambient injector parsed from ``REPRO_FAULTS`` at import (call
+#: :func:`reload_env` after mutating the environment).
+_ENV_INJECTOR: Optional[FaultInjector] = FaultInjector.from_env()
+
+
+def reload_env(value: Optional[str] = None) -> Optional[FaultInjector]:
+    """Re-read ``REPRO_FAULTS`` (or use ``value``); returns the injector."""
+    global _ENV_INJECTOR
+    _ENV_INJECTOR = FaultInjector.from_env(value)
+    return _ENV_INJECTOR
+
+
+def env_injector() -> Optional[FaultInjector]:
+    """The ambient ``REPRO_FAULTS`` injector, if any."""
+    return _ENV_INJECTOR
+
+
+def check(site: str) -> None:
+    """Library hook: raise an injected fault if any active rule matches.
+
+    No-op (one global read) when no injector is active, so instrumented
+    entry points cost nothing in production.
+    """
+    if not _ACTIVE and _ENV_INJECTOR is None:
+        return
+    for injector in _ACTIVE:
+        injector.check(site)
+    if _ENV_INJECTOR is not None:
+        _ENV_INJECTOR.check(site)
+
+
+def inject_faults(spec, seed: int = 0) -> FaultInjector:
+    """Convenience constructor: ``with inject_faults("solver.direct"): ...``
+
+    ``spec`` is either a spec string (see module docstring) or an
+    iterable of :class:`FaultRule`.
+    """
+    if isinstance(spec, str):
+        return FaultInjector.from_spec(spec, seed=seed)
+    return FaultInjector(spec, seed=seed)

@@ -1,0 +1,231 @@
+"""Structured run reports: what ran, what degraded, and why.
+
+A :class:`RunReport` is threaded through the robust pipeline entry points
+(:func:`repro.analysis.lump_and_solve` with ``robust=True`` and
+:func:`repro.bench.table1.run_table1_row_robust`).  Every stage records
+its wall-clock time and status; every fallback taken (solver rung, engine
+switch, skipped lumping level) records what was requested, what actually
+ran, and the triggering error — so a production operator can tell a clean
+run from a degraded-but-successful one without re-running anything.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.robust.budgets import Budget, BudgetConsumption
+
+
+@dataclass
+class StageReport:
+    """Outcome of one pipeline stage."""
+
+    name: str
+    seconds: float
+    status: str = "ok"  # "ok" | "degraded" | "failed"
+    detail: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "seconds": self.seconds,
+            "status": self.status,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class FallbackEvent:
+    """One degradation decision: what was asked for vs. what ran."""
+
+    stage: str
+    requested: str
+    used: str
+    reason: str
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "stage": self.stage,
+            "requested": self.requested,
+            "used": self.used,
+            "reason": self.reason,
+        }
+
+
+@dataclass
+class AttemptReport:
+    """One attempt inside a fallback chain (solver rung, engine try)."""
+
+    stage: str
+    name: str
+    succeeded: bool
+    seconds: float
+    error: Optional[str] = None
+    iterations: Optional[int] = None
+    residual: Optional[float] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "stage": self.stage,
+            "name": self.name,
+            "succeeded": self.succeeded,
+            "seconds": self.seconds,
+            "error": self.error,
+            "iterations": self.iterations,
+            "residual": self.residual,
+        }
+
+
+@dataclass
+class RunReport:
+    """Structured record of one pipeline run.
+
+    Collects per-stage timings, per-attempt diagnostics, fallbacks taken,
+    free-form notes, and (when a budget was supplied) the final budget
+    consumption.  ``degraded`` is true iff any fallback fired or any
+    stage finished in a non-``ok`` status.
+    """
+
+    stages: List[StageReport] = field(default_factory=list)
+    attempts: List[AttemptReport] = field(default_factory=list)
+    fallbacks: List[FallbackEvent] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    budget: Optional[BudgetConsumption] = None
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[StageReport]:
+        """Time a stage; marks it ``failed`` (and re-raises) on error.
+
+        The yielded :class:`StageReport` can be mutated inside the block
+        (e.g. to set ``status="degraded"`` with a detail).
+        """
+        record = StageReport(name=name, seconds=0.0)
+        start = time.perf_counter()
+        try:
+            yield record
+        except BaseException as exc:
+            record.status = "failed"
+            record.detail = f"{type(exc).__name__}: {exc}"
+            raise
+        finally:
+            record.seconds = time.perf_counter() - start
+            self.stages.append(record)
+
+    def record_fallback(
+        self, stage: str, requested: str, used: str, reason: str
+    ) -> FallbackEvent:
+        """Record a degradation decision and return it."""
+        event = FallbackEvent(
+            stage=stage, requested=requested, used=used, reason=reason
+        )
+        self.fallbacks.append(event)
+        return event
+
+    def record_attempt(
+        self,
+        stage: str,
+        name: str,
+        succeeded: bool,
+        seconds: float,
+        error: Optional[str] = None,
+        iterations: Optional[int] = None,
+        residual: Optional[float] = None,
+    ) -> AttemptReport:
+        """Record one attempt inside a fallback chain."""
+        attempt = AttemptReport(
+            stage=stage,
+            name=name,
+            succeeded=succeeded,
+            seconds=seconds,
+            error=error,
+            iterations=iterations,
+            residual=residual,
+        )
+        self.attempts.append(attempt)
+        return attempt
+
+    def note(self, message: str) -> None:
+        """Append a free-form note."""
+        self.notes.append(message)
+
+    def attach_budget(self, budget: Optional[Budget]) -> None:
+        """Snapshot a budget's consumption into the report."""
+        if budget is not None:
+            self.budget = budget.consumption()
+
+    # ------------------------------------------------------------------
+    # queries / rendering
+    # ------------------------------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        """Whether anything fell back or finished non-``ok``."""
+        return bool(self.fallbacks) or any(
+            stage.status != "ok" for stage in self.stages
+        )
+
+    def stage_seconds(self, name: str) -> float:
+        """Total seconds across all stages with this name (0.0 if none)."""
+        return sum(s.seconds for s in self.stages if s.name == name)
+
+    def fallbacks_for(self, stage: str) -> List[FallbackEvent]:
+        """The fallbacks recorded under one stage name."""
+        return [event for event in self.fallbacks if event.stage == stage]
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form (JSON-serializable)."""
+        return {
+            "degraded": self.degraded,
+            "stages": [stage.to_dict() for stage in self.stages],
+            "attempts": [attempt.to_dict() for attempt in self.attempts],
+            "fallbacks": [event.to_dict() for event in self.fallbacks],
+            "notes": list(self.notes),
+            "budget": self.budget.to_dict() if self.budget else None,
+        }
+
+    def render(self) -> str:
+        """Human-readable multi-line summary."""
+        lines = [
+            "run report: "
+            + ("DEGRADED" if self.degraded else "clean")
+        ]
+        for stage in self.stages:
+            line = f"  stage {stage.name:<14s} {stage.seconds:8.3f}s  {stage.status}"
+            if stage.detail:
+                line += f"  ({stage.detail})"
+            lines.append(line)
+        for attempt in self.attempts:
+            outcome = "ok" if attempt.succeeded else "FAILED"
+            line = (
+                f"  attempt [{attempt.stage}] {attempt.name:<14s} "
+                f"{attempt.seconds:8.3f}s  {outcome}"
+            )
+            if attempt.error:
+                line += f"  ({attempt.error})"
+            lines.append(line)
+        for event in self.fallbacks:
+            lines.append(
+                f"  fallback [{event.stage}] {event.requested} -> "
+                f"{event.used}: {event.reason}"
+            )
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        if self.budget is not None:
+            b = self.budget
+            lines.append(
+                "  budget: "
+                f"{b.elapsed_seconds:.3f}s"
+                + (f"/{b.wall_clock_seconds:g}s" if b.wall_clock_seconds else "")
+                + f", {b.iterations_used} iterations"
+                + (f"/{b.max_iterations}" if b.max_iterations else "")
+                + f", peak {b.peak_states} states"
+                + (f"/{b.max_states}" if b.max_states else "")
+            )
+        return "\n".join(lines)

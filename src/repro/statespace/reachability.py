@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import StateSpaceError
 from repro.markov.ctmc import CTMC
+from repro.robust import budgets, faults
 from repro.statespace.events import EventModel
 from repro.statespace.mdd import MDDManager
 
@@ -88,20 +89,29 @@ def reachable_bfs(
     initial: Optional[Sequence[Tuple[int, ...]]] = None,
     max_states: Optional[int] = None,
 ) -> ReachabilityResult:
-    """Explicit BFS from the model's initial state (or a given seed set)."""
+    """Explicit BFS from the model's initial state (or a given seed set).
+
+    Cooperates with active :mod:`repro.robust.budgets`: the state count
+    is checked as states are *discovered*, so a state budget fires
+    promptly instead of after full exploration.
+    """
+    faults.check("reachability.bfs")
     if initial is None:
         seeds = [model.initial_state]
     else:
         seeds = [tuple(state) for state in initial]
     seen = set(seeds)
     frontier = list(seeds)
+    budgets.check_states(len(seen), stage="reachability")
     while frontier:
+        budgets.charge_iterations(1, stage="reachability")
         next_frontier: List[Tuple[int, ...]] = []
         for state in frontier:
             for target, _rate in model.successors(state):
                 if target not in seen:
                     seen.add(target)
                     next_frontier.append(target)
+                    budgets.check_states(len(seen), stage="reachability")
                     if max_states is not None and len(seen) > max_states:
                         raise StateSpaceError(
                             f"state space exceeds max_states={max_states}"
@@ -118,6 +128,7 @@ def reachable_mdd(
     """Symbolic fixpoint: ``S <- S U image(S, e)`` for all events until
     stable (event chaining).  Returns a :class:`ReachabilityResult`, plus
     the final MDD id and manager when ``return_mdd`` is true."""
+    faults.check("reachability.mdd")
     if manager is None:
         manager = MDDManager(model.level_sizes())
     current = _chain(manager, model)
@@ -176,6 +187,7 @@ def symbolic_reachability(
 
     ``strategy`` is ``"saturation"`` or ``"chaining"``.
     """
+    faults.check("reachability.mdd")
     manager = MDDManager(model.level_sizes())
     if strategy == "saturation":
         node = _saturate(manager, model)
@@ -191,9 +203,12 @@ def symbolic_reachability(
 def _chain(manager: MDDManager, model: EventModel) -> int:
     node = manager.singleton(model.initial_state)
     while True:
+        budgets.charge_iterations(1, stage="reachability")
         previous = node
         for event in model.events:
             node = manager.union(node, manager.image(node, event))
+        if budgets.active_budget() is not None:
+            budgets.check_states(manager.count(node), stage="reachability")
         if node == previous:
             return node
 
@@ -206,10 +221,15 @@ def _saturate(manager: MDDManager, model: EventModel) -> int:
 
     def close_from(node: int, lowest_top: int) -> int:
         while True:
+            budgets.charge_iterations(1, stage="reachability")
             previous = node
             for top in range(model.num_levels, lowest_top - 1, -1):
                 for event in events_by_top.get(top, ()):
                     node = manager.union(node, manager.image(node, event))
+            if budgets.active_budget() is not None:
+                budgets.check_states(
+                    manager.count(node), stage="reachability"
+                )
             if node == previous:
                 return node
 
@@ -234,6 +254,7 @@ def reachable_saturation(
     their fixpoints are computed once per upper configuration instead of
     once per global iteration.
     """
+    faults.check("reachability.mdd")
     if manager is None:
         manager = MDDManager(model.level_sizes())
     # Saturate bottom-up: after closing under deep (local) events, each

@@ -1,0 +1,140 @@
+"""Resource budgets: limits, prompt enforcement, composition."""
+
+import numpy as np
+import pytest
+
+from repro.markov.ctmc import CTMC
+from repro.markov.solvers import steady_state_power
+from repro.robust import budgets
+from repro.robust.budgets import (
+    Budget,
+    BudgetExceeded,
+    IterationBudgetExceeded,
+    StateBudgetExceeded,
+    TimeBudgetExceeded,
+    active_budget,
+)
+from repro.robust.faults import InjectedBudgetFault, inject_faults
+from repro.statespace import reachable_bfs
+
+
+def three_cycle() -> CTMC:
+    return CTMC.from_transitions(
+        3, [(0, 1, 1.0), (1, 2, 2.0), (2, 0, 3.0)]
+    )
+
+
+def test_limits_must_be_positive():
+    with pytest.raises(ValueError):
+        Budget(wall_clock_seconds=0)
+    with pytest.raises(ValueError):
+        Budget(max_iterations=-1)
+    with pytest.raises(ValueError):
+        Budget(max_states=0)
+
+
+def test_iteration_budget_fires_on_the_charge_that_exceeds():
+    budget = Budget(max_iterations=3).start()
+    budget.charge_iterations(3)
+    with pytest.raises(IterationBudgetExceeded) as excinfo:
+        budget.charge_iterations(1, stage="solve")
+    assert excinfo.value.stage == "solve"
+    assert excinfo.value.budget is budget
+    assert isinstance(excinfo.value, BudgetExceeded)
+
+
+def test_state_budget_tracks_peak_and_fires():
+    budget = Budget(max_states=10).start()
+    budget.check_states(7)
+    assert budget.peak_states == 7
+    with pytest.raises(StateBudgetExceeded):
+        budget.check_states(11)
+
+
+def test_time_budget_fires_after_elapse():
+    budget = Budget(wall_clock_seconds=1e-9).start()
+    # Any measurable amount of work exceeds a nanosecond budget.
+    sum(range(1000))
+    with pytest.raises(TimeBudgetExceeded):
+        budget.check_time("reachability")
+
+
+def test_hooks_are_noops_without_an_active_budget():
+    assert active_budget() is None
+    budgets.check_time("x")
+    budgets.charge_iterations(1000)
+    budgets.check_states(10**9)
+
+
+def test_context_manager_activates_and_deactivates():
+    with Budget(max_iterations=100) as budget:
+        assert active_budget() is budget
+        budgets.charge_iterations(5)
+        assert budget.iterations_used == 5
+    assert active_budget() is None
+
+
+def test_nested_budgets_compose_tightest_wins():
+    with Budget(max_iterations=100) as outer:
+        with Budget(max_iterations=5) as inner:
+            with pytest.raises(IterationBudgetExceeded) as excinfo:
+                budgets.charge_iterations(6)
+            assert excinfo.value.budget is inner
+        assert outer.iterations_used == 6
+
+
+def test_reachability_state_budget_fires_promptly(small_tandem):
+    """The budget stops BFS as states are discovered, not afterwards."""
+    event_model = small_tandem["event_model"]
+    full = small_tandem["reach"].num_states
+    limit = 5
+    assert full > limit * 3
+    with Budget(max_states=limit) as budget:
+        with pytest.raises(StateBudgetExceeded):
+            reachable_bfs(event_model)
+    # Exploration stopped at the first state over the limit: the peak is
+    # limit + 1, far from the full state-space size.
+    assert budget.peak_states == limit + 1
+    assert budget.peak_states < full
+
+
+def test_solver_iteration_budget():
+    ctmc = three_cycle()
+    with Budget(max_iterations=10):
+        with pytest.raises(IterationBudgetExceeded):
+            # tol=0 can never converge, so only the budget stops it.
+            steady_state_power(ctmc, tol=0.0)
+
+
+def test_consumption_snapshot():
+    with Budget(max_iterations=50, max_states=100) as budget:
+        budgets.charge_iterations(7)
+        budgets.check_states(42)
+    snap = budget.consumption()
+    assert snap.iterations_used == 7
+    assert snap.peak_states == 42
+    assert snap.max_iterations == 50
+    assert snap.max_states == 100
+    assert snap.elapsed_seconds >= 0.0
+    as_dict = snap.to_dict()
+    assert as_dict["iterations_used"] == 7
+    assert as_dict["max_states"] == 100
+
+
+def test_injected_budget_exhaustion_is_a_budget_exceeded():
+    """The fault injector can force budget exhaustion at a chosen charge."""
+    with Budget(max_iterations=10**9):
+        with inject_faults("budget:2"):
+            budgets.charge_iterations(1)  # first charge passes
+            with pytest.raises(InjectedBudgetFault) as excinfo:
+                budgets.charge_iterations(1)
+            assert isinstance(excinfo.value, BudgetExceeded)
+
+
+def test_budget_reuse_after_restart():
+    budget = Budget(wall_clock_seconds=60).start()
+    first = budget.elapsed_seconds
+    assert first >= 0.0
+    budget.start()
+    assert budget.elapsed_seconds <= 60
+    np.testing.assert_allclose(budget.consumption().iterations_used, 0)

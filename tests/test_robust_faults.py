@@ -1,0 +1,155 @@
+"""Fault injection: rules, call counts, seeding, env activation, types."""
+
+import pytest
+
+from repro.errors import (
+    LumpingError,
+    SolverError,
+    StateSpaceError,
+)
+from repro.robust import faults
+from repro.robust.budgets import BudgetExceeded
+from repro.robust.faults import (
+    FaultInjector,
+    FaultRule,
+    InjectedBudgetFault,
+    InjectedFault,
+    InjectedLumpingFault,
+    InjectedSolverFault,
+    InjectedStateSpaceFault,
+    inject_faults,
+)
+
+
+@pytest.fixture()
+def restore_env_injector():
+    """Snapshot/restore the ambient REPRO_FAULTS injector around a test."""
+    saved = faults._ENV_INJECTOR
+    yield
+    faults._ENV_INJECTOR = saved
+
+
+def test_unmatched_site_is_a_noop():
+    with inject_faults("solver.direct"):
+        faults.check("solver.power")  # different site: no raise
+
+
+def test_always_rule_fires_every_call():
+    with inject_faults("solver.direct") as injector:
+        for _ in range(3):
+            with pytest.raises(InjectedSolverFault):
+                faults.check("solver.direct")
+    assert injector.call_count("solver.direct") == 3
+    assert injector.fired == [
+        ("solver.direct", 1),
+        ("solver.direct", 2),
+        ("solver.direct", 3),
+    ]
+
+
+def test_call_count_rule_fires_only_on_chosen_calls():
+    with inject_faults("solver.direct:2"):
+        faults.check("solver.direct")  # call 1: passes
+        with pytest.raises(InjectedSolverFault):
+            faults.check("solver.direct")  # call 2: fires
+        faults.check("solver.direct")  # call 3: passes again
+
+
+def test_range_spec():
+    with inject_faults("solver.jacobi:1-2"):
+        with pytest.raises(InjectedSolverFault):
+            faults.check("solver.jacobi")
+        with pytest.raises(InjectedSolverFault):
+            faults.check("solver.jacobi")
+        faults.check("solver.jacobi")  # call 3: passes
+
+
+def test_alternative_spec():
+    with inject_faults("lumping.level:1|3"):
+        with pytest.raises(InjectedLumpingFault):
+            faults.check("lumping.level")
+        faults.check("lumping.level")
+        with pytest.raises(InjectedLumpingFault):
+            faults.check("lumping.level")
+
+
+def test_multi_site_spec_and_exception_taxonomy():
+    with inject_faults("solver.direct,reachability.bfs,budget"):
+        with pytest.raises(InjectedSolverFault) as s:
+            faults.check("solver.direct")
+        with pytest.raises(InjectedStateSpaceFault) as r:
+            faults.check("reachability.bfs")
+        with pytest.raises(InjectedBudgetFault) as b:
+            faults.check("budget")
+    # Injected faults are catchable exactly like the real failure...
+    assert isinstance(s.value, SolverError)
+    assert isinstance(r.value, StateSpaceError)
+    assert isinstance(b.value, BudgetExceeded)
+    # ...and all share the InjectedFault marker.
+    for caught in (s, r, b):
+        assert isinstance(caught.value, InjectedFault)
+
+
+def test_unknown_site_prefix_raises_base_injected_fault():
+    with inject_faults("custom.site"):
+        with pytest.raises(InjectedFault) as excinfo:
+            faults.check("custom.site")
+    assert not isinstance(excinfo.value, (SolverError, LumpingError))
+
+
+def test_first_n_rule():
+    injector = FaultInjector([FaultRule("solver.power", first=2)])
+    with injector:
+        with pytest.raises(InjectedSolverFault):
+            faults.check("solver.power")
+        with pytest.raises(InjectedSolverFault):
+            faults.check("solver.power")
+        faults.check("solver.power")
+
+
+def test_seeded_probability_is_deterministic():
+    def firing_pattern(seed):
+        injector = FaultInjector(
+            [FaultRule("solver.direct", probability=0.5)], seed=seed
+        )
+        pattern = []
+        with injector:
+            for _ in range(32):
+                try:
+                    faults.check("solver.direct")
+                    pattern.append(False)
+                except InjectedSolverFault:
+                    pattern.append(True)
+        return pattern
+
+    assert firing_pattern(7) == firing_pattern(7)
+    assert any(firing_pattern(7))
+    assert not all(firing_pattern(7))
+
+
+def test_nested_injectors_both_apply():
+    with inject_faults("solver.direct:1"):
+        with inject_faults("solver.jacobi:1"):
+            with pytest.raises(InjectedSolverFault):
+                faults.check("solver.direct")
+            with pytest.raises(InjectedSolverFault):
+                faults.check("solver.jacobi")
+
+
+def test_env_activation(restore_env_injector):
+    faults.reload_env("solver.direct:1")
+    with pytest.raises(InjectedSolverFault):
+        faults.check("solver.direct")
+    faults.check("solver.direct")  # call 2: spec only hits call 1
+    faults.reload_env("")
+    faults.check("solver.direct")
+
+
+def test_from_env_returns_none_when_unset():
+    assert FaultInjector.from_env("") is None
+    assert FaultInjector.from_env("  ") is None
+
+
+def test_bad_spec_rejected():
+    with pytest.raises(ValueError):
+        FaultInjector.from_spec(":1")
