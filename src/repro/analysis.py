@@ -98,6 +98,37 @@ class LumpedSolution:
         return total
 
 
+def _make_checkpointer(
+    checkpoint_dir: Optional[str],
+    resume: bool,
+    model: MDModel,
+    kind: str,
+    method: str,
+    key: str,
+    iterate: bool,
+    report: Optional[RunReport],
+):
+    """A :class:`~repro.robust.checkpoint.Checkpointer` for one
+    ``lump_and_solve`` configuration, or ``None`` when disabled.
+
+    The fingerprint ties the checkpoint directory to the full pipeline
+    configuration, so snapshots from a different model or method are
+    treated as stale in their entirety.
+    """
+    if checkpoint_dir is None:
+        return None
+    from repro.robust.checkpoint import Checkpointer
+
+    fingerprint = (
+        f"lump_and_solve kind={kind} method={method} key={key} "
+        f"iterate={iterate} levels={tuple(model.md.level_sizes)} "
+        f"n={model.num_states()}"
+    )
+    return Checkpointer(
+        checkpoint_dir, resume=resume, fingerprint=fingerprint, report=report
+    )
+
+
 def lump_and_solve(
     model: MDModel,
     kind: str = "ordinary",
@@ -109,6 +140,8 @@ def lump_and_solve(
     budget: Optional[Budget] = None,
     solver_chain: Optional[Sequence[str]] = None,
     report: Optional[RunReport] = None,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
 ) -> LumpedSolution:
     """Lump ``model`` compositionally and solve the lumped chain.
 
@@ -122,18 +155,28 @@ def lump_and_solve(
     under ``budget`` when one is given, and the returned solution carries
     a :class:`~repro.robust.report.RunReport` describing what degraded
     and why.
+
+    With ``checkpoint_dir`` set, the refinement and solver loops write
+    crash-safe snapshots there (see :mod:`repro.robust.checkpoint`); with
+    ``resume=True`` a rerun continues from the latest valid snapshots
+    instead of restarting, falling back to a fresh start (recorded in the
+    report, when robust) on any corrupt or stale snapshot.
     """
     if not robust:
-        result = compositional_lump(
-            model, kind=kind, key=key, iterate=iterate
+        ck = _make_checkpointer(
+            checkpoint_dir, resume, model, kind, method, key, iterate, None
         )
-        lumped_ctmc = result.lumped.flat_ctmc()
-        if not lumped_ctmc.is_irreducible():
-            raise LumpingError(
-                "the lumped chain is not irreducible; restrict the model to "
-                "a single recurrent class before solving"
+        with (ck if ck is not None else nullcontext()):
+            result = compositional_lump(
+                model, kind=kind, key=key, iterate=iterate
             )
-        stationary = steady_state(lumped_ctmc, method=method).distribution
+            lumped_ctmc = result.lumped.flat_ctmc()
+            if not lumped_ctmc.is_irreducible():
+                raise LumpingError(
+                    "the lumped chain is not irreducible; restrict the "
+                    "model to a single recurrent class before solving"
+                )
+            stationary = steady_state(lumped_ctmc, method=method).distribution
         return LumpedSolution(
             lumping=result, stationary=stationary, solve_method=method
         )
@@ -146,6 +189,8 @@ def lump_and_solve(
         budget=budget,
         solver_chain=solver_chain,
         report=report,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
     )
 
 
@@ -158,6 +203,8 @@ def _lump_and_solve_robust(
     budget: Optional[Budget],
     solver_chain: Optional[Sequence[str]],
     report: Optional[RunReport],
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
 ) -> LumpedSolution:
     """The degrading variant of :func:`lump_and_solve`."""
     from repro.robust.fallback import (
@@ -172,8 +219,11 @@ def _lump_and_solve_robust(
         solver_chain = [method] + [
             m for m in DEFAULT_SOLVER_CHAIN if m != method
         ]
+    ck = _make_checkpointer(
+        checkpoint_dir, resume, model, kind, method, key, iterate, report
+    )
     scope = budget if budget is not None else nullcontext()
-    with scope:
+    with scope, (ck if ck is not None else nullcontext()):
         with report.stage("lumping") as stage:
             result = compositional_lump(
                 model, kind=kind, key=key, iterate=iterate,

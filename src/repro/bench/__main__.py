@@ -72,9 +72,36 @@ def main(argv=None) -> int:
         help="wall-clock budget in seconds for each robust J run",
     )
     parser.add_argument(
+        "--iteration-budget",
+        type=int,
+        help="iteration budget for each robust J run (deterministic, so "
+        "useful for exercising checkpoint/resume in CI)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        help="directory for crash-safe checkpoints of each robust J run "
+        "(requires --robust); a budget-stopped or killed run can then be "
+        "continued with --resume",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from the snapshots in --checkpoint-dir instead of "
+        "starting fresh (corrupt or stale snapshots fall back to a fresh "
+        "start, recorded in the run report)",
+    )
+    parser.add_argument(
         "--output", help="also write the rendered table to this file"
     )
     args = parser.parse_args(argv)
+    if args.checkpoint_dir and not args.robust:
+        parser.error("--checkpoint-dir requires --robust")
+    if args.resume and not args.checkpoint_dir:
+        parser.error("--resume requires --checkpoint-dir")
+    if (
+        args.iteration_budget is not None or args.time_budget is not None
+    ) and not args.robust:
+        parser.error("--time-budget/--iteration-budget require --robust")
 
     rows = []
     reports = []
@@ -92,11 +119,14 @@ def main(argv=None) -> int:
 
             if args.time_budget is not None and args.time_budget <= 0:
                 parser.error("--time-budget must be positive")
-            budget = (
-                Budget(wall_clock_seconds=args.time_budget)
-                if args.time_budget is not None
-                else None
-            )
+            if args.iteration_budget is not None and args.iteration_budget <= 0:
+                parser.error("--iteration-budget must be positive")
+            budget = None
+            if args.time_budget is not None or args.iteration_budget is not None:
+                budget = Budget(
+                    wall_clock_seconds=args.time_budget,
+                    max_iterations=args.iteration_budget,
+                )
             engines = (
                 ("mdd", "bfs") if args.engine == "mdd" else ("bfs", "mdd")
             )
@@ -104,9 +134,18 @@ def main(argv=None) -> int:
                 run = run_table1_row_robust(
                     jobs, params, engines=engines, kind=args.kind,
                     budget=budget,
+                    checkpoint_dir=args.checkpoint_dir,
+                    resume=args.resume,
                 )
             except BudgetExceeded as exc:
                 print(f"J={jobs}: budget exhausted: {exc}", file=sys.stderr)
+                if args.checkpoint_dir:
+                    print(
+                        f"J={jobs}: progress checkpointed in "
+                        f"{args.checkpoint_dir!r}; re-run with --resume "
+                        "(and a larger budget) to continue",
+                        file=sys.stderr,
+                    )
                 return 2
             rows.append(run.row)
             reports.append((jobs, run.report))

@@ -32,6 +32,7 @@ from repro.matrixdiagram import md_stats
 from repro.models import TandemParams, build_tandem, tandem_md_model
 from repro.models.tandem import projected_event_model
 from repro.robust.budgets import Budget
+from repro.robust.checkpoint import scoped as checkpoint_scoped
 from repro.robust.report import RunReport
 from repro.statespace import reachable_bfs, reachable_mdd
 from repro.util import Stopwatch, Table, format_bytes, format_seconds
@@ -204,6 +205,8 @@ def run_table1_row_robust(
     solver_chain: Optional[Sequence[str]] = None,
     budget: Optional[Budget] = None,
     report: Optional[RunReport] = None,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
 ) -> RobustTable1Run:
     """The Table-1 pipeline with fallbacks, degradation, and a report.
 
@@ -212,6 +215,10 @@ def run_table1_row_robust(
     lumping skips levels that fail (identity partition), and the solve
     walks the solver fallback chain.  Every degradation is recorded in
     the returned report, so the driver can print what degraded and why.
+
+    With ``checkpoint_dir`` set, the reachability/refinement/solver loops
+    write crash-safe snapshots (see :mod:`repro.robust.checkpoint`);
+    ``resume=True`` continues a killed or budget-stopped run from them.
     """
     from repro.robust.fallback import (
         DEFAULT_SOLVER_CHAIN,
@@ -227,9 +234,23 @@ def run_table1_row_robust(
         report = RunReport()
     if solver_chain is None:
         solver_chain = DEFAULT_SOLVER_CHAIN
+    ck = None
+    if checkpoint_dir is not None:
+        from repro.robust.checkpoint import Checkpointer
+
+        ck = Checkpointer(
+            checkpoint_dir,
+            resume=resume,
+            fingerprint=(
+                f"table1 jobs={jobs} kind={kind} params={params}"
+            ),
+            report=report,
+        )
     scope = budget if budget is not None else nullcontext()
-    with scope:
-        with report.stage("generation") as stage:
+    with scope, (ck if ck is not None else nullcontext()):
+        with report.stage("generation") as stage, checkpoint_scoped(
+            "generation"
+        ):
             compiled = build_tandem(params)
             engine_run = reachable_with_fallback(
                 compiled.event_model, engines=engines
@@ -262,14 +283,17 @@ def run_table1_row_robust(
             ):
                 # Same recomputation as run_table1_row: the projection
                 # shrank a level, so re-derive the set in the projected
-                # coordinates (BFS is always available here).
-                reach = reachable_bfs(event_model)
+                # coordinates (BFS is always available here).  Its own
+                # checkpoint scope keeps it from ever aliasing the first
+                # BFS's snapshots.
+                with checkpoint_scoped("projected"):
+                    reach = reachable_bfs(event_model)
             else:
                 reach.model = event_model
             model = tandem_md_model(event_model, params, reachable=reach)
         unlumped_stats = md_stats(model.md)
 
-        with report.stage("lumping") as stage:
+        with report.stage("lumping") as stage, checkpoint_scoped("lumping"):
             result = compositional_lump(
                 model, kind, degrade=True, report=report
             )
@@ -281,7 +305,7 @@ def run_table1_row_robust(
                 )
         lumped_stats = md_stats(result.lumped.md)
 
-        with report.stage("solve") as stage:
+        with report.stage("solve") as stage, checkpoint_scoped("solve"):
             lumped_ctmc = result.lumped.flat_ctmc()
             solution = solve_with_fallback(lumped_ctmc, chain=solver_chain)
             for attempt in solution.attempts:

@@ -36,7 +36,7 @@ from repro.lumping.md_model import MDModel
 from repro.matrixdiagram.md import MatrixDiagram
 from repro.matrixdiagram.node import MDNode
 from repro.partitions import Partition
-from repro.robust import budgets, faults
+from repro.robust import budgets, checkpoint, faults
 from repro.robust.budgets import BudgetExceeded
 
 
@@ -285,10 +285,15 @@ def compositional_lump(
         )
     current = model
     composed: Optional[CompositionalLumpingResult] = None
+    pass_number = 0
     while True:
-        result = _compositional_lump_once(
-            current, kind, levels, key, strategy, degrade, report
-        )
+        # Each pass gets its own checkpoint scope so the per-level
+        # snapshot keys of successive passes never collide.
+        with checkpoint.scoped(f"pass{pass_number}"):
+            result = _compositional_lump_once(
+                current, kind, levels, key, strategy, degrade, report
+            )
+        pass_number += 1
         composed = result if composed is None else _compose_results(
             composed, result
         )
@@ -380,11 +385,16 @@ def _compositional_lump_once(
                 start = initial_partition_ordinary(model, level)
             else:
                 start = initial_partition_exact(model, level)
-            partitions.append(
-                comp_lumping_level(
-                    md, level, start, kind=kind, key=key, strategy=strategy
+            # Scope the refinement checkpoints per level, so a run killed
+            # at level k resumes levels 1..k-1 from complete snapshots
+            # and level k from its partial one.
+            with checkpoint.scoped(f"level{level}"):
+                partitions.append(
+                    comp_lumping_level(
+                        md, level, start, kind=kind, key=key,
+                        strategy=strategy,
+                    )
                 )
-            )
         except (LumpingError, BudgetExceeded) as exc:
             if not degrade:
                 raise

@@ -25,7 +25,8 @@ from typing import Callable, Hashable, Iterable, Optional, Tuple
 
 from repro.errors import LumpingError
 from repro.partitions import Partition
-from repro.robust import budgets
+from repro.robust import budgets, checkpoint
+from repro.robust.budgets import BudgetExceeded
 
 
 @dataclass
@@ -95,37 +96,101 @@ def comp_lumping(
     worklist = deque(partition.block_ids())
     queued = set(worklist)
 
+    ck = checkpoint.active()
+    ck_key = ck_guard = None
+    stats_base = None
+    if ck is not None:
+        ck_key = ck.sequence_key("refinement")
+        ck_guard = {
+            "n": num_states,
+            "strategy": strategy,
+            "initial": checkpoint.digest(
+                repr(initial.canonical()).encode("utf-8")
+            ),
+        }
+        if stats is not None:
+            # The snapshot stores this call's *deltas*, so a shared
+            # accumulator keeps counting correctly across a resume.
+            stats_base = (
+                stats.splitters_processed,
+                stats.blocks_split,
+                stats.blocks_created,
+            )
+        record = ck.load(ck_key, guard=ck_guard)
+        if record is not None:
+            payload = record["payload"]
+            # Ids must be restored exactly: the worklist holds block ids,
+            # and downstream renumbering is a function of the id order.
+            partition = Partition.from_blocks_with_ids(
+                num_states, payload["blocks"], next_id=payload["next_id"]
+            )
+            if stats is not None:
+                delta = payload.get("stats") or (0, 0, 0)
+                stats.splitters_processed = stats_base[0] + delta[0]
+                stats.blocks_split = stats_base[1] + delta[1]
+                stats.blocks_created = stats_base[2] + delta[2]
+            if record["complete"]:
+                return partition
+            worklist = deque(int(b) for b in payload["worklist"])
+            queued = set(worklist)
+
+    def snapshot(complete: bool = False) -> None:
+        payload = {
+            "blocks": partition.blocks_with_ids(),
+            "next_id": partition.next_block_id,
+            "worklist": list(worklist),
+        }
+        if stats is not None and stats_base is not None:
+            payload["stats"] = [
+                stats.splitters_processed - stats_base[0],
+                stats.blocks_split - stats_base[1],
+                stats.blocks_created - stats_base[2],
+            ]
+        ck.save(ck_key, payload, guard=ck_guard, complete=complete)
+
     def push(block_id: int) -> None:
         if block_id not in queued:
             queued.add(block_id)
             worklist.append(block_id)
 
-    while worklist:
-        budgets.charge_iterations(1, stage="refinement")
-        splitter_id = worklist.popleft()
-        queued.discard(splitter_id)
-        members = partition.block(splitter_id)
-        key, touched = splitter_factory(members)
-        if stats is not None:
-            stats.splitters_processed += 1
-        if touched is None:
-            candidate_blocks = list(partition.block_ids())
-        else:
-            candidate_blocks = sorted(
-                {partition.block_of(s) for s in touched}
-            )
-        for block_id in candidate_blocks:
-            created = partition.split_block(block_id, key)
-            if not created:
-                continue
+    try:
+        while worklist:
+            budgets.charge_iterations(1, stage="refinement")
+            if ck is not None and ck.tick(ck_key):
+                snapshot()
+            splitter_id = worklist.popleft()
+            queued.discard(splitter_id)
+            members = partition.block(splitter_id)
+            key, touched = splitter_factory(members)
             if stats is not None:
-                stats.blocks_split += 1
-                stats.blocks_created += len(created)
-            for new_id in created:
-                push(new_id)
-            if strategy == "paper":
-                push(block_id)
-            # With "all-but-largest" the parent keeps the largest subclass
-            # (guaranteed by Partition.split_block) and is only reprocessed
-            # if it was already queued.
+                stats.splitters_processed += 1
+            if touched is None:
+                candidate_blocks = list(partition.block_ids())
+            else:
+                candidate_blocks = sorted(
+                    {partition.block_of(s) for s in touched}
+                )
+            for block_id in candidate_blocks:
+                created = partition.split_block(block_id, key)
+                if not created:
+                    continue
+                if stats is not None:
+                    stats.blocks_split += 1
+                    stats.blocks_created += len(created)
+                for new_id in created:
+                    push(new_id)
+                if strategy == "paper":
+                    push(block_id)
+                # With "all-but-largest" the parent keeps the largest
+                # subclass (guaranteed by Partition.split_block) and is
+                # only reprocessed if it was already queued.
+    except BudgetExceeded:
+        # The budget hook sits at the top of the loop body, so the
+        # partition and worklist are consistent here: persist them and
+        # let the exception continue up.
+        if ck is not None:
+            snapshot()
+        raise
+    if ck is not None:
+        snapshot(complete=True)
     return partition

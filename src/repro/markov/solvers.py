@@ -32,7 +32,8 @@ from scipy.sparse import linalg as sparse_linalg
 
 from repro.errors import SolverError
 from repro.markov.ctmc import CTMC
-from repro.robust import budgets, faults
+from repro.robust import budgets, checkpoint, faults
+from repro.robust.budgets import BudgetExceeded
 
 
 @dataclass
@@ -75,6 +76,29 @@ def _check_irreducible(ctmc: CTMC, method: str) -> None:
         )
 
 
+def _generator_digest(q) -> str:
+    """Content digest of a generator matrix (checkpoint guard): a solver
+    snapshot is only resumed against the exact same ``Q``."""
+    qc = sparse.csr_matrix(q)
+    return checkpoint.digest(
+        np.asarray(qc.indptr).tobytes(),
+        np.asarray(qc.indices).tobytes(),
+        np.asarray(qc.data).tobytes(),
+    )
+
+
+def _solver_resume(ck, method: str, n: int, q, tol: Optional[float]):
+    """Common checkpoint entry for a solver: the sequence key, guard, and
+    any matching snapshot record (or ``None``s when inactive)."""
+    if ck is None:
+        return None, None, None
+    key = ck.sequence_key(f"solve.{method}")
+    guard = {"n": n, "q": _generator_digest(q)}
+    if tol is not None:
+        guard["tol"] = tol
+    return key, guard, ck.load(key, guard=guard)
+
+
 def _initial_vector(n: int, x0: Optional[np.ndarray]) -> np.ndarray:
     """Uniform start, or a normalized copy of a warm-start vector."""
     if x0 is None:
@@ -102,6 +126,16 @@ def steady_state_direct(ctmc: CTMC) -> SteadyStateResult:
     budgets.check_time("solve")
     n = ctmc.num_states
     q = ctmc.generator_matrix()
+    ck = checkpoint.active()
+    key, guard, record = _solver_resume(ck, "direct", n, q, None)
+    if record is not None and record["complete"]:
+        payload = record["payload"]
+        return SteadyStateResult(
+            np.asarray(payload["pi"], dtype=float),
+            0,
+            float(payload["residual"]),
+            "direct",
+        )
     a = sparse.lil_matrix(q.T)
     a[n - 1, :] = 1.0
     b = np.zeros(n)
@@ -131,7 +165,15 @@ def steady_state_direct(ctmc: CTMC) -> SteadyStateResult:
             iterations=0,
         )
     pi /= total
-    return SteadyStateResult(pi, 0, _residual(pi, q), "direct")
+    residual = _residual(pi, q)
+    if ck is not None:
+        ck.save(
+            key,
+            {"pi": pi.tolist(), "iterations": 0, "residual": residual},
+            guard=guard,
+            complete=True,
+        )
+    return SteadyStateResult(pi, 0, residual, "direct")
 
 
 def steady_state_power(
@@ -147,15 +189,62 @@ def steady_state_power(
     p = ctmc.embedded_dtmc()
     q = ctmc.generator_matrix()
     pi = _initial_vector(n, x0)
-    for iteration in range(1, max_iterations + 1):
-        budgets.charge_iterations(1, stage="solve")
-        new_pi = pi @ p
-        delta = float(np.abs(new_pi - pi).max())
-        pi = new_pi
-        if delta < tol:
-            pi = np.clip(pi, 0.0, None)
-            pi /= pi.sum()
-            return SteadyStateResult(pi, iteration, _residual(pi, q), "power")
+    ck = checkpoint.active()
+    key, guard, record = _solver_resume(ck, "power", n, q, tol)
+    start = 1
+    if record is not None:
+        payload = record["payload"]
+        if record["complete"]:
+            return SteadyStateResult(
+                np.asarray(payload["pi"], dtype=float),
+                int(payload["iterations"]),
+                float(payload["residual"]),
+                "power",
+            )
+        # JSON round-trips float64 bitwise (repr-based), so the resumed
+        # iterate is the killed run's exact vector.
+        pi = np.asarray(payload["pi"], dtype=float)
+        start = int(payload["iteration"]) + 1
+    completed = start - 1
+    try:
+        for iteration in range(start, max_iterations + 1):
+            budgets.charge_iterations(1, stage="solve")
+            new_pi = pi @ p
+            delta = float(np.abs(new_pi - pi).max())
+            pi = new_pi
+            completed = iteration
+            if delta < tol:
+                pi = np.clip(pi, 0.0, None)
+                pi /= pi.sum()
+                residual = _residual(pi, q)
+                if ck is not None:
+                    ck.save(
+                        key,
+                        {
+                            "pi": pi.tolist(),
+                            "iterations": iteration,
+                            "residual": residual,
+                        },
+                        guard=guard,
+                        complete=True,
+                    )
+                return SteadyStateResult(pi, iteration, residual, "power")
+            if ck is not None and ck.tick(key):
+                ck.save(
+                    key,
+                    {"pi": pi.tolist(), "iteration": completed},
+                    guard=guard,
+                )
+    except BudgetExceeded:
+        if ck is not None:
+            ck.save(
+                key, {"pi": pi.tolist(), "iteration": completed}, guard=guard
+            )
+        raise
+    if ck is not None:
+        ck.save(
+            key, {"pi": pi.tolist(), "iteration": completed}, guard=guard
+        )
     pi = np.clip(pi, 0.0, None)
     pi /= pi.sum()
     raise SolverError(
@@ -196,24 +285,69 @@ def steady_state_jacobi(
     off = sparse.csr_matrix(off)
     inv_diag = -1.0 / diag
     pi = _initial_vector(n, x0)
-    for iteration in range(1, max_iterations + 1):
-        budgets.charge_iterations(1, stage="solve")
-        step = (pi @ off) * inv_diag
-        total = step.sum()
-        if total <= 0:
-            raise SolverError(
-                "jacobi iteration collapsed to zero",
-                method="jacobi",
-                iterations=iteration,
-                residual=_residual(pi, q),
-                last_iterate=pi,
+    ck = checkpoint.active()
+    key, guard, record = _solver_resume(ck, "jacobi", n, q, tol)
+    start = 1
+    if record is not None:
+        payload = record["payload"]
+        if record["complete"]:
+            return SteadyStateResult(
+                np.asarray(payload["pi"], dtype=float),
+                int(payload["iterations"]),
+                float(payload["residual"]),
+                "jacobi",
             )
-        new_pi = (1.0 - relaxation) * pi + relaxation * (step / total)
-        new_pi /= new_pi.sum()
-        delta = float(np.abs(new_pi - pi).max())
-        pi = new_pi
-        if delta < tol:
-            return SteadyStateResult(pi, iteration, _residual(pi, q), "jacobi")
+        pi = np.asarray(payload["pi"], dtype=float)
+        start = int(payload["iteration"]) + 1
+    completed = start - 1
+    try:
+        for iteration in range(start, max_iterations + 1):
+            budgets.charge_iterations(1, stage="solve")
+            step = (pi @ off) * inv_diag
+            total = step.sum()
+            if total <= 0:
+                raise SolverError(
+                    "jacobi iteration collapsed to zero",
+                    method="jacobi",
+                    iterations=iteration,
+                    residual=_residual(pi, q),
+                    last_iterate=pi,
+                )
+            new_pi = (1.0 - relaxation) * pi + relaxation * (step / total)
+            new_pi /= new_pi.sum()
+            delta = float(np.abs(new_pi - pi).max())
+            pi = new_pi
+            completed = iteration
+            if delta < tol:
+                residual = _residual(pi, q)
+                if ck is not None:
+                    ck.save(
+                        key,
+                        {
+                            "pi": pi.tolist(),
+                            "iterations": iteration,
+                            "residual": residual,
+                        },
+                        guard=guard,
+                        complete=True,
+                    )
+                return SteadyStateResult(pi, iteration, residual, "jacobi")
+            if ck is not None and ck.tick(key):
+                ck.save(
+                    key,
+                    {"pi": pi.tolist(), "iteration": completed},
+                    guard=guard,
+                )
+    except BudgetExceeded:
+        if ck is not None:
+            ck.save(
+                key, {"pi": pi.tolist(), "iteration": completed}, guard=guard
+            )
+        raise
+    if ck is not None:
+        ck.save(
+            key, {"pi": pi.tolist(), "iteration": completed}, guard=guard
+        )
     raise SolverError(
         f"jacobi iteration did not converge in {max_iterations} iterations",
         method="jacobi",
@@ -245,34 +379,81 @@ def steady_state_gauss_seidel(
         return SteadyStateResult(pi, 0, _residual(pi, q), "gauss-seidel")
     indptr, indices, data = qt.indptr, qt.indices, qt.data
     pi = _initial_vector(n, x0)
-    for iteration in range(1, max_iterations + 1):
-        budgets.charge_iterations(1, stage="solve")
-        delta = 0.0
-        for j in range(n):
-            acc = 0.0
-            for k in range(indptr[j], indptr[j + 1]):
-                i = indices[k]
-                if i != j:
-                    acc += data[k] * pi[i]
-            new_value = -acc / diag[j]
-            delta = max(delta, abs(new_value - pi[j]))
-            pi[j] = new_value
-        total = pi.sum()
-        if total <= 0:
-            raise SolverError(
-                "gauss-seidel iteration collapsed to zero",
-                method="gauss-seidel",
-                iterations=iteration,
-                residual=_residual(pi, q),
-                last_iterate=pi,
-            )
-        pi /= total
-        if delta < tol:
-            pi = np.clip(pi, 0.0, None)
-            pi /= pi.sum()
+    ck = checkpoint.active()
+    key, guard, record = _solver_resume(ck, "gauss-seidel", n, q, tol)
+    start = 1
+    if record is not None:
+        payload = record["payload"]
+        if record["complete"]:
             return SteadyStateResult(
-                pi, iteration, _residual(pi, q), "gauss-seidel"
+                np.asarray(payload["pi"], dtype=float),
+                int(payload["iterations"]),
+                float(payload["residual"]),
+                "gauss-seidel",
             )
+        pi = np.asarray(payload["pi"], dtype=float)
+        start = int(payload["iteration"]) + 1
+    completed = start - 1
+    try:
+        for iteration in range(start, max_iterations + 1):
+            # The budget hook fires before the in-place sweep touches pi,
+            # so a BudgetExceeded always sees a whole-iteration vector.
+            budgets.charge_iterations(1, stage="solve")
+            delta = 0.0
+            for j in range(n):
+                acc = 0.0
+                for k in range(indptr[j], indptr[j + 1]):
+                    i = indices[k]
+                    if i != j:
+                        acc += data[k] * pi[i]
+                new_value = -acc / diag[j]
+                delta = max(delta, abs(new_value - pi[j]))
+                pi[j] = new_value
+            total = pi.sum()
+            if total <= 0:
+                raise SolverError(
+                    "gauss-seidel iteration collapsed to zero",
+                    method="gauss-seidel",
+                    iterations=iteration,
+                    residual=_residual(pi, q),
+                    last_iterate=pi,
+                )
+            pi /= total
+            completed = iteration
+            if delta < tol:
+                pi = np.clip(pi, 0.0, None)
+                pi /= pi.sum()
+                residual = _residual(pi, q)
+                if ck is not None:
+                    ck.save(
+                        key,
+                        {
+                            "pi": pi.tolist(),
+                            "iterations": iteration,
+                            "residual": residual,
+                        },
+                        guard=guard,
+                        complete=True,
+                    )
+                return SteadyStateResult(
+                    pi, iteration, residual, "gauss-seidel"
+                )
+            if ck is not None and ck.tick(key):
+                ck.save(
+                    key,
+                    {"pi": pi.tolist(), "iteration": completed},
+                    guard=guard,
+                )
+    except BudgetExceeded:
+        if ck is not None:
+            ck.save(
+                key, {"pi": pi.tolist(), "iteration": completed}, guard=guard
+            )
+        raise
+    if ck is not None:
+        ck.save(
+            key, {"pi": pi.tolist(), "iteration": completed}, guard=guard
+        )
     pi = np.clip(pi, 0.0, None)
     pi /= pi.sum()
     raise SolverError(

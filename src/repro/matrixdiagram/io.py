@@ -101,16 +101,42 @@ def md_to_json(md: MatrixDiagram, indent: Optional[int] = None) -> str:
 
 def md_from_json(text: str) -> MatrixDiagram:
     """Deserialize from a JSON string."""
-    return md_from_dict(json.loads(text))
+    try:
+        data = json.loads(text)
+    except ValueError as exc:
+        raise MatrixDiagramError(
+            f"MD data is not valid JSON (truncated or corrupt?): {exc}"
+        ) from exc
+    if not isinstance(data, dict):
+        raise MatrixDiagramError(
+            "MD data is not a JSON object (truncated or corrupt?)"
+        )
+    try:
+        return md_from_dict(data)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise MatrixDiagramError(
+            f"malformed MD data (truncated or corrupt?): {exc!r}"
+        ) from exc
 
 
 def save_md(md: MatrixDiagram, path: str) -> None:
-    """Write an MD to a JSON file."""
-    with open(path, "w") as handle:
-        handle.write(md_to_json(md))
+    """Write an MD to a JSON file, atomically.
+
+    The bytes go to a temporary file that is fsynced and renamed over
+    ``path``, so a crash mid-save leaves either the previous file or the
+    complete new one — never a torn, half-written MD.
+    """
+    from repro.robust.checkpoint import atomic_write_text
+
+    atomic_write_text(path, md_to_json(md))
 
 
 def load_md(path: str) -> MatrixDiagram:
-    """Read an MD from a JSON file."""
+    """Read an MD from a JSON file.
+
+    A truncated or otherwise corrupt file raises a clear
+    :class:`~repro.errors.MatrixDiagramError` instead of an arbitrary
+    decoding failure.
+    """
     with open(path) as handle:
         return md_from_json(handle.read())

@@ -90,6 +90,52 @@ class Partition:
         ``i`` and ``j`` share a block."""
         return cls.from_key(len(labels), lambda i: labels[i])
 
+    @classmethod
+    def from_blocks_with_ids(
+        cls,
+        n: int,
+        blocks: Iterable[Tuple[int, Iterable[int]]],
+        next_id: int = None,
+    ) -> "Partition":
+        """Rebuild a partition with *exact* block ids (checkpoint resume).
+
+        ``blocks`` is an iterable of ``(block_id, members)`` as produced
+        by :meth:`blocks_with_ids`.  Unlike :meth:`__init__`, ids are
+        taken verbatim instead of being assigned in creation order, so a
+        restored partition behaves identically to the original under
+        id-sensitive operations (worklists of splitter ids, further
+        refinement).  ``next_id`` defaults to one past the largest id.
+        """
+        self = cls.__new__(cls)
+        if n < 0:
+            raise LumpingError("partition size must be non-negative")
+        self._n = n
+        self._blocks = {}
+        self._block_of = [-1] * n
+        max_id = -1
+        for block_id, members in blocks:
+            block_id = int(block_id)
+            member_list = sorted(int(s) for s in members)
+            if not member_list:
+                raise LumpingError("partition blocks must be non-empty")
+            if block_id in self._blocks:
+                raise LumpingError(f"duplicate block id {block_id}")
+            self._blocks[block_id] = member_list
+            for state in member_list:
+                if self._block_of[state] != -1:
+                    raise LumpingError(f"state {state} appears in two blocks")
+                self._block_of[state] = block_id
+            max_id = max(max_id, block_id)
+        if any(b < 0 for b in self._block_of):
+            missing = [i for i, b in enumerate(self._block_of) if b < 0]
+            raise LumpingError(f"blocks do not cover states {missing[:10]}")
+        self._next_id = max_id + 1 if next_id is None else int(next_id)
+        if self._next_id <= max_id:
+            raise LumpingError(
+                f"next_id {self._next_id} collides with existing block ids"
+            )
+        return self
+
     def _add_block(self, members: List[int]) -> int:
         block_id = self._next_id
         self._next_id += 1
@@ -129,6 +175,16 @@ class Partition:
         """Iterate over blocks (each a sorted tuple), in id order."""
         for block_id in sorted(self._blocks):
             yield self.block(block_id)
+
+    def blocks_with_ids(self) -> List[Tuple[int, Tuple[int, ...]]]:
+        """``(block_id, members)`` pairs in ascending id order — the
+        id-preserving snapshot consumed by :meth:`from_blocks_with_ids`."""
+        return [(block_id, self.block(block_id)) for block_id in self.block_ids()]
+
+    @property
+    def next_block_id(self) -> int:
+        """The id the next created block would receive (snapshot state)."""
+        return self._next_id
 
     def representative(self, block_id: int) -> int:
         """An arbitrary (smallest) member of the block; the paper's

@@ -11,6 +11,10 @@ degradation first-class across the pipeline:
   path is testable in CI;
 * :mod:`repro.robust.fallback` — solver and reachability-engine fallback
   chains with per-attempt diagnostics and warm starts;
+* :mod:`repro.robust.checkpoint` — crash-safe checkpoint/resume: atomic,
+  sha256-verified snapshots of the reachability / refinement / solver
+  loops, so a killed or budget-stopped run continues instead of
+  restarting;
 * :mod:`repro.robust.report` — a structured :class:`RunReport` of stage
   timings, attempts, fallbacks taken, and budget consumption.
 
@@ -18,6 +22,14 @@ degradation first-class across the pipeline:
 turn import :mod:`budgets`/:mod:`faults` for their cooperative hooks.
 """
 
+from repro.robust.checkpoint import (
+    CheckpointError,
+    CheckpointEvent,
+    Checkpointer,
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+)
 from repro.robust.budgets import (
     Budget,
     BudgetConsumption,
@@ -85,6 +97,12 @@ __all__ = [
     "StageReport",
     "AttemptReport",
     "FallbackEvent",
+    "Checkpointer",
+    "CheckpointError",
+    "CheckpointEvent",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "atomic_write_json",
     "DEFAULT_SOLVER_CHAIN",
     "SolveAttempt",
     "FallbackSolution",

@@ -83,6 +83,21 @@ class BudgetConsumption:
             "max_states": self.max_states,
         }
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "BudgetConsumption":
+        """Inverse of :meth:`to_dict` (tolerates missing keys)."""
+        limit = data.get("wall_clock_seconds")
+        iter_limit = data.get("max_iterations")
+        state_limit = data.get("max_states")
+        return cls(
+            elapsed_seconds=float(data.get("elapsed_seconds", 0.0)),
+            iterations_used=int(data.get("iterations_used", 0)),
+            peak_states=int(data.get("peak_states", 0)),
+            wall_clock_seconds=None if limit is None else float(limit),
+            max_iterations=None if iter_limit is None else int(iter_limit),
+            max_states=None if state_limit is None else int(state_limit),
+        )
+
 
 class Budget:
     """A composable cap on wall-clock seconds, iterations, and states.

@@ -1,0 +1,493 @@
+"""Crash-safe checkpoint/resume for the pipeline's long-running loops.
+
+Table-1-scale runs are long-lived; PR 1's budgets and fallbacks degrade a
+run *in process* but still throw away all completed work when the process
+dies or a budget fires.  This module adds durable progress: versioned,
+integrity-checked, atomically written snapshots of the three loops that
+dominate wall-clock time —
+
+* reachability (the BFS frontier + visited set, and the current fixpoint
+  set of the symbolic MDD engines),
+* partition refinement (the current partition with its block ids, the
+  splitter worklist, and the work counters),
+* the iterative steady-state solvers (iterate vector + iteration count).
+
+Checkpoint hooks piggyback on the same cooperative check sites the budget
+system already instruments: each loop reads :func:`active` once at entry
+(one global read — the entire inactive-path cost) and only engages when a
+:class:`Checkpointer` is active.  ``BudgetExceeded`` escaping a loop
+persists a final snapshot first, so re-running with a larger budget
+continues instead of restarting.
+
+On-disk format
+--------------
+
+A checkpoint directory holds one JSON file per snapshot key plus a
+``MANIFEST.json`` mapping each file name to the sha256 of its exact
+bytes.  Every write is atomic (tmp file + fsync + rename), so a crash
+mid-write leaves either the old snapshot or the new one, never a torn
+file.  Each snapshot records ``format`` (the schema version), a ``guard``
+dict describing the computation it belongs to (problem sizes, content
+digests), ``complete`` (whether the loop finished), and the ``payload``.
+
+Resume is strictly best-effort: a snapshot that is missing from the
+manifest, fails its hash, carries the wrong format version, or whose
+guard does not match the caller's is *ignored* — the loop starts fresh
+and the event is recorded (in :attr:`Checkpointer.events` and, when a
+report is attached, as a ``checkpoint`` fallback in the
+:class:`~repro.robust.report.RunReport`).  Corruption therefore degrades
+to recomputation, never to a wrong answer.
+
+Crash-equivalence is the contract: a run killed at any cooperative check
+site and resumed from its checkpoints produces bitwise-identical
+partitions and state spaces, and solution vectors equal within solver
+tolerance, to an uninterrupted run
+(``tests/test_crash_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+from repro.errors import ReproError
+
+#: Schema version of snapshot records and the manifest.  Bump on any
+#: incompatible payload change; old snapshots are then ignored (fresh
+#: start), never misread.
+FORMAT_VERSION = 1
+
+MANIFEST_NAME = "MANIFEST.json"
+
+
+class CheckpointError(ReproError):
+    """A checkpoint directory could not be written at all.
+
+    Read-side problems (corruption, staleness) never raise — they fall
+    back to a fresh start.  This error covers unusable directories only.
+    """
+
+
+# ----------------------------------------------------------------------
+# atomic writes
+# ----------------------------------------------------------------------
+
+
+def _fsync_directory(path: str) -> None:
+    """Flush a directory entry so a rename survives a crash (best effort:
+    some platforms/filesystems refuse O_RDONLY directory fds)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: str, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically: tmp file, fsync, rename.
+
+    A reader never observes a torn or partially written file — it sees
+    either the previous contents or the new ones.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    tmp_path = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp_path, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except OSError as exc:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise CheckpointError(
+            f"cannot atomically write {path!r}: {exc}"
+        ) from exc
+    _fsync_directory(directory)
+
+
+def atomic_write_text(path: str, text: str, encoding: str = "utf-8") -> None:
+    """Atomic variant of ``open(path, "w").write(text)``."""
+    atomic_write_bytes(path, text.encode(encoding))
+
+
+def atomic_write_json(path: str, obj, indent: Optional[int] = None) -> None:
+    """Serialize ``obj`` as JSON and write it atomically."""
+    atomic_write_text(path, json.dumps(obj, indent=indent))
+
+
+def digest(*chunks: bytes) -> str:
+    """sha256 hex digest over the concatenation of ``chunks`` (used for
+    snapshot guards: content fingerprints of matrices, seed sets, ...)."""
+    h = hashlib.sha256()
+    for chunk in chunks:
+        h.update(chunk)
+    return h.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# the checkpointer
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class CheckpointEvent:
+    """One thing the checkpointer did or refused to do.
+
+    ``kind`` is one of ``saved``, ``complete`` (a final snapshot),
+    ``resumed``, ``skipped`` (a complete snapshot short-circuited the
+    loop), ``corrupt``, ``stale``, ``version-mismatch``,
+    ``manifest-corrupt``, ``manifest-stale``.
+    """
+
+    kind: str
+    key: str
+    detail: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"kind": self.kind, "key": self.key, "detail": self.detail}
+
+
+#: Event kinds that mean "a resume was attempted and fell back to a
+#: fresh start" — these are surfaced as ``checkpoint`` fallbacks in the
+#: RunReport so degraded resumes are visible to operators.
+_FALLBACK_KINDS = frozenset(
+    {"corrupt", "stale", "version-mismatch", "manifest-corrupt", "manifest-stale"}
+)
+
+
+def _jsonify(obj):
+    """Round-trip through JSON so guard comparisons see what was stored
+    (tuples become lists, numpy scalars are rejected early, ...)."""
+    return json.loads(json.dumps(obj))
+
+
+class Checkpointer:
+    """Durable snapshots for one pipeline run.
+
+    Use as a context manager to activate; the instrumented loops then
+    find it through :func:`active` and checkpoint themselves.  A
+    checkpointer is single-run state: construct a fresh one per pipeline
+    invocation (sequence counters replay deterministically, which is how
+    resumed runs line up with the snapshots of the killed run).
+
+    Parameters
+    ----------
+    directory:
+        Where snapshots live; created if missing.
+    resume:
+        When true, loops may load matching snapshots; when false,
+        existing snapshots are ignored and overwritten.
+    fingerprint:
+        Optional string identifying the overall run configuration (model
+        parameters, lumping kind, ...).  A manifest written by a run
+        with a different fingerprint is treated as stale in its
+        entirety.
+    interval_iterations:
+        Periodic-save stride: a loop's :meth:`tick` returns true every
+        this many calls.  (Final and budget-exhaustion snapshots are
+        written unconditionally.)
+    min_save_interval_seconds:
+        Additional floor between periodic saves of the same key (0
+        disables the floor, keeping saves fully deterministic).
+    report:
+        Optional :class:`~repro.robust.report.RunReport` (duck-typed):
+        resume fallbacks are recorded via ``record_fallback`` under the
+        ``checkpoint`` stage and successful resumes via ``note``.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        *,
+        resume: bool = False,
+        fingerprint: Optional[str] = None,
+        interval_iterations: int = 256,
+        min_save_interval_seconds: float = 0.0,
+        report=None,
+    ) -> None:
+        if interval_iterations <= 0:
+            raise ValueError(
+                f"interval_iterations must be positive, not {interval_iterations!r}"
+            )
+        self.directory = directory
+        self.resume = resume
+        self.fingerprint = fingerprint
+        self.interval_iterations = interval_iterations
+        self.min_save_interval_seconds = min_save_interval_seconds
+        self.events: List[CheckpointEvent] = []
+        self._report = report
+        self._scope: List[str] = []
+        self._seq: Dict[str, int] = {}
+        self._ticks: Dict[str, int] = {}
+        self._last_save: Dict[str, float] = {}
+        try:
+            os.makedirs(directory, exist_ok=True)
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot create checkpoint directory {directory!r}: {exc}"
+            ) from exc
+        self._manifest: Dict[str, object] = {
+            "format": FORMAT_VERSION,
+            "fingerprint": fingerprint,
+            "files": {},
+        }
+        if resume:
+            self._load_manifest()
+
+    # ------------------------------------------------------------------
+    # activation and scoping
+    # ------------------------------------------------------------------
+
+    def __enter__(self) -> "Checkpointer":
+        _ACTIVE.append(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        _ACTIVE.remove(self)
+
+    @contextmanager
+    def scoped(self, label: str) -> Iterator["Checkpointer"]:
+        """Prefix snapshot keys with ``label`` inside the block, so the
+        same loop checkpoints under distinct keys at distinct call sites
+        (per pipeline stage, per lumping level, ...)."""
+        self._scope.append(str(label))
+        try:
+            yield self
+        finally:
+            self._scope.pop()
+
+    def sequence_key(self, stage: str) -> str:
+        """A unique snapshot key for the next call of ``stage`` within
+        the current scope.
+
+        Repeated calls at the same scoped stage get ``#0``, ``#1``, ...
+        — deterministic, so a resumed run's Nth call finds the killed
+        run's Nth snapshot.
+        """
+        base = "/".join(self._scope + [stage])
+        seq = self._seq.get(base, 0)
+        self._seq[base] = seq + 1
+        return f"{base}#{seq}"
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+
+    @property
+    def manifest_path(self) -> str:
+        return os.path.join(self.directory, MANIFEST_NAME)
+
+    def _filename(self, key: str) -> str:
+        return re.sub(r"[^A-Za-z0-9._#-]", "_", key) + ".json"
+
+    def _load_manifest(self) -> None:
+        try:
+            with open(self.manifest_path, "rb") as handle:
+                loaded = json.loads(handle.read())
+        except FileNotFoundError:
+            return  # nothing to resume from; not an event
+        except (OSError, ValueError) as exc:
+            self._event("manifest-corrupt", "", str(exc))
+            return
+        if not isinstance(loaded, dict) or loaded.get("format") != FORMAT_VERSION:
+            self._event(
+                "manifest-corrupt",
+                "",
+                f"unsupported manifest format {loaded.get('format')!r}"
+                if isinstance(loaded, dict)
+                else "manifest is not a JSON object",
+            )
+            return
+        if (
+            self.fingerprint is not None
+            and loaded.get("fingerprint") is not None
+            and loaded.get("fingerprint") != self.fingerprint
+        ):
+            self._event(
+                "manifest-stale",
+                "",
+                f"checkpoint fingerprint {loaded.get('fingerprint')!r} does "
+                f"not match this run's {self.fingerprint!r}",
+            )
+            return
+        files = loaded.get("files")
+        if isinstance(files, dict):
+            self._manifest["files"] = dict(files)
+
+    def tick(self, key: str) -> bool:
+        """Count one loop pass under ``key``; true when a periodic save
+        is due (every ``interval_iterations`` passes, subject to the
+        minimum seconds-between-saves floor)."""
+        count = self._ticks.get(key, 0) + 1
+        self._ticks[key] = count
+        if count % self.interval_iterations:
+            return False
+        if self.min_save_interval_seconds > 0:
+            last = self._last_save.get(key)
+            if (
+                last is not None
+                and time.monotonic() - last < self.min_save_interval_seconds
+            ):
+                return False
+        return True
+
+    def save(
+        self,
+        key: str,
+        payload,
+        guard: Optional[dict] = None,
+        complete: bool = False,
+    ) -> None:
+        """Atomically persist a snapshot and update the manifest.
+
+        The snapshot file is written (and fsynced) before the manifest,
+        so a crash between the two leaves a manifest hash that no longer
+        matches — which the loader treats as corruption, i.e. a fresh
+        start.  ``payload`` and ``guard`` must be JSON-serializable.
+        """
+        record = {
+            "format": FORMAT_VERSION,
+            "key": key,
+            "complete": bool(complete),
+            "guard": guard or {},
+            "payload": payload,
+        }
+        blob = json.dumps(record, separators=(",", ":")).encode("utf-8")
+        filename = self._filename(key)
+        atomic_write_bytes(os.path.join(self.directory, filename), blob)
+        self._manifest["files"][filename] = hashlib.sha256(blob).hexdigest()
+        atomic_write_json(self.manifest_path, self._manifest)
+        self._last_save[key] = time.monotonic()
+        self._event("complete" if complete else "saved", key)
+
+    def load(self, key: str, guard: Optional[dict] = None) -> Optional[dict]:
+        """The snapshot record for ``key``, or ``None`` for a fresh start.
+
+        ``None`` is returned — with the reason recorded as an event —
+        when resume is disabled, no snapshot exists, the file is missing
+        or fails its manifest hash, the format version differs, or the
+        stored guard does not equal ``guard``.  Never raises.
+        """
+        if not self.resume:
+            return None
+        filename = self._filename(key)
+        expected_hash = self._manifest["files"].get(filename)
+        if expected_hash is None:
+            return None  # nothing was ever saved here; silently fresh
+        path = os.path.join(self.directory, filename)
+        try:
+            with open(path, "rb") as handle:
+                blob = handle.read()
+        except OSError as exc:
+            self._event("corrupt", key, f"unreadable snapshot: {exc}")
+            return None
+        if hashlib.sha256(blob).hexdigest() != expected_hash:
+            self._event(
+                "corrupt", key, "snapshot bytes do not match the manifest hash"
+            )
+            return None
+        try:
+            record = json.loads(blob)
+        except ValueError as exc:
+            self._event("corrupt", key, f"snapshot is not valid JSON: {exc}")
+            return None
+        if not isinstance(record, dict) or "payload" not in record:
+            self._event("corrupt", key, "snapshot record is malformed")
+            return None
+        if record.get("format") != FORMAT_VERSION:
+            self._event(
+                "version-mismatch",
+                key,
+                f"snapshot format {record.get('format')!r}, "
+                f"this library writes {FORMAT_VERSION}",
+            )
+            return None
+        if guard is not None and record.get("guard") != _jsonify(guard):
+            self._event(
+                "stale",
+                key,
+                "snapshot belongs to a different computation "
+                "(guard mismatch)",
+            )
+            return None
+        self._event(
+            "skipped" if record.get("complete") else "resumed", key
+        )
+        return record
+
+    # ------------------------------------------------------------------
+    # event recording
+    # ------------------------------------------------------------------
+
+    def _event(self, kind: str, key: str, detail: str = "") -> None:
+        self.events.append(CheckpointEvent(kind=kind, key=key, detail=detail))
+        if self._report is None:
+            return
+        if kind in _FALLBACK_KINDS:
+            self._report.record_fallback(
+                stage="checkpoint",
+                requested=f"resume {key}" if key else "resume",
+                used="fresh start",
+                reason=f"{kind}: {detail}" if detail else kind,
+            )
+        elif kind == "skipped":
+            self._report.note(
+                f"checkpoint: reused completed snapshot {key}"
+            )
+        elif kind == "resumed":
+            self._report.note(f"checkpoint: resumed {key} mid-loop")
+
+    def events_of_kind(self, *kinds: str) -> List[CheckpointEvent]:
+        """The recorded events whose kind is one of ``kinds``."""
+        wanted = set(kinds)
+        return [event for event in self.events if event.kind in wanted]
+
+    def __repr__(self) -> str:
+        return (
+            f"Checkpointer({self.directory!r}, resume={self.resume!r}, "
+            f"snapshots={len(self._manifest['files'])})"
+        )
+
+
+# ----------------------------------------------------------------------
+# the module-level hook the loops use
+# ----------------------------------------------------------------------
+
+#: Stack of active checkpointers (innermost last), mirroring the budget
+#: stack so nested pipelines compose the same way.
+_ACTIVE: List[Checkpointer] = []
+
+
+def active() -> Optional[Checkpointer]:
+    """The innermost active checkpointer, or ``None``.
+
+    This is the loops' entire inactive-path cost: one global read at
+    loop entry.
+    """
+    return _ACTIVE[-1] if _ACTIVE else None
+
+
+@contextmanager
+def scoped(label: str) -> Iterator[Optional[Checkpointer]]:
+    """Scope the active checkpointer's keys under ``label``; a no-op
+    context when no checkpointer is active."""
+    ck = active()
+    if ck is None:
+        yield None
+        return
+    with ck.scoped(label):
+        yield ck

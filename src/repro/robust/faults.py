@@ -39,7 +39,8 @@ first use; tests that mutate the environment call :func:`reload_env`)::
 
 The spec grammar is ``site[:when]`` comma-separated, where ``when`` is a
 call number (``3``), an inclusive range (``1-2``), a comma-free list via
-``|`` (``1|3``), or ``*`` / omitted for every call.
+``|`` (``1|3``), an open-ended tail (``3+``: the third call and every
+later one), or ``*`` / omitted for every call.
 """
 
 from __future__ import annotations
@@ -95,13 +96,16 @@ class FaultRule:
     """When a given site should fail.
 
     Exactly one trigger applies: ``fail_on`` (explicit 1-based call
-    numbers), ``first`` (the first N calls), ``probability`` (a seeded
-    Bernoulli draw per call), or none of them — meaning *every* call.
+    numbers), ``first`` (the first N calls), ``after`` (the N-th call and
+    every later one — a process that "stays dead" until resumed),
+    ``probability`` (a seeded Bernoulli draw per call), or none of them —
+    meaning *every* call.
     """
 
     site: str
     fail_on: Optional[frozenset] = None
     first: Optional[int] = None
+    after: Optional[int] = None
     probability: Optional[float] = None
 
     def should_fail(self, call_number: int, rng: random.Random) -> bool:
@@ -110,6 +114,8 @@ class FaultRule:
             return call_number in self.fail_on
         if self.first is not None:
             return call_number <= self.first
+        if self.after is not None:
+            return call_number >= self.after
         if self.probability is not None:
             return rng.random() < self.probability
         return True
@@ -143,9 +149,8 @@ class FaultInjector:
                 rules.append(_parse_rule(site.strip(), when.strip()))
             except ValueError as exc:
                 raise ValueError(
-                    f"invalid fault rule {part!r} in spec {spec!r} "
-                    f"(grammar: site[:N | N-M | N|M | *], "
-                    f"comma-separated): {exc}"
+                    f"invalid fault rule {part!r} in spec {spec!r}: {exc}"
+                    f" (grammar: {GRAMMAR})"
                 ) from None
         return cls(rules, seed=seed)
 
@@ -190,21 +195,52 @@ class FaultInjector:
         _ACTIVE.remove(self)
 
 
+#: One-line summary of the ``REPRO_FAULTS`` grammar, quoted by parse
+#: errors so a typo in an environment variable is self-explaining.
+GRAMMAR = (
+    "comma-separated rules of the form site[:when], where when is a "
+    "1-based call number 'N', an inclusive range 'N-M', a list 'N|M', "
+    "an open-ended tail 'N+', or '*' / omitted for every call"
+)
+
+
+def _parse_call_number(token: str, role: str) -> int:
+    try:
+        value = int(token)
+    except ValueError:
+        raise ValueError(f"{role} {token!r} is not an integer") from None
+    if value < 1:
+        raise ValueError(f"{role} {token!r} must be >= 1 (calls are 1-based)")
+    return value
+
+
 def _parse_rule(site: str, when: str) -> FaultRule:
     if not site:
-        raise ValueError("empty fault site in REPRO_FAULTS spec")
+        raise ValueError("missing fault site before ':'")
     if not when or when == "*":
         return FaultRule(site)
-    if "-" in when:
-        low, _, high = when.partition("-")
+    if when.endswith("+"):
         return FaultRule(
-            site, fail_on=frozenset(range(int(low), int(high) + 1))
+            site, after=_parse_call_number(when[:-1], "call number")
         )
+    if "-" in when:
+        low_token, _, high_token = when.partition("-")
+        low = _parse_call_number(low_token, "range start")
+        high = _parse_call_number(high_token, "range end")
+        if high < low:
+            raise ValueError(f"range {when!r} is empty ({low} > {high})")
+        return FaultRule(site, fail_on=frozenset(range(low, high + 1)))
     if "|" in when:
         return FaultRule(
-            site, fail_on=frozenset(int(x) for x in when.split("|"))
+            site,
+            fail_on=frozenset(
+                _parse_call_number(token, "call number")
+                for token in when.split("|")
+            ),
         )
-    return FaultRule(site, fail_on=frozenset({int(when)}))
+    return FaultRule(
+        site, fail_on=frozenset({_parse_call_number(when, "call number")})
+    )
 
 
 #: Stack of lexically-activated injectors (innermost last).

@@ -11,12 +11,29 @@ run from a degraded-but-successful one without re-running anything.
 
 from __future__ import annotations
 
+import json
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
 
 from repro.robust.budgets import Budget, BudgetConsumption
+
+
+def _native(value):
+    """Coerce numpy scalars/arrays (and nested containers) to native
+    Python types so reports serialize with the stdlib ``json``."""
+    if isinstance(value, dict):
+        return {_native(k): _native(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_native(v) for v in value]
+    item = getattr(value, "item", None)
+    if item is not None and getattr(value, "shape", None) == ():
+        return item()  # numpy scalar (0-d)
+    tolist = getattr(value, "tolist", None)
+    if tolist is not None:
+        return tolist()  # numpy array
+    return value
 
 
 @dataclass
@@ -36,6 +53,15 @@ class StageReport:
             "detail": self.detail,
         }
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "StageReport":
+        return cls(
+            name=str(data["name"]),
+            seconds=float(data.get("seconds", 0.0)),
+            status=str(data.get("status", "ok")),
+            detail=str(data.get("detail", "")),
+        )
+
 
 @dataclass
 class FallbackEvent:
@@ -53,6 +79,15 @@ class FallbackEvent:
             "used": self.used,
             "reason": self.reason,
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FallbackEvent":
+        return cls(
+            stage=str(data["stage"]),
+            requested=str(data.get("requested", "")),
+            used=str(data.get("used", "")),
+            reason=str(data.get("reason", "")),
+        )
 
 
 @dataclass
@@ -77,6 +112,21 @@ class AttemptReport:
             "iterations": self.iterations,
             "residual": self.residual,
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "AttemptReport":
+        iterations = data.get("iterations")
+        residual = data.get("residual")
+        error = data.get("error")
+        return cls(
+            stage=str(data["stage"]),
+            name=str(data["name"]),
+            succeeded=bool(data.get("succeeded", False)),
+            seconds=float(data.get("seconds", 0.0)),
+            error=None if error is None else str(error),
+            iterations=None if iterations is None else int(iterations),
+            residual=None if residual is None else float(residual),
+        )
 
 
 @dataclass
@@ -180,15 +230,48 @@ class RunReport:
         return [event for event in self.fallbacks if event.stage == stage]
 
     def to_dict(self) -> Dict[str, object]:
-        """Plain-dict form (JSON-serializable)."""
-        return {
-            "degraded": self.degraded,
-            "stages": [stage.to_dict() for stage in self.stages],
-            "attempts": [attempt.to_dict() for attempt in self.attempts],
-            "fallbacks": [event.to_dict() for event in self.fallbacks],
-            "notes": list(self.notes),
-            "budget": self.budget.to_dict() if self.budget else None,
-        }
+        """Plain-dict form (JSON-serializable; numpy scalars coerced)."""
+        return _native(
+            {
+                "degraded": self.degraded,
+                "stages": [stage.to_dict() for stage in self.stages],
+                "attempts": [attempt.to_dict() for attempt in self.attempts],
+                "fallbacks": [event.to_dict() for event in self.fallbacks],
+                "notes": [str(note) for note in self.notes],
+                "budget": self.budget.to_dict() if self.budget else None,
+            }
+        )
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """JSON form of :meth:`to_dict` (numpy scalars in attempt
+        diagnostics are coerced to native types first)."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RunReport":
+        """Rebuild a report from :meth:`to_dict` / parsed :meth:`to_json`
+        output.  ``degraded`` is recomputed, not trusted."""
+        budget = data.get("budget")
+        return cls(
+            stages=[
+                StageReport.from_dict(s) for s in data.get("stages", ())
+            ],
+            attempts=[
+                AttemptReport.from_dict(a) for a in data.get("attempts", ())
+            ],
+            fallbacks=[
+                FallbackEvent.from_dict(f) for f in data.get("fallbacks", ())
+            ],
+            notes=[str(note) for note in data.get("notes", ())],
+            budget=(
+                None if budget is None else BudgetConsumption.from_dict(budget)
+            ),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunReport":
+        """Rebuild a report from a :meth:`to_json` string."""
+        return cls.from_dict(json.loads(text))
 
     def render(self) -> str:
         """Human-readable multi-line summary."""

@@ -21,9 +21,19 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import StateSpaceError
 from repro.markov.ctmc import CTMC
-from repro.robust import budgets, faults
+from repro.robust import budgets, checkpoint, faults
+from repro.robust.budgets import BudgetExceeded
 from repro.statespace.events import EventModel
 from repro.statespace.mdd import MDDManager
+
+
+def _reach_guard(model: EventModel, seeds) -> dict:
+    """Snapshot guard tying a reachability checkpoint to its problem:
+    the level sizes plus a digest of the seed set."""
+    return {
+        "level_sizes": list(model.level_sizes()),
+        "seeds": checkpoint.digest(repr(sorted(seeds)).encode("utf-8")),
+    }
 
 
 @dataclass
@@ -102,22 +112,63 @@ def reachable_bfs(
         seeds = [tuple(state) for state in initial]
     seen = set(seeds)
     frontier = list(seeds)
-    budgets.check_states(len(seen), stage="reachability")
-    while frontier:
-        budgets.charge_iterations(1, stage="reachability")
-        next_frontier: List[Tuple[int, ...]] = []
-        for state in frontier:
-            for target, _rate in model.successors(state):
-                if target not in seen:
-                    seen.add(target)
-                    next_frontier.append(target)
-                    budgets.check_states(len(seen), stage="reachability")
-                    if max_states is not None and len(seen) > max_states:
-                        raise StateSpaceError(
-                            f"state space exceeds max_states={max_states}"
-                        )
-        frontier = next_frontier
-    return ReachabilityResult(model, sorted(seen), engine="bfs")
+    ck = checkpoint.active()
+    key = guard = None
+    if ck is not None:
+        key = ck.sequence_key("reachability.bfs")
+        guard = _reach_guard(model, seeds)
+        record = ck.load(key, guard=guard)
+        if record is not None:
+            payload = record["payload"]
+            if record["complete"]:
+                states = [tuple(s) for s in payload["states"]]
+                return ReachabilityResult(model, states, engine="bfs")
+            seen = {tuple(s) for s in payload["seen"]}
+            frontier = [tuple(s) for s in payload["frontier"]]
+    # position/next_frontier are kept consistent at every budget hook so
+    # the BudgetExceeded handler can snapshot the unprocessed frontier.
+    position = 0
+    next_frontier: List[Tuple[int, ...]] = []
+    try:
+        budgets.check_states(len(seen), stage="reachability")
+        while frontier:
+            position = 0
+            next_frontier = []
+            budgets.charge_iterations(1, stage="reachability")
+            for position, state in enumerate(frontier):
+                for target, _rate in model.successors(state):
+                    if target not in seen:
+                        seen.add(target)
+                        next_frontier.append(target)
+                        budgets.check_states(len(seen), stage="reachability")
+                        if max_states is not None and len(seen) > max_states:
+                            raise StateSpaceError(
+                                f"state space exceeds max_states={max_states}"
+                            )
+            frontier = next_frontier
+            position = 0
+            next_frontier = []
+            if ck is not None and ck.tick(key):
+                ck.save(
+                    key,
+                    {"seen": sorted(seen), "frontier": sorted(frontier)},
+                    guard=guard,
+                )
+    except BudgetExceeded:
+        if ck is not None:
+            # Re-expanding the in-flight state on resume is idempotent:
+            # its already-recorded successors are in ``seen``.
+            remaining = frontier[position:] + next_frontier
+            ck.save(
+                key,
+                {"seen": sorted(seen), "frontier": sorted(remaining)},
+                guard=guard,
+            )
+        raise
+    states = sorted(seen)
+    if ck is not None:
+        ck.save(key, {"states": states}, guard=guard, complete=True)
+    return ReachabilityResult(model, states, engine="bfs")
 
 
 def reachable_mdd(
@@ -202,22 +253,73 @@ def symbolic_reachability(
 
 def _chain(manager: MDDManager, model: EventModel) -> int:
     node = manager.singleton(model.initial_state)
-    while True:
-        budgets.charge_iterations(1, stage="reachability")
-        previous = node
-        for event in model.events:
-            node = manager.union(node, manager.image(node, event))
-        if budgets.active_budget() is not None:
-            budgets.check_states(manager.count(node), stage="reachability")
-        if node == previous:
-            return node
+    ck = checkpoint.active()
+    key = guard = None
+    if ck is not None:
+        key = ck.sequence_key("reachability.chain")
+        guard = _reach_guard(model, [model.initial_state])
+        record = ck.load(key, guard=guard)
+        if record is not None:
+            # Any snapshot S with seed <= S <= closure(seed) resumes
+            # exactly: the fixpoint is monotone, so closure(S) ==
+            # closure(seed).
+            node = manager.from_tuples(
+                [tuple(s) for s in record["payload"]["tuples"]]
+            )
+            if record["complete"]:
+                return node
+    try:
+        while True:
+            budgets.charge_iterations(1, stage="reachability")
+            previous = node
+            for event in model.events:
+                node = manager.union(node, manager.image(node, event))
+            if budgets.active_budget() is not None:
+                budgets.check_states(manager.count(node), stage="reachability")
+            if node == previous:
+                break
+            if ck is not None and ck.tick(key):
+                ck.save(
+                    key, {"tuples": sorted(manager.tuples(node))}, guard=guard
+                )
+    except BudgetExceeded:
+        if ck is not None:
+            ck.save(key, {"tuples": sorted(manager.tuples(node))}, guard=guard)
+        raise
+    if ck is not None:
+        ck.save(
+            key,
+            {"tuples": sorted(manager.tuples(node))},
+            guard=guard,
+            complete=True,
+        )
+    return node
 
 
 def _saturate(manager: MDDManager, model: EventModel) -> int:
     current = manager.singleton(model.initial_state)
+    start_top = model.num_levels
+    ck = checkpoint.active()
+    key = guard = None
+    if ck is not None:
+        key = ck.sequence_key("reachability.saturation")
+        guard = _reach_guard(model, [model.initial_state])
+        record = ck.load(key, guard=guard)
+        if record is not None:
+            current = manager.from_tuples(
+                [tuple(s) for s in record["payload"]["tuples"]]
+            )
+            if record["complete"]:
+                return current
+            # Resuming the outer sweep at the saved level is sound: the
+            # final sweep (lowest_top == 1) closes under *all* events, so
+            # any intermediate set still converges to the same closure.
+            start_top = int(record["payload"]["top"])
     events_by_top: dict = {}
     for event in model.events:
         events_by_top.setdefault(event.top_level(), []).append(event)
+    # Last node/level observed at a budget hook, for the exception save.
+    progress = {"node": current, "top": start_top}
 
     def close_from(node: int, lowest_top: int) -> int:
         while True:
@@ -226,15 +328,46 @@ def _saturate(manager: MDDManager, model: EventModel) -> int:
             for top in range(model.num_levels, lowest_top - 1, -1):
                 for event in events_by_top.get(top, ()):
                     node = manager.union(node, manager.image(node, event))
+            progress["node"] = node
             if budgets.active_budget() is not None:
                 budgets.check_states(
                     manager.count(node), stage="reachability"
                 )
             if node == previous:
                 return node
+            if ck is not None and ck.tick(key):
+                ck.save(
+                    key,
+                    {
+                        "tuples": sorted(manager.tuples(node)),
+                        "top": lowest_top,
+                    },
+                    guard=guard,
+                )
 
-    for top in range(model.num_levels, 0, -1):
-        current = close_from(current, top)
+    try:
+        for top in range(start_top, 0, -1):
+            progress["top"] = top
+            current = close_from(current, top)
+            progress["node"] = current
+    except BudgetExceeded:
+        if ck is not None:
+            ck.save(
+                key,
+                {
+                    "tuples": sorted(manager.tuples(progress["node"])),
+                    "top": progress["top"],
+                },
+                guard=guard,
+            )
+        raise
+    if ck is not None:
+        ck.save(
+            key,
+            {"tuples": sorted(manager.tuples(current)), "top": 1},
+            guard=guard,
+            complete=True,
+        )
     return current
 
 

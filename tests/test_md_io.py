@@ -86,6 +86,36 @@ class TestSerialization:
         diff = flatten(lumped) - flatten(restored)
         assert diff.nnz == 0
 
+    def test_save_is_atomic_no_tmp_left_behind(self, sample_md, tmp_path):
+        path = tmp_path / "md.json"
+        save_md(sample_md, str(path))
+        save_md(sample_md, str(path))  # overwrite goes through rename too
+        assert [p.name for p in tmp_path.iterdir()] == ["md.json"]
+        restored = load_md(str(path))
+        assert np.array_equal(
+            flatten(sample_md).toarray(), flatten(restored).toarray()
+        )
+
+    def test_load_rejects_truncated_file(self, sample_md, tmp_path):
+        path = tmp_path / "md.json"
+        save_md(sample_md, str(path))
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])  # simulate a torn write
+        with pytest.raises(MatrixDiagramError, match="truncated or corrupt"):
+            load_md(str(path))
+
+    def test_load_rejects_wrong_shape_json(self, tmp_path):
+        path = tmp_path / "md.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(MatrixDiagramError, match="not a JSON object"):
+            load_md(str(path))
+
+    def test_load_rejects_missing_fields(self, tmp_path):
+        path = tmp_path / "md.json"
+        path.write_text('{"format": 1}')
+        with pytest.raises(MatrixDiagramError, match="malformed MD data"):
+            load_md(str(path))
+
 
 class TestMDTransient:
     def _irreducible_md(self):

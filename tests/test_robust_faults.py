@@ -153,3 +153,73 @@ def test_from_env_returns_none_when_unset():
 def test_bad_spec_rejected():
     with pytest.raises(ValueError):
         FaultInjector.from_spec(":1")
+
+
+def test_after_rule_fires_from_n_onward():
+    with inject_faults("solver.direct:3+"):
+        faults.check("solver.direct")  # call 1: passes
+        faults.check("solver.direct")  # call 2: passes
+        for _ in range(3):  # calls 3, 4, 5: the process "stays dead"
+            with pytest.raises(InjectedSolverFault):
+                faults.check("solver.direct")
+
+
+class TestParseErrors:
+    """Satellite: parse errors name the offending token and the grammar."""
+
+    def test_non_integer_call_number_named(self):
+        with pytest.raises(ValueError) as excinfo:
+            FaultInjector.from_spec("solver.direct:abc")
+        message = str(excinfo.value)
+        assert "'abc'" in message
+        assert "is not an integer" in message
+        assert "grammar:" in message
+        assert "solver.direct:abc" in message  # the offending rule
+
+    def test_missing_site_named(self):
+        with pytest.raises(ValueError) as excinfo:
+            FaultInjector.from_spec(":1")
+        message = str(excinfo.value)
+        assert "missing fault site" in message
+        assert "grammar:" in message
+
+    def test_zero_call_number_rejected(self):
+        with pytest.raises(ValueError) as excinfo:
+            FaultInjector.from_spec("budget:0")
+        message = str(excinfo.value)
+        assert "'0'" in message
+        assert "1-based" in message
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError) as excinfo:
+            FaultInjector.from_spec("budget:5-2")
+        message = str(excinfo.value)
+        assert "empty" in message
+        assert "5" in message and "2" in message
+
+    def test_bad_range_endpoint_names_role(self):
+        with pytest.raises(ValueError) as excinfo:
+            FaultInjector.from_spec("budget:1-x")
+        message = str(excinfo.value)
+        assert "'x'" in message
+        assert "grammar:" in message
+
+    def test_bad_tail_start_named(self):
+        with pytest.raises(ValueError) as excinfo:
+            FaultInjector.from_spec("budget:x+")
+        assert "'x'" in str(excinfo.value)
+
+    def test_offending_rule_identified_in_multi_rule_spec(self):
+        spec = "solver.direct:1,budget:oops,lumping.level:2"
+        with pytest.raises(ValueError) as excinfo:
+            FaultInjector.from_spec(spec)
+        message = str(excinfo.value)
+        assert "'budget:oops'" in message
+        assert repr(spec) in message
+
+    def test_env_error_mentions_env_var(self, restore_env_injector):
+        with pytest.raises(ValueError) as excinfo:
+            FaultInjector.from_env("budget:nope")
+        message = str(excinfo.value)
+        assert "REPRO_FAULTS" in message
+        assert "'nope'" in message
