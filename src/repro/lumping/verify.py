@@ -42,7 +42,7 @@ def is_ordinarily_lumpable(
     n = csr.shape[0]
     if partition.n != n:
         raise LumpingError("partition size does not match matrix")
-    aggregated = (csr @ _membership_matrix(partition)).toarray()
+    aggregated = (csr @ _membership_matrix(partition)).toarray()  # reprolint: disable=RL003 -- n x k with k = lumped size; rows are compared per block
     scale = max(1.0, float(np.abs(aggregated).max(initial=0.0)))
     if rewards is not None:
         rewards = np.asarray(rewards, dtype=float)
@@ -72,7 +72,7 @@ def is_exactly_lumpable(
     n = csr.shape[0]
     if partition.n != n:
         raise LumpingError("partition size does not match matrix")
-    aggregated = (_membership_matrix(partition).T @ csr).toarray()  # k x n
+    aggregated = (_membership_matrix(partition).T @ csr).toarray()  # k x n  # reprolint: disable=RL003 -- k x n with k = lumped size; verification-only
     exit_rates = np.asarray(csr.sum(axis=1)).ravel()
     scale = max(1.0, float(np.abs(aggregated).max(initial=0.0)))
     if initial_distribution is not None:
@@ -268,16 +268,16 @@ def verify_compositional_result(
         representatives[class_of[block[0]]] = (
             block[0] if result.kind == "ordinary" else block
         )
-    flat_lumped = flatten(lumped.md).toarray()
+    flat_lumped = flatten(lumped.md).toarray()  # reprolint: disable=RL003 -- k x k lumped matrix; verification compares it entrywise
     expected = np.zeros((k, k))
     csr = sparse.csr_matrix(flat)
     if result.kind == "ordinary":
-        aggregated = (csr @ membership).toarray()
+        aggregated = (csr @ membership).toarray()  # reprolint: disable=RL003 -- n x k with k = lumped size; verification-only
         for block in global_partition.blocks():
             expected[class_of[block[0]]] = aggregated[block[0]]
     else:
         # Exact: expected(i~, j~) = R(C_i, C_j) / |C_i| (see state_level).
-        aggregated = (membership.T @ csr @ membership).toarray()
+        aggregated = (membership.T @ csr @ membership).toarray()  # reprolint: disable=RL003 -- k x k aggregated matrix; verification-only
         sizes = np.zeros(k)
         for block in global_partition.blocks():
             sizes[class_of[block[0]]] = len(block)

@@ -276,7 +276,10 @@ class Partition:
         """
         touched_blocks = {self._block_of[s] for s in states}
         created: List[int] = []
-        for block_id in touched_blocks:
+        # Sorted so the split order (and hence new-block-id assignment) is
+        # independent of set iteration order — a kill/resume replay must
+        # assign the same ids (reprolint RL001).
+        for block_id in sorted(touched_blocks):
             created.extend(self.split_block(block_id, key))
         return created
 

@@ -26,7 +26,8 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from types import TracebackType
+from typing import Callable, Dict, List, Mapping, Optional, Type
 
 from repro.errors import ReproError
 
@@ -43,7 +44,13 @@ class BudgetExceeded(ReproError):
         The :class:`Budget` that fired.
     """
 
-    def __init__(self, message: str, *, stage=None, budget=None) -> None:
+    def __init__(
+        self,
+        message: str,
+        *,
+        stage: Optional[str] = None,
+        budget: Optional["Budget"] = None,
+    ) -> None:
         super().__init__(message)
         self.stage = stage
         self.budget = budget
@@ -59,6 +66,24 @@ class IterationBudgetExceeded(BudgetExceeded):
 
 class StateBudgetExceeded(BudgetExceeded):
     """The state-count allowance was exceeded."""
+
+
+def _as_float(value: object, default: float) -> float:
+    """Narrow a deserialized JSON value to ``float`` (``None`` -> default)."""
+    if value is None:
+        return default
+    if isinstance(value, (int, float, str)):
+        return float(value)
+    raise TypeError(f"expected a number, got {type(value).__name__}")
+
+
+def _as_int(value: object, default: int) -> int:
+    """Narrow a deserialized JSON value to ``int`` (``None`` -> default)."""
+    if value is None:
+        return default
+    if isinstance(value, (int, float, str)):
+        return int(value)
+    raise TypeError(f"expected a number, got {type(value).__name__}")
 
 
 @dataclass
@@ -84,18 +109,18 @@ class BudgetConsumption:
         }
 
     @classmethod
-    def from_dict(cls, data: Dict[str, object]) -> "BudgetConsumption":
+    def from_dict(cls, data: Mapping[str, object]) -> "BudgetConsumption":
         """Inverse of :meth:`to_dict` (tolerates missing keys)."""
         limit = data.get("wall_clock_seconds")
         iter_limit = data.get("max_iterations")
         state_limit = data.get("max_states")
         return cls(
-            elapsed_seconds=float(data.get("elapsed_seconds", 0.0)),
-            iterations_used=int(data.get("iterations_used", 0)),
-            peak_states=int(data.get("peak_states", 0)),
-            wall_clock_seconds=None if limit is None else float(limit),
-            max_iterations=None if iter_limit is None else int(iter_limit),
-            max_states=None if state_limit is None else int(state_limit),
+            elapsed_seconds=_as_float(data.get("elapsed_seconds"), 0.0),
+            iterations_used=_as_int(data.get("iterations_used"), 0),
+            peak_states=_as_int(data.get("peak_states"), 0),
+            wall_clock_seconds=None if limit is None else _as_float(limit, 0.0),
+            max_iterations=None if iter_limit is None else _as_int(iter_limit, 0),
+            max_states=None if state_limit is None else _as_int(state_limit, 0),
         )
 
 
@@ -144,7 +169,12 @@ class Budget:
         _ACTIVE.append(self)
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
         _ACTIVE.remove(self)
 
     @property
@@ -282,7 +312,7 @@ def check_states(count: int, stage: Optional[str] = None) -> None:
 #: Cached reference to :func:`repro.robust.faults.check`, resolved on
 #: first use (``faults`` imports this module for
 #: :class:`InjectedBudgetFault`, so a top-level import would cycle).
-_faults_check = None
+_faults_check: Optional[Callable[[str], None]] = None
 
 
 def _fault_check() -> None:

@@ -1,0 +1,28 @@
+"""Import shim: the real ``reprolint`` package lives in ``tools/reprolint``.
+
+The repo's runtime convention puts ``src/`` on ``sys.path`` (tier-1
+tests run with ``PYTHONPATH=src``; ``pip install -e .`` maps ``src/``
+packages).  The linter is developer tooling and lives under ``tools/``
+with the rest of it, so this one-file package redirects the import
+system there: it rebinds ``__path__`` to the real package directory and
+executes the real ``__init__`` in this namespace.  After that,
+``import reprolint.core`` and ``python -m reprolint`` resolve against
+``tools/reprolint`` transparently.
+"""
+
+from pathlib import Path as _Path
+
+_real = _Path(__file__).resolve().parents[2] / "tools" / "reprolint"
+if not (_real / "__init__.py").is_file():  # pragma: no cover
+    raise ImportError(
+        f"reprolint implementation not found at {_real}; this shim only "
+        "works from a source checkout (tools/reprolint must exist)"
+    )
+__path__ = [str(_real)]
+exec(
+    compile(
+        (_real / "__init__.py").read_text(encoding="utf-8"),
+        str(_real / "__init__.py"),
+        "exec",
+    )
+)

@@ -1,0 +1,25 @@
+"""Fixture: RL001 true positives (linted under a pretend src/repro path)."""
+
+
+def iterate_set_literal(partition):
+    total = 0
+    for block_id in {1, 2, 3}:
+        total += partition[block_id]
+    return total
+
+
+def iterate_set_comprehension(block_of, states):
+    touched = {block_of[s] for s in states}
+    out = []
+    for block_id in touched:
+        out.append(block_id)
+    return out
+
+
+def iterate_keys_view(blocks):
+    return [blocks[k] for k in blocks.keys()]
+
+
+def iterate_list_of_set(seen):
+    seen = set(seen)
+    return [s for s in list(seen)]

@@ -1,0 +1,14 @@
+"""Fixture: RL001 violation silenced by a per-line suppression."""
+
+
+def iterate_set_suppressed(block_of, states):
+    touched = {block_of[s] for s in states}
+    out = []
+    for block_id in touched:  # reprolint: disable=RL001 -- order-insensitive sum below
+        out.append(block_id)
+    return out
+
+
+def iterate_sorted_is_clean(block_of, states):
+    touched = {block_of[s] for s in states}
+    return [block_id for block_id in sorted(touched)]

@@ -1,0 +1,12 @@
+"""Fixture: RL002 true positive (linted as a pretend solvers.py)."""
+
+
+def unhooked_sweep(frontier, successors):
+    seen = list(frontier)
+    while frontier:
+        state = frontier.pop()
+        for target in successors(state):
+            if target not in seen:
+                seen.append(target)
+                frontier.append(target)
+    return seen

@@ -1,0 +1,15 @@
+"""Fixture: RL002 violation silenced by a per-line suppression, plus a
+compliant loop the rule must not flag."""
+
+from repro.robust import budgets
+
+
+def suppressed_sweep(frontier):
+    while frontier:  # reprolint: disable=RL002 -- bounded by caller, max 3 items
+        frontier.pop()
+
+
+def hooked_sweep(frontier):
+    while frontier:
+        budgets.charge_iterations(1, stage="fixture")
+        frontier.pop()

@@ -1,0 +1,16 @@
+"""Fixture: RL003 true positives."""
+
+import numpy as np
+from scipy import sparse
+
+
+def densify_generator(q):
+    return q.toarray()
+
+
+def densify_via_asarray(triples, n):
+    return np.asarray(sparse.csr_matrix(triples, shape=(n, n)))
+
+
+def densify_matrix(q):
+    return q.todense()

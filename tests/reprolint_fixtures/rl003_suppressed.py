@@ -1,0 +1,5 @@
+"""Fixture: RL003 violation silenced by a justified per-line suppression."""
+
+
+def densify_small_block(factor):
+    return factor.toarray()  # reprolint: disable=RL003 -- 4x4 per-level factor block

@@ -1,0 +1,21 @@
+"""Fixture: RL004 true positives, plus exempt structural checks."""
+
+
+def compare_rates(rate_a, rate_b):
+    return rate_a == rate_b
+
+
+def compare_float_literal(value):
+    return value != 0.5
+
+
+def compare_float_cast(raw, reference):
+    return float(raw) == reference
+
+
+def structural_zero_is_clean(weight):
+    return weight == 0.0
+
+
+def structural_one_is_clean(scale):
+    return scale != 1.0

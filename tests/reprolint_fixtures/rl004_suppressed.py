@@ -1,0 +1,9 @@
+"""Fixture: RL004 violation silenced by a per-line suppression."""
+
+
+def compare_quantized(rate_a, rate_b):
+    return rate_a == rate_b  # reprolint: disable=RL004 -- both sides pre-quantized
+
+
+def compare_with_helper(close, rate_a, rate_b):
+    return close(rate_a, rate_b)

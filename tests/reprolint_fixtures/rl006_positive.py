@@ -1,0 +1,34 @@
+"""Fixture: RL006 true positives, plus compliant seeded/timed code."""
+
+import random
+import time
+
+import numpy as np
+
+
+def global_rng_draw():
+    return random.random()
+
+
+def legacy_numpy_draw(n):
+    return np.random.rand(n)
+
+
+def unseeded_generator():
+    return np.random.default_rng()
+
+
+def raw_wall_clock():
+    return time.time()
+
+
+def seeded_generator_is_clean(seed):
+    return np.random.default_rng(seed)
+
+
+def explicit_instance_is_clean(seed):
+    return random.Random(seed)
+
+
+def perf_counter_is_clean():
+    return time.perf_counter()

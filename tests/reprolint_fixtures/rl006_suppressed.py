@@ -1,0 +1,7 @@
+"""Fixture: RL006 violation silenced by a per-line suppression."""
+
+import time
+
+
+def suppressed_wall_clock():
+    return time.time()  # reprolint: disable=RL006 -- log timestamp, not a measurement

@@ -1,0 +1,46 @@
+"""reprolint — AST-based invariant linter for this reproduction.
+
+A domain-specific static-analysis pass that enforces the conventions the
+repo's headline guarantees rest on: deterministic iteration in the
+refinement/reachability hot paths (bitwise kill/resume equivalence),
+budget/checkpoint hooks in every unbounded loop (cooperative stops), no
+dense materialization of the matrices whose compactness is the paper's
+point, tolerance-based rate comparison, observable failure handling,
+and seeded randomness / single-source timing.
+
+Run it as ``python -m reprolint [--format text|json] [--baseline FILE]
+paths...``; see ``docs/static-analysis.md`` for the rule catalog and the
+suppression/baseline workflow.
+"""
+
+from __future__ import annotations
+
+from reprolint.baseline import Baseline, BaselineEntry, BaselineError
+from reprolint.core import (
+    FileContext,
+    FileReport,
+    Finding,
+    Rule,
+    check_file,
+    iter_python_files,
+    parse_suppressions,
+)
+from reprolint.rules import RULE_CLASSES, default_rules
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "BaselineError",
+    "FileContext",
+    "FileReport",
+    "Finding",
+    "Rule",
+    "RULE_CLASSES",
+    "check_file",
+    "default_rules",
+    "iter_python_files",
+    "parse_suppressions",
+    "__version__",
+]

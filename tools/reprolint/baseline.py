@@ -1,0 +1,147 @@
+"""Baseline handling: a checked-in ledger of grandfathered findings.
+
+A baseline entry pins a finding by ``(rule, path, content)`` where
+``content`` is the stripped source line the finding points at — stable
+under unrelated edits that shift line numbers, invalidated the moment the
+flagged code itself changes.  Every entry must carry a ``justification``
+explaining why the violation is acceptable; entries without one are
+rejected at load time so the ledger cannot silently accumulate
+unexplained debt.
+
+The JSON layout::
+
+    {
+      "version": 1,
+      "entries": [
+        {
+          "rule": "RL003",
+          "path": "src/repro/kronecker/ops.py",
+          "content": "matrix = descriptor.factor_matrix(...).toarray()",
+          "justification": "per-component factor matrices are small ..."
+        }
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from reprolint.core import Finding
+
+BASELINE_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """The baseline file is malformed."""
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding."""
+
+    rule: str
+    path: str
+    content: str
+    justification: str
+
+    def key(self) -> Tuple[str, str, str]:
+        return (self.rule, self.path, self.content)
+
+    def to_dict(self) -> Dict[str, str]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "content": self.content,
+            "justification": self.justification,
+        }
+
+
+class Baseline:
+    """An in-memory baseline with matching and staleness tracking."""
+
+    def __init__(self, entries: Iterable[BaselineEntry] = ()) -> None:
+        self.entries: List[BaselineEntry] = list(entries)
+        self._index: Dict[Tuple[str, str, str], BaselineEntry] = {
+            entry.key(): entry for entry in self.entries
+        }
+        self._matched: set = set()
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+        if not isinstance(data, dict) or "entries" not in data:
+            raise BaselineError(
+                f"baseline {path} must be an object with an 'entries' list"
+            )
+        version = data.get("version", BASELINE_VERSION)
+        if version != BASELINE_VERSION:
+            raise BaselineError(
+                f"baseline {path} has version {version!r}, "
+                f"expected {BASELINE_VERSION}"
+            )
+        entries = []
+        for i, raw in enumerate(data["entries"]):
+            missing = [
+                k
+                for k in ("rule", "path", "content", "justification")
+                if not str(raw.get(k, "")).strip()
+            ]
+            if missing:
+                raise BaselineError(
+                    f"baseline {path} entry {i} is missing {missing} "
+                    "(every entry needs a justification)"
+                )
+            entries.append(
+                BaselineEntry(
+                    rule=str(raw["rule"]),
+                    path=str(raw["path"]),
+                    content=str(raw["content"]).strip(),
+                    justification=str(raw["justification"]),
+                )
+            )
+        return cls(entries)
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "entries": [
+                entry.to_dict()
+                for entry in sorted(self.entries, key=BaselineEntry.key)
+            ],
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    def matches(self, finding: Finding, line_content: str) -> bool:
+        """True (and marks the entry used) if ``finding`` is baselined."""
+        key = (finding.rule, finding.path, line_content.strip())
+        entry = self._index.get(key)
+        if entry is None:
+            return False
+        self._matched.add(key)
+        return True
+
+    def stale_entries(self) -> List[BaselineEntry]:
+        """Entries that matched no finding in the run just performed —
+        fixed violations whose ledger lines should be deleted."""
+        return [
+            entry
+            for entry in self.entries
+            if entry.key() not in self._matched
+        ]
+
+
+def entry_for(finding: Finding, line_content: str, justification: str) -> BaselineEntry:
+    """Build the entry that would baseline ``finding``."""
+    return BaselineEntry(
+        rule=finding.rule,
+        path=finding.path,
+        content=line_content.strip(),
+        justification=justification,
+    )

@@ -1,0 +1,194 @@
+"""Command-line driver: ``python -m reprolint [options] paths...``.
+
+Exit codes
+----------
+0  no new findings (everything clean, suppressed, or baselined)
+1  new (non-baselined, non-suppressed) findings
+2  usage or environment error (bad baseline, unknown rule, no files)
+
+The default baseline is ``tools/reprolint/baseline.json`` relative to
+the current working directory when it exists; pass ``--baseline FILE``
+to override or ``--no-baseline`` to ignore it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from reprolint.baseline import Baseline, BaselineError
+from reprolint.core import FileReport, Finding, check_file, iter_python_files
+from reprolint.rules import RULE_CLASSES, default_rules
+
+DEFAULT_BASELINE = Path("tools/reprolint/baseline.json")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description=(
+            "AST-based invariant linter: determinism, budget coverage, "
+            "sparse efficiency, tolerant comparison, observable failures, "
+            "seeded randomness"
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", help="files or directories to lint"
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help=(
+            "baseline file of grandfathered findings "
+            f"(default: {DEFAULT_BASELINE} when present)"
+        ),
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline, report every finding as new",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        default=None,
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--root",
+        metavar="DIR",
+        default=".",
+        help="repository root used to relativize paths (default: cwd)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def _line_content(report_root: Path, finding: Finding) -> str:
+    try:
+        lines = (report_root / finding.path).read_text(
+            encoding="utf-8"
+        ).splitlines()
+        return lines[finding.line - 1].strip()
+    except (OSError, IndexError, UnicodeDecodeError):
+        return ""
+
+
+def run(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for cls in RULE_CLASSES:
+            print(f"{cls.code} {cls.name}")
+            print(f"    {cls.rationale}")
+        return 0
+    if not args.paths:
+        parser.error("paths are required (unless --list-rules)")
+
+    select = (
+        [c.strip() for c in args.select.split(",") if c.strip()]
+        if args.select
+        else None
+    )
+    try:
+        rules = default_rules(select)
+    except ValueError as exc:
+        print(f"reprolint: {exc}", file=sys.stderr)
+        return 2
+
+    root = Path(args.root)
+    baseline: Optional[Baseline] = None
+    if not args.no_baseline:
+        baseline_path = (
+            Path(args.baseline) if args.baseline else root / DEFAULT_BASELINE
+        )
+        if args.baseline is not None and not baseline_path.exists():
+            print(
+                f"reprolint: baseline {baseline_path} does not exist",
+                file=sys.stderr,
+            )
+            return 2
+        if baseline_path.exists():
+            try:
+                baseline = Baseline.load(baseline_path)
+            except BaselineError as exc:
+                print(f"reprolint: {exc}", file=sys.stderr)
+                return 2
+
+    files = list(iter_python_files(args.paths))
+    if not files:
+        print("reprolint: no python files found", file=sys.stderr)
+        return 2
+
+    reports: List[FileReport] = []
+    new_findings: List[Finding] = []
+    baselined: List[Finding] = []
+    errors: List[str] = []
+    for file_path in files:
+        report = check_file(rules, str(file_path), root=root)
+        reports.append(report)
+        if report.error is not None:
+            errors.append(f"{report.path}: {report.error}")
+            continue
+        for finding in report.findings:
+            if baseline is not None and baseline.matches(
+                finding, _line_content(root, finding)
+            ):
+                baselined.append(finding)
+            else:
+                new_findings.append(finding)
+
+    stale = baseline.stale_entries() if baseline is not None else []
+    suppressed_all = [f for r in reports for f in r.suppressed]
+    suppressed_total = len(suppressed_all)
+
+    if args.format == "json":
+        payload: Dict[str, object] = {
+            "files_checked": len(files),
+            "new_findings": [f.to_dict() for f in new_findings],
+            "baselined": [f.to_dict() for f in baselined],
+            "suppressed": [f.to_dict() for f in suppressed_all],
+            "stale_baseline_entries": [e.to_dict() for e in stale],
+            "errors": errors,
+            "exit_code": 1 if (new_findings or errors) else 0,
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        for finding in new_findings:
+            print(f"{finding.location()}: {finding.rule} {finding.message}")
+        for message in errors:
+            print(f"error: {message}")
+        for entry in stale:
+            print(
+                f"stale baseline entry (violation fixed — delete it): "
+                f"{entry.rule} {entry.path}: {entry.content!r}"
+            )
+        summary = (
+            f"reprolint: {len(files)} files, "
+            f"{len(new_findings)} new finding(s), "
+            f"{len(baselined)} baselined, {suppressed_total} suppressed"
+        )
+        if errors:
+            summary += f", {len(errors)} file error(s)"
+        print(summary)
+
+    return 1 if (new_findings or errors) else 0
+
+
+def main() -> None:
+    sys.exit(run())

@@ -1,0 +1,318 @@
+"""Core machinery of ``reprolint``: findings, rules, one-parse dispatch.
+
+The framework parses each file exactly once, walks the tree exactly once,
+and dispatches every node to the rules that registered interest in its
+type (:attr:`Rule.node_types`).  Rules are therefore cheap to add: a new
+invariant costs one class with a ``check`` method, not another pass over
+the tree.
+
+Findings can be silenced two ways:
+
+* **per-line suppression** — a ``# reprolint: disable=RL001`` comment on
+  the flagged line (comma-separated codes, or ``all``).  Suppressions are
+  parsed from the token stream, so they work on any line, including lines
+  whose comment the AST cannot see.
+* **baseline** — a checked-in ledger of grandfathered findings (see
+  :mod:`reprolint.baseline`); matching findings are reported as baselined
+  and do not fail the run.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Type
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    rule: str
+    path: str  # repo-relative posix path
+    line: int
+    col: int
+    message: str
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+#: Sentinel code meaning "suppress every rule on this line".
+SUPPRESS_ALL = "all"
+
+_DISABLE_MARKER = "reprolint:"
+
+
+def parse_suppressions(text: str) -> Dict[int, Set[str]]:
+    """Map line number -> set of rule codes disabled on that line.
+
+    Recognizes ``# reprolint: disable=RL001[,RL002...]`` and
+    ``# reprolint: disable=all``.  Malformed markers are ignored rather
+    than raised: a typo'd suppression should surface as the finding it
+    failed to silence, not as a crash.
+    """
+    suppressions: Dict[int, Set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            comment = token.string
+            marker_at = comment.find(_DISABLE_MARKER)
+            if marker_at < 0:
+                continue
+            directive = comment[marker_at + len(_DISABLE_MARKER):].strip()
+            if not directive.startswith("disable="):
+                continue
+            codes = directive[len("disable="):]
+            # Allow a trailing justification after whitespace or " -- ".
+            codes = codes.split()[0] if codes.split() else ""
+            parsed = {c.strip() for c in codes.split(",") if c.strip()}
+            if parsed:
+                line_set = suppressions.setdefault(token.start[0], set())
+                line_set.update(parsed)
+    except tokenize.TokenError:
+        pass  # partial token stream: keep whatever was parsed
+    return suppressions
+
+
+class FileContext:
+    """Per-file state shared by every rule during one dispatch pass."""
+
+    def __init__(self, path: str, text: str, tree: ast.Module) -> None:
+        self.path = path  # repo-relative posix path
+        self.text = text
+        self.tree = tree
+        self.lines = text.splitlines()
+        self.suppressions = parse_suppressions(text)
+        self._parents: Optional[Dict[ast.AST, ast.AST]] = None
+        self._scope_sets: Dict[ast.AST, Set[str]] = {}
+
+    # -- structure helpers -------------------------------------------------
+
+    @property
+    def parents(self) -> Dict[ast.AST, ast.AST]:
+        """Child -> parent map over the whole tree (built lazily, once)."""
+        if self._parents is None:
+            parents: Dict[ast.AST, ast.AST] = {}
+            for node in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(node):
+                    parents[child] = node
+            self._parents = parents
+        return self._parents
+
+    def enclosing_scope(self, node: ast.AST) -> ast.AST:
+        """Nearest enclosing function/lambda/module of ``node``."""
+        current = self.parents.get(node)
+        while current is not None and not isinstance(
+            current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            current = self.parents.get(current)
+        return current if current is not None else self.tree
+
+    def set_valued_names(self, scope: ast.AST) -> Set[str]:
+        """Names assigned a set-producing expression anywhere in ``scope``.
+
+        Conservative local dataflow: a name counts as set-valued if *any*
+        assignment (plain, annotated, or augmented ``|=``) binds it to a
+        set literal, set comprehension, or ``set(...)``/``frozenset(...)``
+        call.  Nested function bodies are not descended into — they are
+        their own scopes.
+        """
+        cached = self._scope_sets.get(scope)
+        if cached is not None:
+            return cached
+        names: Set[str] = set()
+        body = scope.body if hasattr(scope, "body") else []
+        if isinstance(scope, ast.Lambda):
+            body = []
+        stack: List[ast.AST] = list(body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue  # separate scope
+            if isinstance(node, ast.Assign) and is_set_expression(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                if is_set_expression(node.value) and isinstance(
+                    node.target, ast.Name
+                ):
+                    names.add(node.target.id)
+            stack.extend(ast.iter_child_nodes(node))
+        self._scope_sets[scope] = names
+        return names
+
+    # -- suppression -------------------------------------------------------
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        codes = self.suppressions.get(line)
+        if not codes:
+            return False
+        return rule in codes or SUPPRESS_ALL in codes
+
+
+def is_set_expression(node: ast.AST) -> bool:
+    """True for expressions that statically produce a ``set``/``frozenset``."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class Rule:
+    """Base class for reprolint rules.
+
+    Subclasses set :attr:`code`, :attr:`name`, :attr:`rationale`, the AST
+    :attr:`node_types` they want to inspect, and implement :meth:`check`.
+    ``applies_to`` scopes a rule to part of the tree (paths are
+    repo-relative posix strings); the default is every non-test file.
+    """
+
+    code: str = ""
+    name: str = ""
+    rationale: str = ""
+    #: AST node classes this rule wants to see.
+    node_types: Tuple[Type[ast.AST], ...] = ()
+
+    def applies_to(self, path: str) -> bool:
+        """Whether ``path`` (repo-relative posix) is in this rule's scope."""
+        return not is_test_path(path)
+
+    def check(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        """Yield findings for one dispatched node."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def finding(
+        self, ctx: FileContext, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            rule=self.code,
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+def is_test_path(path: str) -> bool:
+    """True for files under a ``tests``/``test`` directory or ``conftest``."""
+    parts = Path(path).parts
+    return (
+        "tests" in parts
+        or "test" in parts
+        or Path(path).name.startswith("conftest")
+    )
+
+
+@dataclass
+class FileReport:
+    """Outcome of linting one file."""
+
+    path: str
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    error: Optional[str] = None  # syntax/decoding error, if any
+
+
+def check_file(
+    rules: Sequence[Rule],
+    path: str,
+    text: Optional[str] = None,
+    *,
+    root: Optional[Path] = None,
+) -> FileReport:
+    """Lint one file with every applicable rule in a single AST pass.
+
+    ``path`` is used for rule scoping and reporting (normalized to a
+    repo-relative posix path against ``root`` when given); ``text`` lets
+    callers lint in-memory sources, e.g. the test fixtures.
+    """
+    display = normalize_path(path, root)
+    report = FileReport(path=display)
+    if text is None:
+        try:
+            text = Path(path).read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            report.error = f"unreadable: {exc}"
+            return report
+    try:
+        tree = ast.parse(text, filename=display)
+    except SyntaxError as exc:
+        report.error = f"syntax error: {exc.msg} (line {exc.lineno})"
+        return report
+    active = [rule for rule in rules if rule.applies_to(display)]
+    if not active:
+        return report
+    dispatch: Dict[Type[ast.AST], List[Rule]] = {}
+    for rule in active:
+        for node_type in rule.node_types:
+            dispatch.setdefault(node_type, []).append(rule)
+    ctx = FileContext(display, text, tree)
+    for node in ast.walk(tree):
+        for rule in dispatch.get(type(node), ()):
+            for finding in rule.check(node, ctx):
+                if ctx.is_suppressed(finding.rule, finding.line):
+                    report.suppressed.append(finding)
+                else:
+                    report.findings.append(finding)
+    return report
+
+
+def normalize_path(path: str, root: Optional[Path] = None) -> str:
+    """Repo-relative posix form of ``path`` (absolute paths made relative
+    to ``root`` when possible)."""
+    p = Path(path)
+    if root is not None:
+        try:
+            p = p.resolve().relative_to(root.resolve())
+        except ValueError:
+            pass
+    return p.as_posix()
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[Path]:
+    """Expand files/directories into the ``.py`` files beneath them,
+    deterministically sorted."""
+    seen: Set[Path] = set()
+    collected: List[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            candidates = sorted(p.rglob("*.py"))
+        else:
+            candidates = [p]
+        for candidate in candidates:
+            if candidate not in seen:
+                seen.add(candidate)
+                collected.append(candidate)
+    return iter(sorted(collected))

@@ -1,0 +1,46 @@
+"""Rule registry: the default rule set, addressable by code.
+
+Adding a rule = writing a module with a :class:`reprolint.core.Rule`
+subclass and listing it here.  ``default_rules()`` returns fresh
+instances so concurrent/linting-in-tests runs never share rule state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Type
+
+from reprolint.core import Rule
+from reprolint.rules.rl001_nondeterministic_iteration import (
+    NondeterministicIteration,
+)
+from reprolint.rules.rl002_missing_budget_hook import MissingBudgetHook
+from reprolint.rules.rl003_dense_materialization import DenseMaterialization
+from reprolint.rules.rl004_float_equality import FloatEquality
+from reprolint.rules.rl005_broad_except import BareOrBroadExcept
+from reprolint.rules.rl006_unseeded_randomness import UnseededRandomness
+
+RULE_CLASSES: Sequence[Type[Rule]] = (
+    NondeterministicIteration,
+    MissingBudgetHook,
+    DenseMaterialization,
+    FloatEquality,
+    BareOrBroadExcept,
+    UnseededRandomness,
+)
+
+
+def default_rules(select: Optional[Sequence[str]] = None) -> List[Rule]:
+    """Fresh instances of the registered rules.
+
+    ``select`` restricts to specific codes (unknown codes raise
+    ``ValueError`` so a typo'd ``--select`` fails loudly).
+    """
+    by_code: Dict[str, Type[Rule]] = {cls.code: cls for cls in RULE_CLASSES}
+    if select is None:
+        return [cls() for cls in RULE_CLASSES]
+    unknown = [code for code in select if code not in by_code]
+    if unknown:
+        raise ValueError(
+            f"unknown rule code(s) {unknown}; known: {sorted(by_code)}"
+        )
+    return [by_code[code]() for code in select]

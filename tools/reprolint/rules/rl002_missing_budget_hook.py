@@ -1,0 +1,84 @@
+"""RL002: an unbounded loop in a hot-path module without a budget hook.
+
+The cooperative-budget contract (PR 1) and the checkpoint contract
+(PR 2) both assume that every potentially long-running loop in
+reachability, refinement, and the iterative solvers charges a budget
+hook once per pass — that is the *only* mechanism by which a wall-clock
+or iteration cap can stop the loop, and the only place a checkpoint
+tick can fire.  A new ``while`` loop that forgets the hook silently
+re-opens the "runs forever, cannot be killed cleanly" failure mode the
+robustness layer was built to close.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator, Tuple, Type
+
+from reprolint.core import FileContext, Finding, Rule, dotted_name
+
+#: Files whose loops carry the budget/checkpoint obligation.
+SCOPED_FILENAMES = ("reachability.py", "refinement.py", "solvers.py")
+
+#: Call names (attribute or bare) that satisfy the obligation.  ``tick``
+#: covers the checkpoint cadence hook, which itself sits next to a
+#: budget charge in every compliant loop.
+HOOK_NAMES = frozenset(
+    {"charge_iterations", "check_time", "check_states", "tick"}
+)
+
+
+def _body_has_hook(loop: ast.While) -> bool:
+    for node in ast.walk(loop):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in HOOK_NAMES:
+            return True
+        if isinstance(func, ast.Name) and func.id in HOOK_NAMES:
+            return True
+    return False
+
+
+def _is_unbounded_for(node: ast.For) -> bool:
+    """``for ... in itertools.count(...)`` / ``iter(fn, sentinel)``."""
+    name = dotted_name(node.iter.func) if isinstance(node.iter, ast.Call) else None
+    return name in ("itertools.count", "count") or (
+        name == "iter"
+        and isinstance(node.iter, ast.Call)
+        and len(node.iter.args) == 2
+    )
+
+
+class MissingBudgetHook(Rule):
+    code = "RL002"
+    name = "missing-budget-hook"
+    rationale = (
+        "while-loops in reachability/refinement/solver modules must call "
+        "a budgets.charge_*/check_* (or checkpoint tick) hook every pass, "
+        "or budget stops and checkpoint snapshots silently stop covering "
+        "them."
+    )
+    node_types: Tuple[Type[ast.AST], ...] = (ast.While, ast.For)
+
+    def applies_to(self, path: str) -> bool:
+        return (
+            super().applies_to(path)
+            and Path(path).name in SCOPED_FILENAMES
+            and path.startswith("src/")
+        )
+
+    def check(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        if isinstance(node, ast.For) and not _is_unbounded_for(node):
+            return
+        if _body_has_hook(node):
+            return
+        kind = "while" if isinstance(node, ast.While) else "unbounded for"
+        yield self.finding(
+            ctx,
+            node,
+            f"{kind} loop has no budget/checkpoint hook "
+            "(budgets.charge_iterations / check_time / check_states or "
+            "a checkpoint tick) in its body; budget caps cannot stop it",
+        )

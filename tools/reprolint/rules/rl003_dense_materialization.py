@@ -1,0 +1,84 @@
+"""RL003: dense materialization of a sparse/structured matrix.
+
+The entire point of the matrix-diagram representation (and of lumping
+it *before* solving) is that the generator is never held as a dense
+``n x n`` array.  One stray ``.toarray()`` on a production-scale chain
+turns an O(nnz) pipeline into an O(n^2) allocation that dies on the
+paper-scale models.  Dense conversion is legitimate only in tests and
+at explicitly whitelisted small-matrix sites (per-level factor blocks,
+k x k lumped verification matrices) — those carry an inline
+suppression or a baseline entry with a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple, Type
+
+from reprolint.core import FileContext, Finding, Rule, dotted_name
+
+_DENSIFYING_METHODS = ("toarray", "todense")
+
+#: ``scipy.sparse`` constructors whose result being fed to
+#: ``np.asarray``/``np.array`` is a (densifying) conversion.
+_SPARSE_CONSTRUCTORS = frozenset(
+    {
+        "csr_matrix",
+        "csc_matrix",
+        "coo_matrix",
+        "lil_matrix",
+        "dok_matrix",
+        "dia_matrix",
+        "bsr_matrix",
+        "csr_array",
+        "csc_array",
+        "coo_array",
+    }
+)
+
+
+def _mentions_sparse(node: ast.AST) -> bool:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call):
+            name = dotted_name(child.func)
+            if name is None:
+                continue
+            leaf = name.rsplit(".", 1)[-1]
+            if leaf in _SPARSE_CONSTRUCTORS:
+                return True
+            if name.startswith("sparse."):
+                return True
+    return False
+
+
+class DenseMaterialization(Rule):
+    code = "RL003"
+    name = "dense-materialization"
+    rationale = (
+        "dense conversion of sparse/MD-represented matrices defeats the "
+        "compact representation the reproduction exists to demonstrate; "
+        "it is O(n^2) memory on chains the pipeline otherwise handles."
+    )
+    node_types: Tuple[Type[ast.AST], ...] = (ast.Call,)
+
+    def check(self, node: ast.Call, ctx: FileContext) -> Iterator[Finding]:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _DENSIFYING_METHODS:
+            yield self.finding(
+                ctx,
+                node,
+                f".{func.attr}() materializes a dense matrix; keep the "
+                "sparse/MD form, or suppress with a justification if the "
+                "matrix is provably small (k x k lumped, per-level factor)",
+            )
+            return
+        name = dotted_name(func)
+        if name in ("np.asarray", "numpy.asarray", "np.array", "numpy.array"):
+            if node.args and _mentions_sparse(node.args[0]):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{name}(...) over a scipy.sparse expression densifies "
+                    "it; keep the sparse form or use the documented "
+                    "small-matrix whitelist",
+                )

@@ -1,0 +1,81 @@
+"""RL004: exact ``==``/``!=`` on float-typed rate expressions.
+
+Lumping partitions states by *equal* transition rates, but the rates
+are floats computed through different summation orders; raw equality on
+them is exactly the fragility :func:`repro.util.numeric.quantize` and
+:func:`repro.util.numeric.close` exist to absorb.  The rule flags
+comparisons that are float-typed on their face — a non-structural float
+literal, a ``float(...)`` cast, or a name that reads like a rate — and
+deliberately exempts comparisons against ``0``/``0.0``/``1``/``1.0``:
+those are structural presence/identity checks on MD weights (a stored
+weight is exactly 0.0 or exactly 1.0 by construction, never computed).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Tuple, Type
+
+from reprolint.core import FileContext, Finding, Rule
+
+#: Exact structural constants whose comparison is deliberate.
+_STRUCTURAL = (0, 0.0, 1, 1.0, -1, -1.0)
+
+#: Identifiers that denote rate-like quantities.
+_RATEY = re.compile(
+    r"(^|_)(rate|rates|weight|weights|prob|probs|probability|residual)($|_|s$)"
+)
+
+
+def _is_structural_constant(node: ast.AST) -> bool:
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        node = node.operand
+    return (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, (int, float))
+        and not isinstance(node.value, bool)
+        and node.value in _STRUCTURAL
+    )
+
+
+def _float_face(node: ast.AST) -> bool:
+    """Whether ``node`` is float-typed on its face."""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id == "float"
+    if isinstance(node, ast.Name):
+        return bool(_RATEY.search(node.id))
+    if isinstance(node, ast.Attribute):
+        return bool(_RATEY.search(node.attr))
+    return False
+
+
+class FloatEquality(Rule):
+    code = "RL004"
+    name = "float-equality"
+    rationale = (
+        "exact equality on computed rates is summation-order fragile; "
+        "use repro.util.numeric.quantize/close so rates differing by "
+        "float noise compare equal."
+    )
+    node_types: Tuple[Type[ast.AST], ...] = (ast.Compare,)
+
+    def check(self, node: ast.Compare, ctx: FileContext) -> Iterator[Finding]:
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            if _is_structural_constant(left) or _is_structural_constant(right):
+                continue  # exact structural zero/one check
+            if _float_face(left) or _float_face(right):
+                symbol = "==" if isinstance(op, ast.Eq) else "!="
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"float-typed {symbol} comparison; use "
+                    "repro.util.numeric.close()/quantize() so rates "
+                    "differing only by summation-order noise compare equal",
+                )
+                return

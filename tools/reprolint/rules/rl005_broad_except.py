@@ -1,0 +1,96 @@
+"""RL005: a bare or broad ``except`` that swallows without recording.
+
+The robustness layer's contract is that *every* degradation is visible:
+a fallback taken, a stage failed, a checkpoint discarded — all of it
+lands in the structured :class:`repro.robust.report.RunReport` so a
+degraded-but-successful run is distinguishable from a clean one.  A
+bare ``except:`` (or ``except Exception``) that neither re-raises nor
+records is the one construct that can silently eat a failure and
+erase it from the report — the exact opposite of graceful degradation.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple, Type
+
+from reprolint.core import FileContext, Finding, Rule
+
+#: Call names (attribute or bare) that count as recording the failure.
+_RECORDING_NAMES = (
+    "record_fallback",
+    "record_attempt",
+    "record",
+    "note",
+    "warn",
+    "warning",
+    "error",
+    "exception",
+    "log",
+)
+
+_BROAD = ("Exception", "BaseException")
+
+
+def _handler_records_or_reraises(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            attr = (
+                func.attr
+                if isinstance(func, ast.Attribute)
+                else func.id if isinstance(func, ast.Name) else None
+            )
+            if attr is not None and (
+                attr in _RECORDING_NAMES or attr.startswith("record_")
+            ):
+                return True
+    return False
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True  # bare except:
+    node = handler.type
+    if isinstance(node, ast.Name):
+        return node.id in _BROAD
+    if isinstance(node, ast.Attribute):
+        return node.attr in _BROAD
+    if isinstance(node, ast.Tuple):
+        return any(
+            _is_broad(ast.ExceptHandler(type=el, name=None, body=[]))
+            for el in node.elts
+        )
+    return False
+
+
+class BareOrBroadExcept(Rule):
+    code = "RL005"
+    name = "bare-or-broad-except"
+    rationale = (
+        "a broad except that neither re-raises nor records to RunReport "
+        "makes a degraded run look clean — the failure disappears from "
+        "the structured report the operator relies on."
+    )
+    node_types: Tuple[Type[ast.AST], ...] = (ast.ExceptHandler,)
+
+    def applies_to(self, path: str) -> bool:
+        return super().applies_to(path) and path.startswith(
+            ("src/", "tools/")
+        )
+
+    def check(self, node: ast.ExceptHandler, ctx: FileContext) -> Iterator[Finding]:
+        if not _is_broad(node):
+            return
+        if _handler_records_or_reraises(node):
+            return
+        caught = "bare except" if node.type is None else "broad except"
+        yield self.finding(
+            ctx,
+            node,
+            f"{caught} swallows the failure without re-raising or "
+            "recording it (RunReport.record_*/note, logging, or re-raise "
+            "required); degraded runs must stay observable",
+        )
