@@ -14,6 +14,7 @@ loose sanity bound.
 import tempfile
 import time
 
+from repro.analysis import lump_and_solve
 from repro.lumping import compositional_lump
 from repro.markov import steady_state
 from repro.models import TandemParams, build_tandem, tandem_md_model
@@ -22,6 +23,8 @@ from repro.robust.budgets import Budget
 from repro.robust.checkpoint import Checkpointer
 from repro.robust.fallback import solve_with_fallback
 from repro.robust.report import RunReport
+from repro.robust.retry import RetryPolicy
+from repro.robust.supervisor import SupervisorConfig
 from repro.statespace import reachable_bfs
 
 PARAMS = TandemParams(jobs=1, cube_dim=2, msmq_servers=2, msmq_queues=2)
@@ -100,6 +103,59 @@ def test_checkpoint_disabled_adds_no_measurable_overhead():
     # Two identical checkpoint-disabled runs must be within noise of
     # each other — the hooks have no hidden state to accumulate.
     assert drift < 0.10
+
+
+def _build_model():
+    compiled = build_tandem(PARAMS)
+    reach = reachable_bfs(compiled.event_model)
+    event_model = projected_event_model(compiled, reach)
+    reach = reachable_bfs(event_model)
+    return tandem_md_model(event_model, PARAMS, reachable=reach)
+
+
+def test_supervised_overhead_is_bounded():
+    """Fork + heartbeat + watchdog vs the same checkpointed robust run.
+
+    The supervisor's costs are per-*attempt* fixed costs (one fork, one
+    result pickle, heartbeat file writes), so on paper-scale runs they
+    amortize below the 5% target recorded in docs/robustness.md.  On
+    this deliberately tiny benchmark model the pipeline itself is only a
+    few hundred milliseconds, so the fixed costs loom large and the
+    assertion is a loose backstop (2x), with the absolute numbers
+    printed for the record.
+    """
+    model = _build_model()
+    config = SupervisorConfig(
+        policy=RetryPolicy(backoff_initial_seconds=0.0)
+    )
+    with tempfile.TemporaryDirectory() as ck_dir:
+        counter = [0]
+
+        def robust_checkpointed():
+            counter[0] += 1
+            lump_and_solve(
+                model, robust=True, checkpoint_dir=f"{ck_dir}/r{counter[0]}"
+            )
+
+        def supervised():
+            counter[0] += 1
+            lump_and_solve(
+                model,
+                supervised=True,
+                checkpoint_dir=f"{ck_dir}/s{counter[0]}",
+                supervisor=config,
+            )
+
+        robust_checkpointed()  # warm
+        supervised()  # warm
+        baseline = _best_of(robust_checkpointed)
+        watched = _best_of(supervised)
+    overhead = (watched - baseline) / baseline
+    print(
+        f"\nsupervised: robust+checkpoint {baseline:.3f}s, "
+        f"supervised {watched:.3f}s, overhead {overhead * 100:+.2f}%"
+    )
+    assert watched < baseline * 2.0
 
 
 def test_checkpoint_active_overhead_is_bounded():

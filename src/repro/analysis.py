@@ -107,6 +107,8 @@ def _make_checkpointer(
     key: str,
     iterate: bool,
     report: Optional[RunReport],
+    checkpoint_interval: Optional[int] = None,
+    checkpoint_keep_last: Optional[int] = None,
 ):
     """A :class:`~repro.robust.checkpoint.Checkpointer` for one
     ``lump_and_solve`` configuration, or ``None`` when disabled.
@@ -124,8 +126,16 @@ def _make_checkpointer(
         f"iterate={iterate} levels={tuple(model.md.level_sizes)} "
         f"n={model.num_states()}"
     )
+    kwargs = {}
+    if checkpoint_interval is not None:
+        kwargs["interval_iterations"] = checkpoint_interval
     return Checkpointer(
-        checkpoint_dir, resume=resume, fingerprint=fingerprint, report=report
+        checkpoint_dir,
+        resume=resume,
+        fingerprint=fingerprint,
+        report=report,
+        keep_last=checkpoint_keep_last,
+        **kwargs,
     )
 
 
@@ -142,6 +152,10 @@ def lump_and_solve(
     report: Optional[RunReport] = None,
     checkpoint_dir: Optional[str] = None,
     resume: bool = False,
+    checkpoint_interval: Optional[int] = None,
+    checkpoint_keep_last: Optional[int] = None,
+    supervised: bool = False,
+    supervisor=None,
 ) -> LumpedSolution:
     """Lump ``model`` compositionally and solve the lumped chain.
 
@@ -161,7 +175,31 @@ def lump_and_solve(
     ``resume=True`` a rerun continues from the latest valid snapshots
     instead of restarting, falling back to a fresh start (recorded in the
     report, when robust) on any corrupt or stale snapshot.
+    ``checkpoint_interval`` overrides the snapshot cadence (cooperative
+    iterations between periodic saves) and ``checkpoint_keep_last``
+    garbage-collects all but the newest K snapshots per loop sequence.
+
+    With ``supervised=True`` (implies robust) the whole pipeline runs in
+    a watchdog-supervised child process that is restarted from the
+    latest checkpoint on crash, hang, or OOM, climbing a progressive
+    degradation ladder — see :mod:`repro.robust.supervisor`.
+    ``supervisor`` is an optional
+    :class:`~repro.robust.supervisor.SupervisorConfig`.
     """
+    if supervised:
+        return _lump_and_solve_supervised(
+            model,
+            kind=kind,
+            method=method,
+            iterate=iterate,
+            key=key,
+            budget=budget,
+            solver_chain=solver_chain,
+            report=report,
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
+            config=supervisor,
+        )
     if not robust:
         ck = _make_checkpointer(
             checkpoint_dir, resume, model, kind, method, key, iterate, None
@@ -191,7 +229,60 @@ def lump_and_solve(
         report=report,
         checkpoint_dir=checkpoint_dir,
         resume=resume,
+        checkpoint_interval=checkpoint_interval,
+        checkpoint_keep_last=checkpoint_keep_last,
     )
+
+
+def _lump_and_solve_supervised(
+    model: MDModel,
+    kind: str,
+    method: str,
+    iterate: bool,
+    key: str,
+    budget: Optional[Budget],
+    solver_chain: Optional[Sequence[str]],
+    report: Optional[RunReport],
+    checkpoint_dir: Optional[str],
+    resume: bool,
+    config=None,
+) -> LumpedSolution:
+    """The supervised variant: robust pipeline in a watched child."""
+    from repro.robust.supervisor import run_supervised
+
+    def _attempt(ctx) -> LumpedSolution:
+        level = ctx.degradation
+        chain = (
+            level.solver_chain if level.solver_chain is not None
+            else solver_chain
+        )
+        return _lump_and_solve_robust(
+            model,
+            kind=kind,
+            method=method,
+            iterate=iterate,
+            key=key,
+            budget=ctx.budget,
+            solver_chain=chain,
+            report=ctx.report,
+            checkpoint_dir=ctx.checkpoint_dir,
+            resume=ctx.resume,
+            checkpoint_interval=ctx.checkpoint_interval,
+            checkpoint_keep_last=ctx.checkpoint_keep_last,
+            degrade=level.lumping_degrade,
+        )
+
+    supervised = run_supervised(
+        _attempt,
+        checkpoint_dir=checkpoint_dir,
+        config=config,
+        budget=budget,
+        report=report,
+        resume=resume,
+    )
+    solution: LumpedSolution = supervised.result
+    solution.report = supervised.report
+    return solution
 
 
 def _lump_and_solve_robust(
@@ -205,8 +296,16 @@ def _lump_and_solve_robust(
     report: Optional[RunReport],
     checkpoint_dir: Optional[str] = None,
     resume: bool = False,
+    checkpoint_interval: Optional[int] = None,
+    checkpoint_keep_last: Optional[int] = None,
+    degrade: bool = True,
 ) -> LumpedSolution:
-    """The degrading variant of :func:`lump_and_solve`."""
+    """The degrading variant of :func:`lump_and_solve`.
+
+    ``degrade=False`` (used by the supervisor's strict baseline rungs)
+    keeps the fallback chain and reporting but makes per-level lumping
+    failures fatal to the attempt instead of skipping the level.
+    """
     from repro.robust.fallback import (
         DEFAULT_SOLVER_CHAIN,
         solve_with_fallback,
@@ -220,14 +319,15 @@ def _lump_and_solve_robust(
             m for m in DEFAULT_SOLVER_CHAIN if m != method
         ]
     ck = _make_checkpointer(
-        checkpoint_dir, resume, model, kind, method, key, iterate, report
+        checkpoint_dir, resume, model, kind, method, key, iterate, report,
+        checkpoint_interval, checkpoint_keep_last,
     )
     scope = budget if budget is not None else nullcontext()
     with scope, (ck if ck is not None else nullcontext()):
         with report.stage("lumping") as stage:
             result = compositional_lump(
                 model, kind=kind, key=key, iterate=iterate,
-                degrade=True, report=report,
+                degrade=degrade, report=report,
             )
             if result.skipped_levels:
                 stage.status = "degraded"

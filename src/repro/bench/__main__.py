@@ -11,6 +11,7 @@ Prints the paper's three-part Table 1 for the requested J values.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.bench.table1 import render_table1, run_table1_row
@@ -67,6 +68,32 @@ def main(argv=None) -> int:
         "paths",
     )
     parser.add_argument(
+        "--supervised",
+        action="store_true",
+        help="run each robust J in a watchdog-supervised child process "
+        "with automatic restart from checkpoint on crash/hang/OOM and "
+        "progressive degradation (implies --robust)",
+    )
+    parser.add_argument(
+        "--max-restarts",
+        type=int,
+        help="supervised: restarts before the crash-loop breaker trips "
+        "(default 4)",
+    )
+    parser.add_argument(
+        "--mem-limit",
+        type=int,
+        metavar="BYTES",
+        help="supervised: hard RLIMIT_AS for each child process",
+    )
+    parser.add_argument(
+        "--heartbeat-timeout",
+        type=float,
+        metavar="SECONDS",
+        help="supervised: heartbeat staleness before the watchdog "
+        "declares the child hung and kills it (default 30)",
+    )
+    parser.add_argument(
         "--time-budget",
         type=float,
         help="wall-clock budget in seconds for each robust J run",
@@ -94,6 +121,23 @@ def main(argv=None) -> int:
         "--output", help="also write the rendered table to this file"
     )
     args = parser.parse_args(argv)
+    if args.supervised:
+        args.robust = True
+    elif (
+        args.max_restarts is not None
+        or args.mem_limit is not None
+        or args.heartbeat_timeout is not None
+    ):
+        parser.error(
+            "--max-restarts/--mem-limit/--heartbeat-timeout require "
+            "--supervised"
+        )
+    if args.max_restarts is not None and args.max_restarts < 0:
+        parser.error("--max-restarts must be >= 0")
+    if args.mem_limit is not None and args.mem_limit <= 0:
+        parser.error("--mem-limit must be positive")
+    if args.heartbeat_timeout is not None and args.heartbeat_timeout <= 0:
+        parser.error("--heartbeat-timeout must be positive")
     if args.checkpoint_dir and not args.robust:
         parser.error("--checkpoint-dir requires --robust")
     if args.resume and not args.checkpoint_dir:
@@ -116,6 +160,7 @@ def main(argv=None) -> int:
         if args.robust:
             from repro.bench.table1 import run_table1_row_robust
             from repro.robust.budgets import Budget, BudgetExceeded
+            from repro.robust.supervisor import CrashLoopError
 
             if args.time_budget is not None and args.time_budget <= 0:
                 parser.error("--time-budget must be positive")
@@ -130,13 +175,43 @@ def main(argv=None) -> int:
             engines = (
                 ("mdd", "bfs") if args.engine == "mdd" else ("bfs", "mdd")
             )
+            supervisor_config = None
+            if args.supervised:
+                from repro.robust.retry import RetryPolicy
+                from repro.robust.supervisor import SupervisorConfig
+
+                policy_kwargs = {}
+                if args.max_restarts is not None:
+                    policy_kwargs["max_restarts"] = args.max_restarts
+                config_kwargs = {}
+                if args.mem_limit is not None:
+                    config_kwargs["mem_limit_bytes"] = args.mem_limit
+                if args.heartbeat_timeout is not None:
+                    config_kwargs["heartbeat_timeout_seconds"] = (
+                        args.heartbeat_timeout
+                    )
+                supervisor_config = SupervisorConfig(
+                    policy=RetryPolicy(**policy_kwargs), **config_kwargs
+                )
             try:
                 run = run_table1_row_robust(
                     jobs, params, engines=engines, kind=args.kind,
                     budget=budget,
                     checkpoint_dir=args.checkpoint_dir,
                     resume=args.resume,
+                    supervised=args.supervised,
+                    supervisor=supervisor_config,
                 )
+            except CrashLoopError as exc:
+                # The circuit breaker tripped: emit the structured
+                # diagnosis (machine-readable, one JSON object) plus the
+                # merged per-attempt history, then fail loudly.
+                print(f"J={jobs}: crash loop: {exc}", file=sys.stderr)
+                print(
+                    json.dumps(exc.diagnosis, indent=2), file=sys.stderr
+                )
+                print(f"J={jobs} {exc.report.render()}", file=sys.stderr)
+                return 3
             except BudgetExceeded as exc:
                 print(f"J={jobs}: budget exhausted: {exc}", file=sys.stderr)
                 if args.checkpoint_dir:

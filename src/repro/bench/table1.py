@@ -207,19 +207,46 @@ def run_table1_row_robust(
     report: Optional[RunReport] = None,
     checkpoint_dir: Optional[str] = None,
     resume: bool = False,
+    checkpoint_interval: Optional[int] = None,
+    checkpoint_keep_last: Optional[int] = None,
+    lumping_degrade: bool = True,
+    supervised: bool = False,
+    supervisor=None,
 ) -> RobustTable1Run:
     """The Table-1 pipeline with fallbacks, degradation, and a report.
 
     Runs generation -> lumping -> steady-state solve end to end:
     reachability falls back across ``engines`` (default MDD -> BFS),
-    lumping skips levels that fail (identity partition), and the solve
-    walks the solver fallback chain.  Every degradation is recorded in
-    the returned report, so the driver can print what degraded and why.
+    lumping skips levels that fail (identity partition; disable with
+    ``lumping_degrade=False``), and the solve walks the solver fallback
+    chain.  Every degradation is recorded in the returned report, so the
+    driver can print what degraded and why.
 
     With ``checkpoint_dir`` set, the reachability/refinement/solver loops
     write crash-safe snapshots (see :mod:`repro.robust.checkpoint`);
-    ``resume=True`` continues a killed or budget-stopped run from them.
+    ``resume=True`` continues a killed or budget-stopped run from them,
+    ``checkpoint_interval`` overrides the snapshot cadence, and
+    ``checkpoint_keep_last`` garbage-collects old snapshots.
+
+    With ``supervised=True`` the whole pipeline runs in a
+    watchdog-supervised child process, restarted from the latest
+    checkpoint on crash/hang/OOM with progressive degradation — see
+    :mod:`repro.robust.supervisor`.  ``supervisor`` is an optional
+    :class:`~repro.robust.supervisor.SupervisorConfig`.
     """
+    if supervised:
+        return _run_table1_row_supervised(
+            jobs,
+            params=params,
+            engines=engines,
+            kind=kind,
+            solver_chain=solver_chain,
+            budget=budget,
+            report=report,
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
+            config=supervisor,
+        )
     from repro.robust.fallback import (
         DEFAULT_SOLVER_CHAIN,
         reachable_with_fallback,
@@ -238,6 +265,9 @@ def run_table1_row_robust(
     if checkpoint_dir is not None:
         from repro.robust.checkpoint import Checkpointer
 
+        ck_kwargs = {}
+        if checkpoint_interval is not None:
+            ck_kwargs["interval_iterations"] = checkpoint_interval
         ck = Checkpointer(
             checkpoint_dir,
             resume=resume,
@@ -245,6 +275,8 @@ def run_table1_row_robust(
                 f"table1 jobs={jobs} kind={kind} params={params}"
             ),
             report=report,
+            keep_last=checkpoint_keep_last,
+            **ck_kwargs,
         )
     scope = budget if budget is not None else nullcontext()
     with scope, (ck if ck is not None else nullcontext()):
@@ -295,7 +327,7 @@ def run_table1_row_robust(
 
         with report.stage("lumping") as stage, checkpoint_scoped("lumping"):
             result = compositional_lump(
-                model, kind, degrade=True, report=report
+                model, kind, degrade=lumping_degrade, report=report
             )
             if result.skipped_levels:
                 stage.status = "degraded"
@@ -351,6 +383,56 @@ def run_table1_row_robust(
         solve_method=solution.method,
         reach_engine=engine_run.engine,
     )
+
+
+def _run_table1_row_supervised(
+    jobs: int,
+    params: Optional[TandemParams],
+    engines: Sequence[str],
+    kind: str,
+    solver_chain: Optional[Sequence[str]],
+    budget: Optional[Budget],
+    report: Optional[RunReport],
+    checkpoint_dir: Optional[str],
+    resume: bool,
+    config=None,
+) -> RobustTable1Run:
+    """The supervised variant: the robust Table-1 pipeline in a watched
+    child process (see :mod:`repro.robust.supervisor`)."""
+    from repro.robust.supervisor import run_supervised
+
+    def _attempt(ctx) -> RobustTable1Run:
+        level = ctx.degradation
+        chain = (
+            level.solver_chain if level.solver_chain is not None
+            else solver_chain
+        )
+        return run_table1_row_robust(
+            jobs,
+            params=params,
+            engines=engines,
+            kind=kind,
+            solver_chain=chain,
+            budget=ctx.budget,
+            report=ctx.report,
+            checkpoint_dir=ctx.checkpoint_dir,
+            resume=ctx.resume,
+            checkpoint_interval=ctx.checkpoint_interval,
+            checkpoint_keep_last=ctx.checkpoint_keep_last,
+            lumping_degrade=level.lumping_degrade,
+        )
+
+    supervised = run_supervised(
+        _attempt,
+        checkpoint_dir=checkpoint_dir,
+        config=config,
+        budget=budget,
+        report=report,
+        resume=resume,
+    )
+    run: RobustTable1Run = supervised.result
+    run.report = supervised.report
+    return run
 
 
 def render_table1(rows: List[Table1Row]) -> str:

@@ -16,10 +16,18 @@ degradation first-class across the pipeline:
   loops, so a killed or budget-stopped run continues instead of
   restarting;
 * :mod:`repro.robust.report` — a structured :class:`RunReport` of stage
-  timings, attempts, fallbacks taken, and budget consumption.
+  timings, attempts, fallbacks taken, and budget consumption;
+* :mod:`repro.robust.supervisor` (with :mod:`~repro.robust.heartbeat`
+  and :mod:`~repro.robust.retry`) — supervised execution: the pipeline
+  in a forked child under hard OS limits, a watchdog that tells slow
+  from hung via budget-site heartbeats, automatic restart from the
+  latest checkpoint with backoff and a progressive degradation ladder,
+  and a crash-loop circuit breaker with a structured diagnosis.
 
-``fallback`` is loaded lazily (PEP 562): it imports the solvers, which in
-turn import :mod:`budgets`/:mod:`faults` for their cooperative hooks.
+``fallback`` and the supervision modules are loaded lazily (PEP 562):
+``fallback`` imports the solvers, which in turn import
+:mod:`budgets`/:mod:`faults` for their cooperative hooks, and most runs
+never fork a supervised child.
 """
 
 from repro.robust.checkpoint import (
@@ -52,28 +60,43 @@ from repro.robust.faults import (
 from repro.robust.report import (
     AttemptReport,
     FallbackEvent,
+    ProcessAttemptReport,
     RunReport,
     StageReport,
 )
 
-_FALLBACK_EXPORTS = frozenset(
-    {
-        "DEFAULT_SOLVER_CHAIN",
-        "EngineAttempt",
-        "EngineFallbackResult",
-        "FallbackSolution",
-        "SolveAttempt",
-        "reachable_with_fallback",
-        "solve_with_fallback",
-    }
-)
+#: Lazily-loaded exports: attribute name -> providing submodule.
+_LAZY_EXPORTS = {
+    "DEFAULT_SOLVER_CHAIN": "fallback",
+    "EngineAttempt": "fallback",
+    "EngineFallbackResult": "fallback",
+    "FallbackSolution": "fallback",
+    "SolveAttempt": "fallback",
+    "reachable_with_fallback": "fallback",
+    "solve_with_fallback": "fallback",
+    "Heartbeat": "heartbeat",
+    "HeartbeatMonitor": "heartbeat",
+    "DEFAULT_LADDER": "retry",
+    "DegradationLevel": "retry",
+    "RetryPolicy": "retry",
+    "level_for_failures": "retry",
+    "scale_budget": "retry",
+    "AttemptContext": "supervisor",
+    "CrashLoopError": "supervisor",
+    "SupervisedResult": "supervisor",
+    "SupervisorConfig": "supervisor",
+    "SupervisorError": "supervisor",
+    "run_supervised": "supervisor",
+}
 
 
 def __getattr__(name):
-    if name in _FALLBACK_EXPORTS:
-        from repro.robust import fallback
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is not None:
+        import importlib
 
-        return getattr(fallback, name)
+        module = importlib.import_module(f"repro.robust.{module_name}")
+        return getattr(module, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -97,6 +120,7 @@ __all__ = [
     "StageReport",
     "AttemptReport",
     "FallbackEvent",
+    "ProcessAttemptReport",
     "Checkpointer",
     "CheckpointError",
     "CheckpointEvent",
@@ -110,4 +134,17 @@ __all__ = [
     "EngineFallbackResult",
     "solve_with_fallback",
     "reachable_with_fallback",
+    "Heartbeat",
+    "HeartbeatMonitor",
+    "RetryPolicy",
+    "DegradationLevel",
+    "DEFAULT_LADDER",
+    "level_for_failures",
+    "scale_budget",
+    "AttemptContext",
+    "SupervisorConfig",
+    "SupervisedResult",
+    "SupervisorError",
+    "CrashLoopError",
+    "run_supervised",
 ]

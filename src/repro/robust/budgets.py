@@ -276,6 +276,18 @@ class Budget:
 #: every entry so nested budgets compose.
 _ACTIVE: List[Budget] = []
 
+#: Optional liveness callback fired on *every* hook call, budget active
+#: or not — the supervisor's heartbeat hangs off this so a supervised
+#: child proves liveness at each cooperative check site even when the
+#: attempt runs without limits.  Must be cheap and must never raise.
+_PULSE: Optional[Callable[[], None]] = None
+
+
+def set_pulse(pulse: Optional[Callable[[], None]]) -> None:
+    """Install (or with ``None`` remove) the liveness pulse callback."""
+    global _PULSE
+    _PULSE = pulse
+
 
 def active_budget() -> Optional[Budget]:
     """The innermost active budget, or ``None``."""
@@ -284,6 +296,8 @@ def active_budget() -> Optional[Budget]:
 
 def check_time(stage: Optional[str] = None) -> None:
     """Cooperative hook: check the wall clock of every active budget."""
+    if _PULSE is not None:
+        _PULSE()
     if not _ACTIVE:
         return
     _fault_check()
@@ -293,6 +307,8 @@ def check_time(stage: Optional[str] = None) -> None:
 
 def charge_iterations(count: int = 1, stage: Optional[str] = None) -> None:
     """Cooperative hook: charge iterations to every active budget."""
+    if _PULSE is not None:
+        _PULSE()
     if not _ACTIVE:
         return
     _fault_check()
@@ -302,6 +318,8 @@ def charge_iterations(count: int = 1, stage: Optional[str] = None) -> None:
 
 def check_states(count: int, stage: Optional[str] = None) -> None:
     """Cooperative hook: check a state count against every active budget."""
+    if _PULSE is not None:
+        _PULSE()
     if not _ACTIVE:
         return
     _fault_check()

@@ -149,8 +149,9 @@ class CheckpointEvent:
 
     ``kind`` is one of ``saved``, ``complete`` (a final snapshot),
     ``resumed``, ``skipped`` (a complete snapshot short-circuited the
-    loop), ``corrupt``, ``stale``, ``version-mismatch``,
-    ``manifest-corrupt``, ``manifest-stale``.
+    loop), ``pruned`` (keep_last garbage collection), ``corrupt``,
+    ``stale``, ``version-mismatch``, ``manifest-corrupt``,
+    ``manifest-stale``.
     """
 
     kind: str
@@ -203,6 +204,15 @@ class Checkpointer:
     min_save_interval_seconds:
         Additional floor between periodic saves of the same key (0
         disables the floor, keeping saves fully deterministic).
+    keep_last:
+        Per-sequence garbage collection: after each save of a key of the
+        form ``scope/stage#N``, snapshots of the same scoped stage with
+        sequence numbers ``<= N - keep_last`` are pruned.  ``None``
+        (default) keeps everything.  Pruning is crash-safe: the doomed
+        entries leave the manifest (atomically, after the new snapshot's
+        manifest write fsyncs) *before* their files are unlinked, so a
+        crash mid-prune leaves unreferenced orphan files, never a
+        manifest pointing at deleted snapshots.
     report:
         Optional :class:`~repro.robust.report.RunReport` (duck-typed):
         resume fallbacks are recorded via ``record_fallback`` under the
@@ -217,17 +227,24 @@ class Checkpointer:
         fingerprint: Optional[str] = None,
         interval_iterations: int = 256,
         min_save_interval_seconds: float = 0.0,
+        keep_last: Optional[int] = None,
         report=None,
     ) -> None:
         if interval_iterations <= 0:
             raise ValueError(
                 f"interval_iterations must be positive, not {interval_iterations!r}"
             )
+        if keep_last is not None and keep_last < 1:
+            raise ValueError(
+                f"keep_last must be >= 1 or None, not {keep_last!r}"
+            )
         self.directory = directory
         self.resume = resume
         self.fingerprint = fingerprint
         self.interval_iterations = interval_iterations
         self.min_save_interval_seconds = min_save_interval_seconds
+        self.keep_last = keep_last
+        self.pruned_count = 0
         self.events: List[CheckpointEvent] = []
         self._report = report
         self._scope: List[str] = []
@@ -373,6 +390,58 @@ class Checkpointer:
         atomic_write_json(self.manifest_path, self._manifest)
         self._last_save[key] = time.monotonic()
         self._event("complete" if complete else "saved", key)
+        self._prune(key)
+
+    def _prune(self, key: str) -> None:
+        """Garbage-collect old snapshots of ``key``'s scoped sequence.
+
+        Runs only *after* the new snapshot's manifest write (which is
+        fsynced), so the retained window always includes the snapshot
+        just saved.  Manifest first, files second: a crash between the
+        two leaves orphan files the manifest never references again —
+        harmless — rather than manifest entries whose files are gone.
+        """
+        if self.keep_last is None:
+            return
+        base, sep, seq_token = key.rpartition("#")
+        if not sep:
+            return  # unsequenced key: nothing to roll over
+        try:
+            seq = int(seq_token)
+        except ValueError:
+            return
+        prefix = re.sub(r"[^A-Za-z0-9._#-]", "_", base) + "#"
+        cutoff = seq - self.keep_last  # prune sequence numbers <= cutoff
+        if cutoff < 0:
+            return
+        doomed = []
+        for filename in self._manifest["files"]:
+            if not (filename.startswith(prefix) and filename.endswith(".json")):
+                continue
+            try:
+                old_seq = int(filename[len(prefix) : -len(".json")])
+            except ValueError:
+                continue
+            if old_seq <= cutoff:
+                doomed.append(filename)
+        if not doomed:
+            return
+        doomed.sort()
+        for filename in doomed:
+            del self._manifest["files"][filename]
+        atomic_write_json(self.manifest_path, self._manifest)
+        for filename in doomed:
+            try:
+                os.unlink(os.path.join(self.directory, filename))
+            except OSError:
+                pass  # orphan files are harmless; the manifest moved on
+        self.pruned_count += len(doomed)
+        self._event(
+            "pruned",
+            key,
+            f"{len(doomed)} old snapshot(s) dropped "
+            f"(keep_last={self.keep_last})",
+        )
 
     def load(self, key: str, guard: Optional[dict] = None) -> Optional[dict]:
         """The snapshot record for ``key``, or ``None`` for a fresh start.
@@ -450,6 +519,8 @@ class Checkpointer:
             )
         elif kind == "resumed":
             self._report.note(f"checkpoint: resumed {key} mid-loop")
+        elif kind == "pruned":
+            self._report.note(f"checkpoint: pruned {key}: {detail}")
 
     def events_of_kind(self, *kinds: str) -> List[CheckpointEvent]:
         """The recorded events whose kind is one of ``kinds``."""

@@ -37,18 +37,48 @@ first use; tests that mutate the environment call :func:`reload_env`)::
 
     REPRO_FAULTS="solver.direct,reachability.mdd:1-2" python -m repro.bench
 
-The spec grammar is ``site[:when]`` comma-separated, where ``when`` is a
-call number (``3``), an inclusive range (``1-2``), a comma-free list via
-``|`` (``1|3``), an open-ended tail (``3+``: the third call and every
-later one), or ``*`` / omitted for every call.
+The spec grammar is ``site[:when][@effect]`` comma-separated, where
+``when`` is a call number (``3``), an inclusive range (``1-2``), a
+comma-free list via ``|`` (``1|3``), an open-ended tail (``3+``: the
+third call and every later one), or ``*`` / omitted for every call.
+
+``effect`` selects *how* the rule fails.  The default raises the
+injected exception for the site (above); the process-level effects
+exist so the supervisor's watchdog/restart machinery can be exercised:
+
+==================  =====================================================
+effect              behaviour when the rule fires
+==================  =====================================================
+(omitted)           raise the site's injected exception
+``sigkill``         ``SIGKILL`` the current process — an abrupt crash
+``hang:<seconds>``  stall for that long without touching any budget hook
+                    (heartbeats stop; the watchdog sees "hung")
+``oom``             allocate until the address-space rlimit kills the
+                    allocation (raises :class:`MemoryError` directly when
+                    no finite ``RLIMIT_AS`` is set — never eats an
+                    unlimited host)
+==================  =====================================================
+
+Process-killing effects interact with restart-from-checkpoint: a
+restarted attempt replays the same call numbers, so an explicit-call
+rule like ``budget:40@sigkill`` would re-fire forever.  The *fired log*
+(:func:`set_fired_log`, or the ``REPRO_FAULTS_FIRED_LOG`` environment
+variable) makes explicit-call rules (``N``, ``N-M``, ``N|M``) one-shot
+across processes: each (rule, call-number) firing is appended to the
+log — flushed and fsynced *before* the effect happens — and is skipped
+on replay.  Open-ended rules (``N+``, ``*``, omitted ``when``) are
+intentionally exempt: they model a machine that stays dead, which is
+what the crash-loop circuit breaker is for.
 """
 
 from __future__ import annotations
 
 import os
 import random
+import signal
+import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.errors import (
     LumpingError,
@@ -93,13 +123,16 @@ def _exception_for(site: str) -> type:
 
 @dataclass(frozen=True)
 class FaultRule:
-    """When a given site should fail.
+    """When — and how — a given site should fail.
 
     Exactly one trigger applies: ``fail_on`` (explicit 1-based call
     numbers), ``first`` (the first N calls), ``after`` (the N-th call and
     every later one — a process that "stays dead" until resumed),
     ``probability`` (a seeded Bernoulli draw per call), or none of them —
     meaning *every* call.
+
+    ``effect`` is ``"raise"`` (the site's injected exception),
+    ``"sigkill"``, ``"hang"`` (stall ``hang_seconds``), or ``"oom"``.
     """
 
     site: str
@@ -107,6 +140,49 @@ class FaultRule:
     first: Optional[int] = None
     after: Optional[int] = None
     probability: Optional[float] = None
+    effect: str = "raise"
+    hang_seconds: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.effect not in ("raise", "sigkill", "hang", "oom"):
+            raise ValueError(
+                f"unknown fault effect {self.effect!r} "
+                "(expected 'raise', 'sigkill', 'hang', or 'oom')"
+            )
+        if self.effect == "hang" and (
+            self.hang_seconds is None or self.hang_seconds <= 0
+        ):
+            raise ValueError(
+                "hang effect needs a positive duration, "
+                f"not {self.hang_seconds!r}"
+            )
+
+    @property
+    def one_shot(self) -> bool:
+        """Whether a fired log should suppress replays of this rule.
+
+        Only explicit-call triggers are one-shot; open-ended triggers
+        model a fault that persists across restarts.
+        """
+        return self.fail_on is not None
+
+    def identity(self) -> str:
+        """Deterministic id for fired-log entries (stable across
+        processes and restarts)."""
+        parts = [self.site]
+        if self.fail_on is not None:
+            parts.append("on=" + "|".join(str(n) for n in sorted(self.fail_on)))
+        if self.first is not None:
+            parts.append(f"first={self.first}")
+        if self.after is not None:
+            parts.append(f"after={self.after}")
+        if self.probability is not None:
+            parts.append(f"p={self.probability:g}")
+        if self.effect != "raise":
+            parts.append(f"effect={self.effect}")
+        if self.hang_seconds is not None:
+            parts.append(f"hang={self.hang_seconds:g}")
+        return ";".join(parts)
 
     def should_fail(self, call_number: int, rng: random.Random) -> bool:
         """Whether this rule fires for the ``call_number``-th call."""
@@ -144,9 +220,14 @@ class FaultInjector:
             part = part.strip()
             if not part:
                 continue
-            site, _, when = part.partition(":")
+            # '@' splits off the effect first: the hang effect's own
+            # ':' ("hang:3") must not be mistaken for the when separator.
+            body, _, effect = part.partition("@")
+            site, _, when = body.partition(":")
             try:
-                rules.append(_parse_rule(site.strip(), when.strip()))
+                rules.append(
+                    _parse_rule(site.strip(), when.strip(), effect.strip())
+                )
             except ValueError as exc:
                 raise ValueError(
                     f"invalid fault rule {part!r} in spec {spec!r}: {exc}"
@@ -170,18 +251,34 @@ class FaultInjector:
             raise ValueError(f"bad REPRO_FAULTS environment value: {exc}") from None
 
     def check(self, site: str) -> None:
-        """Count a call at ``site``; raise if any matching rule fires."""
+        """Count a call at ``site``; fail if any matching rule fires.
+
+        Raising rules raise the site's injected exception; process-level
+        rules perform their effect (SIGKILL / stall / memory
+        exhaustion).  With a fired log installed, one-shot rules that
+        already fired in a previous process are skipped.
+        """
         matching = [rule for rule in self.rules if rule.site == site]
         if not matching:
             return
         call_number = self._counts.get(site, 0) + 1
         self._counts[site] = call_number
         for rule in matching:
-            if rule.should_fail(call_number, self._rng):
-                self.fired.append((site, call_number))
-                raise _exception_for(site)(
-                    f"injected fault at {site!r} (call {call_number})"
-                )
+            if not rule.should_fail(call_number, self._rng):
+                continue
+            if (
+                rule.one_shot
+                and _FIRED_LOG is not None
+                and _FIRED_LOG.already_fired(rule.identity(), call_number)
+            ):
+                continue
+            self.fired.append((site, call_number))
+            if _FIRED_LOG is not None:
+                # Durable *before* the effect: a SIGKILLed process must
+                # not forget that the rule fired, or it re-fires on
+                # every restart and the run can never make progress.
+                _FIRED_LOG.record(rule.identity(), site, call_number)
+            _perform_effect(rule, site, call_number)
 
     def call_count(self, site: str) -> int:
         """How many calls this injector has seen at ``site``."""
@@ -198,9 +295,11 @@ class FaultInjector:
 #: One-line summary of the ``REPRO_FAULTS`` grammar, quoted by parse
 #: errors so a typo in an environment variable is self-explaining.
 GRAMMAR = (
-    "comma-separated rules of the form site[:when], where when is a "
-    "1-based call number 'N', an inclusive range 'N-M', a list 'N|M', "
-    "an open-ended tail 'N+', or '*' / omitted for every call"
+    "comma-separated rules of the form site[:when][@effect], where when "
+    "is a 1-based call number 'N', an inclusive range 'N-M', a list "
+    "'N|M', an open-ended tail 'N+', or '*' / omitted for every call, "
+    "and effect is 'sigkill', 'hang:<seconds>', 'oom', or omitted to "
+    "raise the site's injected exception"
 )
 
 
@@ -214,14 +313,45 @@ def _parse_call_number(token: str, role: str) -> int:
     return value
 
 
-def _parse_rule(site: str, when: str) -> FaultRule:
+def _parse_effect(token: str) -> Tuple[str, Optional[float]]:
+    """Parse the ``@effect`` suffix into (effect, hang_seconds)."""
+    if not token:
+        return "raise", None
+    if token in ("sigkill", "oom"):
+        return token, None
+    name, sep, duration = token.partition(":")
+    if name == "hang":
+        if not sep:
+            raise ValueError(
+                "hang effect needs a duration: 'hang:<seconds>'"
+            )
+        try:
+            seconds = float(duration)
+        except ValueError:
+            raise ValueError(
+                f"hang duration {duration!r} is not a number"
+            ) from None
+        if seconds <= 0:
+            raise ValueError(f"hang duration {duration!r} must be > 0")
+        return "hang", seconds
+    raise ValueError(
+        f"unknown fault effect {token!r} "
+        "(expected 'sigkill', 'hang:<seconds>', or 'oom')"
+    )
+
+
+def _parse_rule(site: str, when: str, effect_token: str = "") -> FaultRule:
     if not site:
         raise ValueError("missing fault site before ':'")
+    effect, hang_seconds = _parse_effect(effect_token)
     if not when or when == "*":
-        return FaultRule(site)
+        return FaultRule(site, effect=effect, hang_seconds=hang_seconds)
     if when.endswith("+"):
         return FaultRule(
-            site, after=_parse_call_number(when[:-1], "call number")
+            site,
+            after=_parse_call_number(when[:-1], "call number"),
+            effect=effect,
+            hang_seconds=hang_seconds,
         )
     if "-" in when:
         low_token, _, high_token = when.partition("-")
@@ -229,7 +359,12 @@ def _parse_rule(site: str, when: str) -> FaultRule:
         high = _parse_call_number(high_token, "range end")
         if high < low:
             raise ValueError(f"range {when!r} is empty ({low} > {high})")
-        return FaultRule(site, fail_on=frozenset(range(low, high + 1)))
+        return FaultRule(
+            site,
+            fail_on=frozenset(range(low, high + 1)),
+            effect=effect,
+            hang_seconds=hang_seconds,
+        )
     if "|" in when:
         return FaultRule(
             site,
@@ -237,18 +372,131 @@ def _parse_rule(site: str, when: str) -> FaultRule:
                 _parse_call_number(token, "call number")
                 for token in when.split("|")
             ),
+            effect=effect,
+            hang_seconds=hang_seconds,
         )
     return FaultRule(
-        site, fail_on=frozenset({_parse_call_number(when, "call number")})
+        site,
+        fail_on=frozenset({_parse_call_number(when, "call number")}),
+        effect=effect,
+        hang_seconds=hang_seconds,
     )
+
+
+def _exhaust_memory() -> None:
+    """The ``oom`` effect: allocate until the address-space rlimit bites.
+
+    Refuses to allocate unboundedly on a host without a finite
+    ``RLIMIT_AS`` — there it raises :class:`MemoryError` directly, which
+    exercises the same recovery path without endangering the machine.
+    """
+    try:
+        import resource
+    except ImportError:  # non-POSIX: no rlimits to exhaust
+        raise MemoryError(
+            "injected oom fault (no resource module; raising directly)"
+        ) from None
+    soft, _hard = resource.getrlimit(resource.RLIMIT_AS)
+    if soft == resource.RLIM_INFINITY:
+        raise MemoryError(
+            "injected oom fault (no RLIMIT_AS set; raising directly)"
+        )
+    hog = []
+    try:
+        while True:
+            hog.append(bytearray(16 * 1024 * 1024))
+    except MemoryError:
+        hog.clear()
+        raise MemoryError(
+            "injected oom fault (address-space rlimit reached)"
+        ) from None
+
+
+def _perform_effect(rule: FaultRule, site: str, call_number: int) -> None:
+    """Carry out a fired rule's effect (raises unless the effect kills
+    or stalls the process first)."""
+    if rule.effect == "sigkill":
+        os.kill(os.getpid(), signal.SIGKILL)
+        return  # only reachable if the signal is somehow blocked
+    if rule.effect == "hang":
+        assert rule.hang_seconds is not None  # enforced by __post_init__
+        time.sleep(rule.hang_seconds)
+        return  # a transient stall: the call proceeds afterwards
+    if rule.effect == "oom":
+        _exhaust_memory()
+        return  # unreachable: _exhaust_memory always raises
+    raise _exception_for(site)(
+        f"injected fault at {site!r} (call {call_number})"
+    )
+
+
+class _FiredLog:
+    """Append-only, fsynced record of one-shot rule firings.
+
+    Line format: ``identity \\t site \\t call_number``.  Unparseable
+    lines (torn writes from a kill mid-append) are ignored — losing a
+    record only means a rule may fire once more, never that the run
+    wedges.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.seen: Set[Tuple[str, int]] = set()
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    fields = line.rstrip("\n").split("\t")
+                    if len(fields) != 3:
+                        continue
+                    try:
+                        self.seen.add((fields[0], int(fields[2])))
+                    except ValueError:
+                        continue
+        except OSError:
+            pass  # no log yet: nothing has fired
+
+    def already_fired(self, identity: str, call_number: int) -> bool:
+        return (identity, call_number) in self.seen
+
+    def record(self, identity: str, site: str, call_number: int) -> None:
+        self.seen.add((identity, call_number))
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(f"{identity}\t{site}\t{call_number}\n")
+            handle.flush()
+            os.fsync(handle.fileno())
 
 
 #: Stack of lexically-activated injectors (innermost last).
 _ACTIVE: List[FaultInjector] = []
 
+#: Cross-process fired log (see :class:`_FiredLog`); installed by the
+#: supervisor in each child, or via ``REPRO_FAULTS_FIRED_LOG``.
+_FIRED_LOG: Optional[_FiredLog] = None
+
+
+def set_fired_log(path: Optional[str]) -> None:
+    """Install (or with ``None`` remove) the one-shot fired log.
+
+    Existing entries at ``path`` are loaded, so a restarted process
+    skips one-shot rules that already fired before it crashed.
+    """
+    global _FIRED_LOG
+    _FIRED_LOG = None if path is None else _FiredLog(path)
+
+
+def fired_log_path() -> Optional[str]:
+    """Path of the installed fired log, if any."""
+    return None if _FIRED_LOG is None else _FIRED_LOG.path
+
+
 #: The ambient injector parsed from ``REPRO_FAULTS`` at import (call
 #: :func:`reload_env` after mutating the environment).
 _ENV_INJECTOR: Optional[FaultInjector] = FaultInjector.from_env()
+
+_env_fired_log = os.environ.get("REPRO_FAULTS_FIRED_LOG", "").strip()
+if _env_fired_log:
+    set_fired_log(_env_fired_log)
+del _env_fired_log
 
 
 def reload_env(value: Optional[str] = None) -> Optional[FaultInjector]:

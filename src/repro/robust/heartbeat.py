@@ -1,0 +1,151 @@
+"""Liveness heartbeats: how a watchdog tells *slow* from *hung*.
+
+A supervised child (see :mod:`repro.robust.supervisor`) periodically
+touches a heartbeat file; the parent watchdog reads it and kills the
+child only when the beat goes stale — a child that is merely slow keeps
+beating, a child stuck in an uninstrumented stall (a wedged syscall, a
+livelocked loop that forgot its budget hook) stops.
+
+Beats piggyback on the cooperative budget-check sites: installing a
+heartbeat registers a *pulse* callback with
+:mod:`repro.robust.budgets`, so every ``check_time`` /
+``charge_iterations`` / ``check_states`` call in the pipeline's hot
+loops beats for free.  The write itself is rate-limited
+(``min_interval_seconds``), so a loop charging thousands of iterations
+per second costs one clock read per charge and a few file writes per
+second.
+
+Timestamps are ``time.monotonic()`` values.  On Linux (the supervised
+deployment target) ``CLOCK_MONOTONIC`` is system-wide, so the parent
+can subtract the child's written value from its own clock; a platform
+where the clocks differ degrades to "the file changed recently", which
+the monitor also tracks via its own read clock.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Optional
+
+from repro.robust import budgets
+
+#: Default floor between consecutive beat *writes*.
+DEFAULT_MIN_INTERVAL_SECONDS = 0.05
+
+
+class Heartbeat:
+    """Child side: touch ``path`` at a bounded rate.
+
+    ``beat()`` is cheap when called more often than
+    ``min_interval_seconds`` (one monotonic read, no I/O); ``force=True``
+    bypasses the rate limit for milestone beats (process start, stage
+    boundaries, final result written).
+    """
+
+    def __init__(
+        self,
+        path: str,
+        min_interval_seconds: float = DEFAULT_MIN_INTERVAL_SECONDS,
+    ) -> None:
+        if min_interval_seconds < 0:
+            raise ValueError(
+                "min_interval_seconds must be >= 0, "
+                f"not {min_interval_seconds!r}"
+            )
+        self.path = path
+        self.min_interval_seconds = min_interval_seconds
+        self.beats_written = 0
+        self._last_write: Optional[float] = None
+
+    def beat(self, force: bool = False) -> bool:
+        """Touch the heartbeat file; returns whether a write happened."""
+        now = time.monotonic()
+        if (
+            not force
+            and self._last_write is not None
+            and now - self._last_write < self.min_interval_seconds
+        ):
+            return False
+        # Atomic via rename so the monitor never reads a torn value; no
+        # fsync — a heartbeat is a liveness signal, not durable state.
+        tmp_path = f"{self.path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp_path, "w", encoding="utf-8") as handle:
+                handle.write(f"{now:.6f}\n")
+            os.replace(tmp_path, self.path)
+        except OSError:
+            # A beat that cannot be written must never kill the work
+            # it is reporting on; the watchdog will see staleness and
+            # treat the child as hung, which is the honest outcome.
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            return False
+        self._last_write = now
+        self.beats_written += 1
+        return True
+
+
+class HeartbeatMonitor:
+    """Parent side: how stale is the child's last beat?"""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+
+    def last_beat(self) -> Optional[float]:
+        """The child's last written monotonic timestamp, or ``None``
+        when no (readable) beat exists yet."""
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                text = handle.read().strip()
+            return float(text)
+        except (OSError, ValueError):
+            return None
+
+    def age_seconds(self) -> Optional[float]:
+        """Seconds since the last beat (clamped at 0), or ``None`` when
+        the child has not beaten yet."""
+        last = self.last_beat()
+        if last is None:
+            return None
+        return max(0.0, time.monotonic() - last)
+
+
+#: The process-wide installed heartbeat (a supervised child has exactly
+#: one; everything else has none).
+_INSTALLED: Optional[Heartbeat] = None
+
+
+def install(
+    path: str,
+    min_interval_seconds: float = DEFAULT_MIN_INTERVAL_SECONDS,
+) -> Heartbeat:
+    """Install a process-wide heartbeat and hook it into the budget
+    check sites.  Returns the :class:`Heartbeat` (also reachable via
+    :func:`installed`)."""
+    global _INSTALLED
+    hb = Heartbeat(path, min_interval_seconds=min_interval_seconds)
+    _INSTALLED = hb
+    budgets.set_pulse(lambda: hb.beat())
+    return hb
+
+
+def uninstall() -> None:
+    """Remove the installed heartbeat and its budget-site pulse."""
+    global _INSTALLED
+    _INSTALLED = None
+    budgets.set_pulse(None)
+
+
+def installed() -> Optional[Heartbeat]:
+    """The process-wide heartbeat, if one is installed."""
+    return _INSTALLED
+
+
+def beat(force: bool = False) -> bool:
+    """Beat the installed heartbeat (no-op without one)."""
+    if _INSTALLED is None:
+        return False
+    return _INSTALLED.beat(force=force)

@@ -130,19 +130,90 @@ class AttemptReport:
 
 
 @dataclass
+class ProcessAttemptReport:
+    """One supervised child-process attempt (see
+    :mod:`repro.robust.supervisor`).
+
+    ``exit_reason`` taxonomy: ``"ok"`` (clean exit with a result),
+    ``"error"`` (unhandled exception in the child), ``"budget"``
+    (child exhausted its budget — terminal, not retried), ``"oom"``
+    (address-space rlimit hit), ``"signal"`` (killed by a signal other
+    than the watchdog's), ``"hung"`` (watchdog killed a stale
+    heartbeat).
+    """
+
+    index: int
+    exit_reason: str
+    seconds: float
+    degradation_index: int = 0
+    degradation: str = "baseline"
+    resumed_from: Optional[str] = None
+    exit_code: Optional[int] = None
+    signal: Optional[int] = None
+    max_rss_bytes: Optional[int] = None
+    cpu_seconds: Optional[float] = None
+    error: Optional[str] = None
+    backoff_seconds: float = 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "index": self.index,
+            "exit_reason": self.exit_reason,
+            "seconds": self.seconds,
+            "degradation_index": self.degradation_index,
+            "degradation": self.degradation,
+            "resumed_from": self.resumed_from,
+            "exit_code": self.exit_code,
+            "signal": self.signal,
+            "max_rss_bytes": self.max_rss_bytes,
+            "cpu_seconds": self.cpu_seconds,
+            "error": self.error,
+            "backoff_seconds": self.backoff_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ProcessAttemptReport":
+        def _opt_int(key: str) -> Optional[int]:
+            value = data.get(key)
+            return None if value is None else int(value)
+
+        def _opt_str(key: str) -> Optional[str]:
+            value = data.get(key)
+            return None if value is None else str(value)
+
+        cpu = data.get("cpu_seconds")
+        return cls(
+            index=int(data.get("index", 0)),
+            exit_reason=str(data.get("exit_reason", "error")),
+            seconds=float(data.get("seconds", 0.0)),
+            degradation_index=int(data.get("degradation_index", 0)),
+            degradation=str(data.get("degradation", "baseline")),
+            resumed_from=_opt_str("resumed_from"),
+            exit_code=_opt_int("exit_code"),
+            signal=_opt_int("signal"),
+            max_rss_bytes=_opt_int("max_rss_bytes"),
+            cpu_seconds=None if cpu is None else float(cpu),
+            error=_opt_str("error"),
+            backoff_seconds=float(data.get("backoff_seconds", 0.0)),
+        )
+
+
+@dataclass
 class RunReport:
     """Structured record of one pipeline run.
 
     Collects per-stage timings, per-attempt diagnostics, fallbacks taken,
-    free-form notes, and (when a budget was supplied) the final budget
-    consumption.  ``degraded`` is true iff any fallback fired or any
-    stage finished in a non-``ok`` status.
+    free-form notes, per-process-attempt history (when supervised), and
+    (when a budget was supplied) the final budget consumption.
+    ``degraded`` is true iff any fallback fired or any stage finished in
+    a non-``ok`` status.
     """
 
     stages: List[StageReport] = field(default_factory=list)
     attempts: List[AttemptReport] = field(default_factory=list)
     fallbacks: List[FallbackEvent] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
+    process_attempts: List[ProcessAttemptReport] = field(default_factory=list)
     budget: Optional[BudgetConsumption] = None
 
     # ------------------------------------------------------------------
@@ -205,10 +276,48 @@ class RunReport:
         """Append a free-form note."""
         self.notes.append(message)
 
+    def record_process_attempt(
+        self, attempt: ProcessAttemptReport
+    ) -> ProcessAttemptReport:
+        """Record one supervised child-process attempt."""
+        self.process_attempts.append(attempt)
+        return attempt
+
     def attach_budget(self, budget: Optional[Budget]) -> None:
         """Snapshot a budget's consumption into the report."""
         if budget is not None:
             self.budget = budget.consumption()
+
+    def merge(self, other: "RunReport") -> "RunReport":
+        """Fold another attempt's report into this one; returns ``self``.
+
+        Restart aggregation is *additive*: stage timings, solver
+        attempts, fallbacks, notes, and process attempts from the later
+        attempt extend (never overwrite) the history already recorded,
+        so the merged report reads as a chronology of everything that
+        ran.  Budget consumption merges by summing the spend counters
+        (elapsed seconds, iterations), taking the max of ``peak_states``
+        (a high-water mark), and keeping the later attempt's limits
+        (the degradation ladder may have rescaled them).
+        """
+        self.stages.extend(other.stages)
+        self.attempts.extend(other.attempts)
+        self.fallbacks.extend(other.fallbacks)
+        self.notes.extend(other.notes)
+        self.process_attempts.extend(other.process_attempts)
+        if self.budget is None:
+            self.budget = other.budget
+        elif other.budget is not None:
+            mine, theirs = self.budget, other.budget
+            self.budget = BudgetConsumption(
+                elapsed_seconds=mine.elapsed_seconds + theirs.elapsed_seconds,
+                iterations_used=mine.iterations_used + theirs.iterations_used,
+                peak_states=max(mine.peak_states, theirs.peak_states),
+                wall_clock_seconds=theirs.wall_clock_seconds,
+                max_iterations=theirs.max_iterations,
+                max_states=theirs.max_states,
+            )
+        return self
 
     # ------------------------------------------------------------------
     # queries / rendering
@@ -238,6 +347,9 @@ class RunReport:
                 "attempts": [attempt.to_dict() for attempt in self.attempts],
                 "fallbacks": [event.to_dict() for event in self.fallbacks],
                 "notes": [str(note) for note in self.notes],
+                "process_attempts": [
+                    attempt.to_dict() for attempt in self.process_attempts
+                ],
                 "budget": self.budget.to_dict() if self.budget else None,
             }
         )
@@ -263,6 +375,10 @@ class RunReport:
                 FallbackEvent.from_dict(f) for f in data.get("fallbacks", ())
             ],
             notes=[str(note) for note in data.get("notes", ())],
+            process_attempts=[
+                ProcessAttemptReport.from_dict(p)
+                for p in data.get("process_attempts", ())
+            ],
             budget=(
                 None if budget is None else BudgetConsumption.from_dict(budget)
             ),
@@ -298,6 +414,19 @@ class RunReport:
                 f"  fallback [{event.stage}] {event.requested} -> "
                 f"{event.used}: {event.reason}"
             )
+        for proc in self.process_attempts:
+            line = (
+                f"  process attempt #{proc.index} "
+                f"{proc.exit_reason:<7s} {proc.seconds:8.3f}s  "
+                f"degradation={proc.degradation}"
+            )
+            if proc.signal is not None:
+                line += f"  signal={proc.signal}"
+            if proc.resumed_from:
+                line += f"  resumed-from={proc.resumed_from}"
+            if proc.error:
+                line += f"  ({proc.error})"
+            lines.append(line)
         for note in self.notes:
             lines.append(f"  note: {note}")
         if self.budget is not None:

@@ -1,0 +1,36 @@
+"""Fixture: RL007 true positives, plus compliant constructs."""
+
+import os
+import subprocess
+
+
+def spawn_fork():
+    return os.fork()
+
+
+def spawn_popen(cmd):
+    return subprocess.Popen(cmd)
+
+
+def spawn_run(cmd):
+    return subprocess.run(cmd)
+
+
+def unbounded_wait(proc):
+    return proc.wait()
+
+
+def unbounded_communicate(proc):
+    return proc.communicate()
+
+
+def bounded_wait_is_clean(proc):
+    return proc.wait(timeout=30.0)
+
+
+def bounded_communicate_is_clean(proc):
+    return proc.communicate(timeout=30.0)
+
+
+def unrelated_call_is_clean(path):
+    return os.stat(path)

@@ -34,6 +34,7 @@ RULE_CASES = {
     "RL004": ("src/repro/markov/fixture_mod.py", 3),
     "RL005": ("src/repro/robust/fixture_mod.py", 2),
     "RL006": ("src/repro/statespace/fixture_mod.py", 4),
+    "RL007": ("src/repro/robust/fixture_mod.py", 5),
 }
 
 
@@ -153,6 +154,22 @@ def test_rl006_clock_whitelist():
     text = "import time\n\n\ndef now():\n    return time.time()\n"
     assert _lint("src/repro/util/timing.py", text).findings == []
     assert len(_lint("src/repro/markov/ctmc.py", text).findings) == 1
+
+
+def test_rl007_supervisor_module_may_spawn():
+    text = _fixture("rl007_positive.py")
+    report = _lint("src/repro/robust/supervisor.py", text)
+    # Spawn calls are the supervisor's job; the unbounded waits are
+    # still flagged — a no-timeout wait can hang the watchdog itself.
+    flagged = [f for f in report.findings if f.rule == "RL007"]
+    assert len(flagged) == 2, flagged
+    assert all("timeout" in f.message for f in flagged)
+
+
+def test_rl007_out_of_scope_path_is_clean():
+    text = _fixture("rl007_positive.py")
+    report = _lint("benchmarks/run_all.py", text)
+    assert [f for f in report.findings if f.rule == "RL007"] == []
 
 
 def test_syntax_error_reported_not_raised():

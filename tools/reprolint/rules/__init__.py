@@ -18,6 +18,9 @@ from reprolint.rules.rl003_dense_materialization import DenseMaterialization
 from reprolint.rules.rl004_float_equality import FloatEquality
 from reprolint.rules.rl005_broad_except import BareOrBroadExcept
 from reprolint.rules.rl006_unseeded_randomness import UnseededRandomness
+from reprolint.rules.rl007_unsupervised_subprocess import (
+    UnsupervisedSubprocess,
+)
 
 RULE_CLASSES: Sequence[Type[Rule]] = (
     NondeterministicIteration,
@@ -26,6 +29,7 @@ RULE_CLASSES: Sequence[Type[Rule]] = (
     FloatEquality,
     BareOrBroadExcept,
     UnseededRandomness,
+    UnsupervisedSubprocess,
 )
 
 

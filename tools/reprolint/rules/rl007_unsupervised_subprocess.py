@@ -1,0 +1,103 @@
+"""RL007: process spawning outside the supervisor; unbounded waits.
+
+The supervised-execution layer (:mod:`repro.robust.supervisor`) is the
+one place allowed to create child processes: it is the component that
+pairs every child with hard OS limits (``resource.setrlimit``), a
+heartbeat-driven watchdog, and restart-from-checkpoint semantics.  A
+``subprocess.Popen``/``os.fork`` call anywhere else creates an orphan
+the watchdog cannot see — it can hang forever, leak memory past the
+budget, or survive the parent, and none of it lands in the RunReport.
+
+Two constructs are flagged:
+
+* **spawn calls** — ``os.fork``/``os.forkpty``/``os.spawn*``/
+  ``os.system``/``os.popen``, any ``subprocess.*`` call, and
+  ``multiprocessing.Process`` — anywhere outside the supervisor module;
+* **unbounded waits** — ``.wait()`` / ``.communicate()`` attribute calls
+  without a ``timeout=`` keyword, *everywhere* (including the
+  supervisor): a blocking wait with no timeout is exactly the hang the
+  watchdog exists to prevent, and it can deadlock the watchdog itself.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple, Type
+
+from reprolint.core import FileContext, Finding, Rule, dotted_name
+
+#: The one module allowed to create child processes.
+_SUPERVISOR_PATH = "src/repro/robust/supervisor.py"
+
+#: Fully-dotted call names that spawn a process.
+_SPAWN_CALLS = frozenset(
+    {
+        "os.fork",
+        "os.forkpty",
+        "os.system",
+        "os.popen",
+        "os.posix_spawn",
+        "os.posix_spawnp",
+        "os.spawnl",
+        "os.spawnle",
+        "os.spawnlp",
+        "os.spawnlpe",
+        "os.spawnv",
+        "os.spawnve",
+        "os.spawnvp",
+        "os.spawnvpe",
+        "multiprocessing.Process",
+        "multiprocessing.Pool",
+    }
+)
+
+#: Attribute calls that block until a child exits.
+_BLOCKING_WAITS = frozenset({"wait", "communicate"})
+
+
+def _has_timeout_keyword(node: ast.Call) -> bool:
+    return any(kw.arg == "timeout" for kw in node.keywords)
+
+
+class UnsupervisedSubprocess(Rule):
+    code = "RL007"
+    name = "unsupervised-subprocess"
+    rationale = (
+        "a child process created outside repro.robust.supervisor runs "
+        "without resource limits, heartbeat, or restart-from-checkpoint; "
+        "a wait()/communicate() without timeout= is an unbounded hang "
+        "the watchdog cannot break."
+    )
+    node_types: Tuple[Type[ast.AST], ...] = (ast.Call,)
+
+    def applies_to(self, path: str) -> bool:
+        return super().applies_to(path) and path.startswith(
+            ("src/", "tools/")
+        )
+
+    def check(self, node: ast.Call, ctx: FileContext) -> Iterator[Finding]:
+        name = dotted_name(node.func)
+        if name is not None and ctx.path != _SUPERVISOR_PATH:
+            if name in _SPAWN_CALLS or name.startswith("subprocess."):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{name}() spawns a process outside the supervisor "
+                    "(repro.robust.supervisor) — no rlimits, heartbeat, "
+                    "or restart-from-checkpoint apply; route it through "
+                    "run_supervised() instead",
+                )
+                return
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _BLOCKING_WAITS
+            and not _has_timeout_keyword(node)
+        ):
+            yield self.finding(
+                ctx,
+                node,
+                f".{func.attr}() without a timeout= keyword blocks "
+                "unboundedly — a hung child would stall this process "
+                "past any watchdog; pass an explicit timeout",
+            )
