@@ -23,6 +23,7 @@ from repro.lumping.md_model import MDModel
 from repro.markov.solvers import steady_state
 from repro.markov.transient import transient_distribution
 from repro.robust.budgets import Budget
+from repro.robust.pool import parallel_config
 from repro.robust.report import RunReport
 
 
@@ -156,6 +157,7 @@ def lump_and_solve(
     checkpoint_keep_last: Optional[int] = None,
     supervised: bool = False,
     supervisor=None,
+    parallel=None,
 ) -> LumpedSolution:
     """Lump ``model`` compositionally and solve the lumped chain.
 
@@ -185,6 +187,15 @@ def lump_and_solve(
     degradation ladder — see :mod:`repro.robust.supervisor`.
     ``supervisor`` is an optional
     :class:`~repro.robust.supervisor.SupervisorConfig`.
+
+    With ``parallel=N`` (an int >= 2 or a
+    :class:`~repro.robust.pool.ParallelConfig`) the per-level refinement
+    fans out to a fault-tolerant worker pool
+    (:mod:`repro.robust.pool`); results merge deterministically, so the
+    solution is bitwise-identical to the serial one.  When combined with
+    ``robust``/``supervised``, every worker crash, retry, reassignment,
+    and degradation lands in the returned
+    :class:`~repro.robust.report.RunReport`.
     """
     if supervised:
         return _lump_and_solve_supervised(
@@ -199,6 +210,7 @@ def lump_and_solve(
             checkpoint_dir=checkpoint_dir,
             resume=resume,
             config=supervisor,
+            parallel=parallel,
         )
     if not robust:
         ck = _make_checkpointer(
@@ -206,7 +218,8 @@ def lump_and_solve(
         )
         with (ck if ck is not None else nullcontext()):
             result = compositional_lump(
-                model, kind=kind, key=key, iterate=iterate
+                model, kind=kind, key=key, iterate=iterate,
+                parallel=parallel,
             )
             lumped_ctmc = result.lumped.flat_ctmc()
             if not lumped_ctmc.is_irreducible():
@@ -231,6 +244,7 @@ def lump_and_solve(
         resume=resume,
         checkpoint_interval=checkpoint_interval,
         checkpoint_keep_last=checkpoint_keep_last,
+        parallel=parallel,
     )
 
 
@@ -246,6 +260,7 @@ def _lump_and_solve_supervised(
     checkpoint_dir: Optional[str],
     resume: bool,
     config=None,
+    parallel=None,
 ) -> LumpedSolution:
     """The supervised variant: robust pipeline in a watched child."""
     from repro.robust.supervisor import run_supervised
@@ -270,6 +285,7 @@ def _lump_and_solve_supervised(
             checkpoint_interval=ctx.checkpoint_interval,
             checkpoint_keep_last=ctx.checkpoint_keep_last,
             degrade=level.lumping_degrade,
+            parallel=parallel,
         )
 
     supervised = run_supervised(
@@ -299,6 +315,7 @@ def _lump_and_solve_robust(
     checkpoint_interval: Optional[int] = None,
     checkpoint_keep_last: Optional[int] = None,
     degrade: bool = True,
+    parallel=None,
 ) -> LumpedSolution:
     """The degrading variant of :func:`lump_and_solve`.
 
@@ -313,6 +330,11 @@ def _lump_and_solve_robust(
 
     if report is None:
         report = RunReport()
+    cfg = parallel_config(parallel)
+    if cfg is not None and cfg.report is None:
+        # Worker-pool events (crashes, retries, reassignments,
+        # degradations) land in the same run report as everything else.
+        cfg.report = report
     if solver_chain is None:
         # Start at the requested method, then the remaining defaults.
         solver_chain = [method] + [
@@ -327,7 +349,7 @@ def _lump_and_solve_robust(
         with report.stage("lumping") as stage:
             result = compositional_lump(
                 model, kind=kind, key=key, iterate=iterate,
-                degrade=degrade, report=report,
+                degrade=degrade, report=report, parallel=cfg,
             )
             if result.skipped_levels:
                 stage.status = "degraded"

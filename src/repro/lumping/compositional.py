@@ -239,6 +239,7 @@ def compositional_lump(
     iterate: bool = False,
     degrade: bool = False,
     report=None,
+    parallel=None,
 ) -> CompositionalLumpingResult:
     """Lump an MD-represented MRP level by level (Figure 3b).
 
@@ -278,10 +279,15 @@ def compositional_lump(
     report:
         Optional :class:`~repro.robust.report.RunReport` that receives a
         fallback event per skipped level.
+    parallel:
+        An int or :class:`~repro.robust.pool.ParallelConfig`: run each
+        level's per-node refinement on a fault-tolerant worker pool (see
+        :func:`repro.lumping.local.comp_lumping_level`).  The result is
+        bitwise-identical to the serial path's.
     """
     if not iterate:
         return _compositional_lump_once(
-            model, kind, levels, key, strategy, degrade, report
+            model, kind, levels, key, strategy, degrade, report, parallel
         )
     current = model
     composed: Optional[CompositionalLumpingResult] = None
@@ -291,7 +297,8 @@ def compositional_lump(
         # snapshot keys of successive passes never collide.
         with checkpoint.scoped(f"pass{pass_number}"):
             result = _compositional_lump_once(
-                current, kind, levels, key, strategy, degrade, report
+                current, kind, levels, key, strategy, degrade, report,
+                parallel,
             )
         pass_number += 1
         composed = result if composed is None else _compose_results(
@@ -358,6 +365,7 @@ def _compositional_lump_once(
     strategy: str,
     degrade: bool = False,
     report=None,
+    parallel=None,
 ) -> CompositionalLumpingResult:
     """One pass of Figure 3b."""
     if kind not in ("ordinary", "exact"):
@@ -392,7 +400,7 @@ def _compositional_lump_once(
                 partitions.append(
                     comp_lumping_level(
                         md, level, start, kind=kind, key=key,
-                        strategy=strategy,
+                        strategy=strategy, parallel=parallel,
                     )
                 )
         except (LumpingError, BudgetExceeded) as exc:

@@ -26,7 +26,19 @@ A checkpoint directory holds one JSON file per snapshot key plus a
 ``MANIFEST.json`` mapping each file name to the sha256 of its exact
 bytes.  Every write is atomic (tmp file + fsync + rename), so a crash
 mid-write leaves either the old snapshot or the new one, never a torn
-file.  Each snapshot records ``format`` (the schema version), a ``guard``
+file.
+
+A checkpoint directory may have *concurrent* writers: the parallel
+execution layer (:mod:`repro.robust.pool`) forks worker processes that
+inherit the active checkpointer and snapshot their shard of the work
+under per-task scopes.  Two rules make that safe.  First, every
+manifest mutation happens under an advisory ``flock`` on
+``<directory>/.lock`` and starts by re-reading the manifest from disk
+(read-merge-write), so one worker's manifest write can never erase
+another's entry.  Second, shard snapshots live under per-task scope
+labels (distinct sequence-key bases), so keep_last pruning — which only
+ever touches files of the *same* base — cannot garbage-collect another
+worker's snapshots.  Each snapshot records ``format`` (the schema version), a ``guard``
 dict describing the computation it belongs to (problem sizes, content
 digests), ``complete`` (whether the loop finished), and the ``payload``.
 
@@ -55,6 +67,11 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional
+
+try:
+    import fcntl
+except ImportError:  # non-POSIX: single-writer semantics only
+    fcntl = None  # type: ignore[assignment]
 
 from repro.errors import ReproError
 
@@ -257,13 +274,15 @@ class Checkpointer:
             raise CheckpointError(
                 f"cannot create checkpoint directory {directory!r}: {exc}"
             ) from exc
+        self._lock_path = os.path.join(directory, ".lock")
         self._manifest: Dict[str, object] = {
             "format": FORMAT_VERSION,
             "fingerprint": fingerprint,
             "files": {},
         }
         if resume:
-            self._load_manifest()
+            with self._locked():
+                self._load_manifest()
 
     # ------------------------------------------------------------------
     # activation and scoping
@@ -307,6 +326,58 @@ class Checkpointer:
     @property
     def manifest_path(self) -> str:
         return os.path.join(self.directory, MANIFEST_NAME)
+
+    @contextmanager
+    def _locked(self) -> Iterator[None]:
+        """Advisory exclusive lock on the checkpoint directory.
+
+        Serializes manifest read-merge-write cycles across the processes
+        sharing this directory (the pool's forked workers and their
+        parent).  Degrades to a no-op where ``fcntl`` is unavailable or
+        the lockfile cannot be opened — single-writer behaviour, which
+        is what those platforms had before.
+        """
+        if fcntl is None:
+            yield
+            return
+        try:
+            fd = os.open(self._lock_path, os.O_CREAT | os.O_RDWR, 0o644)
+        except OSError:
+            yield
+            return
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+            except OSError:
+                pass
+            os.close(fd)
+
+    def _reload_files_locked(self) -> None:
+        """Adopt the on-disk manifest's files map (caller holds the lock).
+
+        Every manifest write happens under the lock and is preceded by
+        this reload, so the in-memory map a writer is about to extend
+        already contains every entry concurrent writers have published —
+        a manifest write can only ever *add* information, never lose a
+        sibling's.  An unreadable or foreign manifest keeps the
+        in-memory view (the write below restores a valid one).
+        """
+        try:
+            with open(self.manifest_path, "rb") as handle:
+                loaded = json.loads(handle.read())
+        except (OSError, ValueError):
+            return
+        if (
+            not isinstance(loaded, dict)
+            or loaded.get("format") != FORMAT_VERSION
+        ):
+            return
+        files = loaded.get("files")
+        if isinstance(files, dict):
+            self._manifest["files"] = dict(files)
 
     def _filename(self, key: str) -> str:
         return re.sub(r"[^A-Za-z0-9._#-]", "_", key) + ".json"
@@ -374,7 +445,10 @@ class Checkpointer:
         The snapshot file is written (and fsynced) before the manifest,
         so a crash between the two leaves a manifest hash that no longer
         matches — which the loader treats as corruption, i.e. a fresh
-        start.  ``payload`` and ``guard`` must be JSON-serializable.
+        start.  The manifest update (and the prune that follows it) runs
+        under the directory lock as a read-merge-write, so concurrent
+        workers sharing the directory never lose each other's entries.
+        ``payload`` and ``guard`` must be JSON-serializable.
         """
         record = {
             "format": FORMAT_VERSION,
@@ -386,20 +460,28 @@ class Checkpointer:
         blob = json.dumps(record, separators=(",", ":")).encode("utf-8")
         filename = self._filename(key)
         atomic_write_bytes(os.path.join(self.directory, filename), blob)
-        self._manifest["files"][filename] = hashlib.sha256(blob).hexdigest()
-        atomic_write_json(self.manifest_path, self._manifest)
+        with self._locked():
+            self._reload_files_locked()
+            self._manifest["files"][filename] = hashlib.sha256(
+                blob
+            ).hexdigest()
+            atomic_write_json(self.manifest_path, self._manifest)
+            self._prune_locked(key)
         self._last_save[key] = time.monotonic()
         self._event("complete" if complete else "saved", key)
-        self._prune(key)
 
-    def _prune(self, key: str) -> None:
-        """Garbage-collect old snapshots of ``key``'s scoped sequence.
+    def _prune_locked(self, key: str) -> None:
+        """Garbage-collect old snapshots of ``key``'s scoped sequence
+        (caller holds the directory lock).
 
         Runs only *after* the new snapshot's manifest write (which is
         fsynced), so the retained window always includes the snapshot
         just saved.  Manifest first, files second: a crash between the
         two leaves orphan files the manifest never references again —
         harmless — rather than manifest entries whose files are gone.
+        Only files of ``key``'s own sequence base are candidates, so a
+        concurrent worker's snapshots (distinct per-shard scopes) are
+        never collected from here.
         """
         if self.keep_last is None:
             return

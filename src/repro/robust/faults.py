@@ -18,6 +18,12 @@ site                    effect when a matching rule fires
 ``budget``              :class:`InjectedBudgetFault` (a ``BudgetExceeded``),
                         fired from the cooperative budget hooks — a budget
                         must be active for these to run
+``worker``              checked via :func:`check_at` with the worker's
+                        1-based pool slot at worker startup — ``worker:2``
+                        targets the second pool worker
+``task``                checked via :func:`check_at` with the 1-based pool
+                        task id just before the task executes — e.g.
+                        ``task:3@hang:5`` stalls task 3 for five seconds
 ======================  ====================================================
 
 Injected exceptions subclass both :class:`InjectedFault` and the error
@@ -280,6 +286,33 @@ class FaultInjector:
                 _FIRED_LOG.record(rule.identity(), site, call_number)
             _perform_effect(rule, site, call_number)
 
+    def check_at(self, site: str, index: int) -> None:
+        """Like :meth:`check`, but match at an explicit 1-based ``index``
+        without touching the site's call counter.
+
+        This is how position-addressed sites work: a worker pool checks
+        ``("worker", slot)`` at each worker's startup and
+        ``("task", task_id)`` before each task, so a rule like
+        ``worker:2@sigkill`` targets *the second worker* regardless of
+        how many workers started before it, or in what order.  One-shot
+        rules honour the fired log exactly as counted checks do, which
+        is what keeps a restarted worker (same slot) from dying forever.
+        """
+        matching = [rule for rule in self.rules if rule.site == site]
+        for rule in matching:
+            if not rule.should_fail(index, self._rng):
+                continue
+            if (
+                rule.one_shot
+                and _FIRED_LOG is not None
+                and _FIRED_LOG.already_fired(rule.identity(), index)
+            ):
+                continue
+            self.fired.append((site, index))
+            if _FIRED_LOG is not None:
+                _FIRED_LOG.record(rule.identity(), site, index)
+            _perform_effect(rule, site, index)
+
     def call_count(self, site: str) -> int:
         """How many calls this injector has seen at ``site``."""
         return self._counts.get(site, 0)
@@ -511,6 +544,30 @@ def env_injector() -> Optional[FaultInjector]:
     return _ENV_INJECTOR
 
 
+def injectors_active() -> bool:
+    """Whether any injector (lexical or ambient) is currently active.
+
+    The worker pool uses this to decide whether fault bookkeeping (a
+    scratch fired log, per-task fired-log refreshes) is worth paying
+    for; with no injectors the check sites are free and stay that way.
+    """
+    return bool(_ACTIVE) or _ENV_INJECTOR is not None
+
+
+def reload_fired_log() -> None:
+    """Re-read the installed fired log from disk (no-op without one).
+
+    A forked worker inherits the parent's *in-memory* view of the log;
+    firings recorded by sibling processes after the fork are only in
+    the file.  Re-reading before a position-addressed check keeps
+    one-shot rules one-shot across concurrent workers, not just across
+    sequential restarts.
+    """
+    global _FIRED_LOG
+    if _FIRED_LOG is not None:
+        _FIRED_LOG = _FiredLog(_FIRED_LOG.path)
+
+
 def check(site: str) -> None:
     """Library hook: raise an injected fault if any active rule matches.
 
@@ -523,6 +580,22 @@ def check(site: str) -> None:
         injector.check(site)
     if _ENV_INJECTOR is not None:
         _ENV_INJECTOR.check(site)
+
+
+def check_at(site: str, index: int) -> None:
+    """Library hook for position-addressed sites (pool workers/tasks):
+    fire any rule matching the explicit 1-based ``index`` at ``site``.
+
+    Unlike :func:`check`, no per-site counter is consumed — the caller
+    names the position, so the same rule means the same worker/task in
+    every process and on every restart.
+    """
+    if not _ACTIVE and _ENV_INJECTOR is None:
+        return
+    for injector in _ACTIVE:
+        injector.check_at(site, index)
+    if _ENV_INJECTOR is not None:
+        _ENV_INJECTOR.check_at(site, index)
 
 
 def inject_faults(spec, seed: int = 0) -> FaultInjector:

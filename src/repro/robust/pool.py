@@ -1,0 +1,847 @@
+"""Fault-tolerant parallel execution: a supervised pool of fork workers.
+
+The paper's ``CompLumpingLevel`` iterates ``CompLumping`` independently
+over every node of a level, and BFS/MDD reachability expands an
+order-independent frontier — both embarrassingly parallel.  This module
+supplies the *fault-tolerant* fan-out those loops share: a deterministic
+work queue executed by forked worker processes, each supervised the same
+way :mod:`repro.robust.supervisor` supervises its single child — a
+per-worker heartbeat file, crash detection, restart with deterministic
+backoff — plus the pool-level policies a fan-out needs:
+
+* **per-task retry** — a task whose worker raised or died is re-queued
+  and charged one attempt; after ``max_task_retries`` failed attempts it
+  is *quarantined* and later executed serially in the parent (where the
+  position-addressed ``task`` fault site is never consulted, so a
+  poisoned task completes);
+* **crash-loop breaker per worker slot** — a slot whose process keeps
+  dying is retired after ``max_worker_crashes`` crashes instead of being
+  restarted forever;
+* **whole-pool degradation** — when every slot is retired, the remaining
+  tasks run serially in the parent (recorded as ``pool-degraded``), so a
+  hostile fault schedule degrades throughput, never correctness;
+* **straggler re-dispatch** — once the queue is empty, an in-flight task
+  older than ``straggler_after_seconds`` is duplicated onto an idle
+  worker and the first result wins (duplicates are discarded by task
+  id, which is safe because task functions are pure).
+
+Determinism contract
+--------------------
+
+*Scheduling* is timing-dependent — which worker runs which task, and in
+what order results arrive, varies run to run.  *Results* are not:
+:meth:`WorkerPool.run` returns results indexed by task id, task
+functions are pure (a retried or duplicated execution returns an equal
+value), and callers merge in sorted task-id order.  A parallel run is
+therefore bitwise-identical to a serial one, crashes or not — the
+property ``tests/test_crash_equivalence.py`` and
+``tests/test_kill_storm.py`` assert.  To keep it, the parent's poll loop
+calls **no budget hooks** (their call counts would become
+timing-dependent, which would make call-counted fault schedules
+nondeterministic); it only pulses :func:`repro.robust.heartbeat.beat`,
+so an enclosing supervised child stays live while the pool waits.
+
+Fault injection
+---------------
+
+Workers consult the position-addressed fault sites on top of whatever
+counted sites the task function itself hits: ``worker:<slot>`` fires via
+:func:`repro.robust.faults.check_at` with the worker's 1-based slot at
+startup (``worker:2@sigkill`` kills the second slot's process), and
+``task:<id>`` fires with the 1-based task id just before execution
+(``task:3@hang:5`` stalls task 3).  When no fired log is installed the
+pool installs a scratch one for its lifetime, so one-shot rules stay
+one-shot across worker restarts *within* the pool; positions are
+per-pool, so ``worker:2@sigkill`` kills slot 2 once in every parallel
+section — a machine that is flaky at every fan-out, which exercises more
+of the recovery ladder, not less.
+
+Workers are forked, so they inherit the active budget, checkpointer,
+and fault injectors by reference-at-fork; per-task checkpoint scopes
+(the ``scopes`` argument to :meth:`WorkerPool.run`) plus the checkpoint
+directory's advisory lock keep concurrent worker snapshots from
+clobbering each other.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import select
+import shutil
+import signal
+import tempfile
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set
+
+from repro.errors import ReproError
+from repro.robust import checkpoint, faults, heartbeat
+from repro.robust.budgets import BudgetExceeded
+from repro.robust.report import PoolEvent
+from repro.robust.retry import RetryPolicy
+
+
+class PoolError(ReproError):
+    """The pool itself (not a task) failed unrecoverably."""
+
+
+@dataclass
+class ParallelConfig:
+    """Knobs for one parallel section (see module docstring).
+
+    ``parallel=N`` surfaces throughout the pipeline normalize to this
+    via :func:`parallel_config`; robust entry points attach their
+    :class:`~repro.robust.report.RunReport` to :attr:`report` so every
+    pool event lands in the run's record.
+    """
+
+    workers: int = 2
+    #: Failed attempts (raise, crash, timeout, hang) a task may accrue
+    #: before it is quarantined to the parent's serial path.
+    max_task_retries: int = 3
+    #: Crashes a worker slot may accrue before it is retired.
+    max_worker_crashes: int = 3
+    #: Per-task wall-clock deadline (None: no deadline).
+    task_timeout_seconds: Optional[float] = None
+    #: A busy worker whose heartbeat is older than this is killed as hung.
+    heartbeat_timeout_seconds: float = 30.0
+    #: Duplicate an in-flight task onto an idle worker after this long
+    #: (None: never re-dispatch stragglers).
+    straggler_after_seconds: Optional[float] = None
+    poll_interval_seconds: float = 0.02
+    heartbeat_min_interval_seconds: float = 0.02
+    #: Backoff schedule for restarting a crashed worker slot (only the
+    #: backoff fields are used; restart counting is ``max_worker_crashes``).
+    policy: RetryPolicy = field(
+        default_factory=lambda: RetryPolicy(
+            max_restarts=3,
+            backoff_initial_seconds=0.05,
+            backoff_factor=2.0,
+            backoff_max_seconds=0.5,
+        )
+    )
+    #: Optional RunReport (duck-typed) receiving every pool event.
+    report: Optional[Any] = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, not {self.workers!r}")
+        if self.max_task_retries < 0:
+            raise ValueError(
+                f"max_task_retries must be >= 0, not {self.max_task_retries!r}"
+            )
+        if self.max_worker_crashes < 0:
+            raise ValueError(
+                "max_worker_crashes must be >= 0, "
+                f"not {self.max_worker_crashes!r}"
+            )
+        if self.heartbeat_timeout_seconds <= 0:
+            raise ValueError(
+                "heartbeat_timeout_seconds must be > 0, "
+                f"not {self.heartbeat_timeout_seconds!r}"
+            )
+        if self.poll_interval_seconds <= 0:
+            raise ValueError(
+                "poll_interval_seconds must be > 0, "
+                f"not {self.poll_interval_seconds!r}"
+            )
+
+
+def parallel_config(parallel) -> Optional[ParallelConfig]:
+    """Normalize a user-facing ``parallel=`` value.
+
+    ``None``/``False``/``0``/``1`` mean serial (returns ``None``); an
+    integer ``N >= 2`` means ``ParallelConfig(workers=N)``; a
+    :class:`ParallelConfig` is passed through (even with one worker —
+    an explicit config always engages the pool, which tests use to
+    exercise the machinery at minimum width).
+    """
+    if parallel is None or parallel is False:
+        return None
+    if isinstance(parallel, ParallelConfig):
+        return parallel
+    if isinstance(parallel, bool):  # True without a width is ambiguous
+        raise ValueError("parallel=True needs a worker count or config")
+    if isinstance(parallel, int):
+        if parallel <= 1:
+            return None
+        return ParallelConfig(workers=parallel)
+    raise ValueError(
+        f"parallel must be an int or ParallelConfig, not {parallel!r}"
+    )
+
+
+# ----------------------------------------------------------------------
+# frame protocol (length-prefixed pickles over pipes)
+# ----------------------------------------------------------------------
+
+_HEADER_BYTES = 8
+
+
+def _write_frame(fd: int, obj) -> None:
+    blob = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    view = memoryview(len(blob).to_bytes(_HEADER_BYTES, "big") + blob)
+    while view:
+        written = os.write(fd, view)
+        view = view[written:]
+
+
+def _read_exact(fd: int, count: int) -> Optional[bytes]:
+    """Blocking read of exactly ``count`` bytes; ``None`` on EOF."""
+    chunks = []
+    while count:
+        chunk = os.read(fd, count)
+        if not chunk:
+            return None
+        chunks.append(chunk)
+        count -= len(chunk)
+    return b"".join(chunks)
+
+
+class _FrameBuffer:
+    """Parent-side incremental decoder for one worker's result pipe."""
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    def feed(self, data: bytes) -> List[Any]:
+        self._buf.extend(data)
+        frames: List[Any] = []
+        while True:
+            if len(self._buf) < _HEADER_BYTES:
+                break
+            size = int.from_bytes(self._buf[:_HEADER_BYTES], "big")
+            if len(self._buf) < _HEADER_BYTES + size:
+                break
+            blob = bytes(self._buf[_HEADER_BYTES : _HEADER_BYTES + size])
+            del self._buf[: _HEADER_BYTES + size]
+            frames.append(pickle.loads(blob))
+        return frames
+
+
+# ----------------------------------------------------------------------
+# worker child
+# ----------------------------------------------------------------------
+
+
+def _worker_main(
+    slot: int,
+    task_fn: Callable[[Any], Any],
+    recv_fd: int,
+    send_fd: int,
+    hb_path: str,
+    hb_min_interval: float,
+) -> None:
+    """Worker loop: read ``(task_id, scope, payload)`` frames, execute,
+    answer with ``("ok"|"error"|"budget", task_id, ...)`` frames."""
+    hb = heartbeat.install(hb_path, min_interval_seconds=hb_min_interval)
+    hb.beat(force=True)
+    faults.reload_fired_log()  # pick up firings recorded since the fork
+    faults.check_at("worker", slot + 1)
+    while True:
+        header = _read_exact(recv_fd, _HEADER_BYTES)
+        if header is None:
+            return
+        blob = _read_exact(recv_fd, int.from_bytes(header, "big"))
+        if blob is None:
+            return
+        message = pickle.loads(blob)
+        if message is None:  # explicit shutdown
+            return
+        task_id, scope, payload = message
+        hb.beat(force=True)
+        try:
+            faults.reload_fired_log()
+            faults.check_at("task", task_id + 1)
+            if scope is None:
+                result = task_fn(payload)
+            else:
+                with checkpoint.scoped(scope):
+                    result = task_fn(payload)
+        except BudgetExceeded as exc:
+            _write_frame(send_fd, ("budget", task_id, str(exc)))
+            continue
+        except BaseException as exc:  # reprolint: disable=RL005 -- reported to the parent as an error frame, which records task-failed and retries
+            _write_frame(
+                send_fd,
+                ("error", task_id, f"{type(exc).__name__}: {exc}"),
+            )
+            continue
+        hb.beat(force=True)
+        _write_frame(send_fd, ("ok", task_id, result))
+
+
+class _Proc:
+    """One live worker process (a slot's current incarnation)."""
+
+    __slots__ = (
+        "pid",
+        "send_fd",
+        "recv_fd",
+        "reader",
+        "monitor",
+        "busy",
+        "dispatch_time",
+    )
+
+    def __init__(self, pid: int, send_fd: int, recv_fd: int, hb_path: str):
+        self.pid = pid
+        self.send_fd = send_fd
+        self.recv_fd = recv_fd
+        self.reader = _FrameBuffer()
+        self.monitor = heartbeat.HeartbeatMonitor(hb_path)
+        self.busy: Optional[int] = None  # task id in flight
+        self.dispatch_time: Optional[float] = None
+
+
+class _Slot:
+    """One worker position: survives restarts, carries the crash count."""
+
+    __slots__ = ("index", "hb_path", "crashes", "retired", "restart_at", "proc")
+
+    def __init__(self, index: int, hb_path: str):
+        self.index = index
+        self.hb_path = hb_path
+        self.crashes = 0
+        self.retired = False
+        self.restart_at: Optional[float] = None
+        self.proc: Optional[_Proc] = None
+
+
+class _Batch:
+    """Mutable state of one :meth:`WorkerPool.run` call."""
+
+    def __init__(self, tasks: Sequence[Any], scopes) -> None:
+        self.tasks = tasks
+        self.scopes = scopes
+        self.results: Dict[int, Any] = {}
+        self.attempts: Dict[int, int] = {}
+        self.quarantined: Set[int] = set()
+        self.pending: deque = deque(range(len(tasks)))
+        self.dispatch_times: Dict[int, float] = {}
+
+    def scope_of(self, task_id: int) -> Optional[str]:
+        return None if self.scopes is None else self.scopes[task_id]
+
+    def settled(self) -> int:
+        return len(set(self.results) | self.quarantined)
+
+    def done(self) -> bool:
+        return self.settled() >= len(self.tasks)
+
+
+class WorkerPool:
+    """A pool of supervised fork workers executing one task function.
+
+    Use as a context manager; :meth:`run` may be called any number of
+    times while the pool is open (each call is one deterministic batch).
+    ``task_fn`` must be pure — retries and straggler duplicates assume a
+    re-execution returns an equal result.
+    """
+
+    def __init__(
+        self,
+        task_fn: Callable[[Any], Any],
+        config: ParallelConfig,
+        *,
+        report=None,
+        label: str = "pool",
+    ) -> None:
+        self.task_fn = task_fn
+        self.config = config
+        self.report = report if report is not None else config.report
+        self.label = label
+        self.events: List[PoolEvent] = []
+        self._slots: List[_Slot] = []
+        # Slot index -> in-flight task orphaned by the slot's last death.
+        self._orphans: Dict[int, Optional[int]] = {}
+        self._scratch: Optional[str] = None
+        self._own_fired_log = False
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def __enter__(self) -> "WorkerPool":
+        self._scratch = tempfile.mkdtemp(prefix="repro-pool-")
+        if faults.injectors_active() and faults.fired_log_path() is None:
+            # One-shot worker/task rules must not re-fire every time a
+            # crashed worker restarts; a scratch fired log scoped to the
+            # pool's lifetime gives them cross-process memory.
+            faults.set_fired_log(os.path.join(self._scratch, "faults.fired"))
+            self._own_fired_log = True
+        self._slots = [
+            _Slot(i, os.path.join(self._scratch, f"worker-{i}.hb"))
+            for i in range(self.config.workers)
+        ]
+        for slot in self._slots:
+            self._spawn(slot)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        procs = [s.proc for s in self._slots if s.proc is not None]
+        for proc in procs:
+            try:
+                _write_frame(proc.send_fd, None)
+            except OSError:
+                pass
+            try:
+                os.close(proc.send_fd)
+            except OSError:
+                pass
+        deadline = time.monotonic() + 2.0
+        waiting = list(procs)
+        while waiting and time.monotonic() < deadline:
+            still = []
+            for proc in waiting:
+                try:
+                    pid, _status = os.waitpid(proc.pid, os.WNOHANG)
+                except OSError:
+                    continue  # already reaped
+                if pid == 0:
+                    still.append(proc)
+            waiting = still
+            if waiting:
+                time.sleep(0.01)
+        for proc in waiting:
+            try:
+                os.kill(proc.pid, signal.SIGKILL)
+            except OSError:
+                pass
+            try:
+                os.waitpid(proc.pid, 0)
+            except OSError:
+                pass
+        for proc in procs:
+            try:
+                os.close(proc.recv_fd)
+            except OSError:
+                pass
+        for slot in self._slots:
+            slot.proc = None
+        if self._own_fired_log:
+            faults.set_fired_log(None)
+            self._own_fired_log = False
+        if self._scratch is not None:
+            shutil.rmtree(self._scratch, ignore_errors=True)
+            self._scratch = None
+
+    # ------------------------------------------------------------------
+    # events
+    # ------------------------------------------------------------------
+
+    def _record(
+        self,
+        kind: str,
+        worker: Optional[int] = None,
+        task: Optional[int] = None,
+        detail: str = "",
+    ) -> None:
+        task_label = None if task is None else f"{self.label}:{task}"
+        event = PoolEvent(
+            kind=kind, worker=worker, task=task_label, detail=detail
+        )
+        self.events.append(event)
+        if self.report is not None:
+            self.report.record_pool_event(
+                kind, worker=worker, task=task_label, detail=detail
+            )
+
+    def events_of_kind(self, *kinds: str) -> List[PoolEvent]:
+        """The recorded events whose kind is one of ``kinds``."""
+        wanted = set(kinds)
+        return [e for e in self.events if e.kind in wanted]
+
+    # ------------------------------------------------------------------
+    # spawning
+    # ------------------------------------------------------------------
+
+    def _inherited_fds(self) -> List[int]:
+        fds = []
+        for slot in self._slots:
+            if slot.proc is not None:
+                fds.append(slot.proc.send_fd)
+                fds.append(slot.proc.recv_fd)
+        return fds
+
+    def _spawn(self, slot: _Slot) -> None:
+        try:
+            os.unlink(slot.hb_path)  # a stale beat must not read as live
+        except OSError:
+            pass
+        foreign = self._inherited_fds()
+        req_read, req_write = os.pipe()
+        res_read, res_write = os.pipe()
+        try:
+            pid = os.fork()
+        except OSError as exc:
+            for fd in (req_read, req_write, res_read, res_write):
+                os.close(fd)
+            slot.retired = True
+            slot.restart_at = None
+            self._record(
+                "worker-retired",
+                worker=slot.index,
+                detail=f"fork failed: {exc}",
+            )
+            return
+        if pid == 0:
+            code = 1
+            try:
+                os.close(req_write)
+                os.close(res_read)
+                for fd in foreign:
+                    try:
+                        os.close(fd)
+                    except OSError:
+                        pass
+                _worker_main(
+                    slot.index,
+                    self.task_fn,
+                    req_read,
+                    res_write,
+                    slot.hb_path,
+                    self.config.heartbeat_min_interval_seconds,
+                )
+                code = 0
+            except BaseException:  # reprolint: disable=RL005 -- forked child: the nonzero exit code IS the report; the parent records worker-crashed
+                code = 1
+            finally:
+                os._exit(code)
+        os.close(req_read)
+        os.close(res_write)
+        slot.proc = _Proc(pid, req_write, res_read, slot.hb_path)
+        slot.restart_at = None
+        self._record(
+            "worker-started" if slot.crashes == 0 else "worker-restarted",
+            worker=slot.index,
+            detail=f"pid {pid}",
+        )
+
+    # ------------------------------------------------------------------
+    # the batch loop
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        tasks: Sequence[Any],
+        scopes: Optional[Sequence[Optional[str]]] = None,
+    ) -> List[Any]:
+        """Execute every task; return results in task order.
+
+        ``scopes`` optionally names a checkpoint scope per task (the
+        worker wraps execution in ``checkpoint.scoped(scope)``), keeping
+        concurrent worker snapshots under distinct, deterministic keys.
+        Raises :class:`BudgetExceeded` if any execution exhausts a
+        budget — the batch's terminal condition, exactly as in serial.
+        """
+        if self._closed or self._scratch is None:
+            raise PoolError("pool is not open (use it as a context manager)")
+        if scopes is not None and len(scopes) != len(tasks):
+            raise PoolError("scopes must match tasks one-to-one")
+        batch = _Batch(tasks, scopes)
+        if not tasks:
+            return []
+        while not batch.done():
+            if all(slot.retired for slot in self._slots):
+                self._degrade(batch)
+                break
+            now = time.monotonic()
+            self._restart_due(now)
+            self._dispatch(batch, now)
+            self._poll(batch)
+            self._check_deadlines(batch)
+            heartbeat.beat()
+        for task_id in sorted(batch.quarantined):
+            if task_id not in batch.results:
+                batch.results[task_id] = self._run_serial(
+                    tasks[task_id], batch.scope_of(task_id)
+                )
+        return [batch.results[i] for i in range(len(tasks))]
+
+    # -- scheduling helpers --------------------------------------------
+
+    def _restart_due(self, now: float) -> None:
+        for slot in self._slots:
+            if (
+                slot.proc is None
+                and not slot.retired
+                and slot.restart_at is not None
+                and now >= slot.restart_at
+            ):
+                self._spawn(slot)
+
+    def _dispatch(self, batch: _Batch, now: float) -> None:
+        for slot in self._slots:
+            proc = slot.proc
+            if proc is None or proc.busy is not None:
+                continue
+            task_id = None
+            while batch.pending:
+                candidate = batch.pending.popleft()
+                if candidate not in batch.results:
+                    task_id = candidate
+                    break
+            if task_id is None:
+                task_id = self._pick_straggler(batch, now)
+                if task_id is None:
+                    continue
+                self._record(
+                    "straggler-redispatched",
+                    worker=slot.index,
+                    task=task_id,
+                    detail=(
+                        "in flight "
+                        f"{now - batch.dispatch_times[task_id]:.2f}s"
+                    ),
+                )
+            try:
+                _write_frame(
+                    proc.send_fd,
+                    (task_id, batch.scope_of(task_id), batch.tasks[task_id]),
+                )
+            except OSError:
+                batch.pending.appendleft(task_id)
+                self._reap(slot, "request pipe closed (worker died)")
+                self._requeue_orphan(slot, batch)
+                continue
+            proc.busy = task_id
+            proc.dispatch_time = now
+            batch.dispatch_times.setdefault(task_id, now)
+
+    def _pick_straggler(self, batch: _Batch, now: float) -> Optional[int]:
+        limit = self.config.straggler_after_seconds
+        if limit is None:
+            return None
+        running = {
+            s.proc.busy
+            for s in self._slots
+            if s.proc is not None and s.proc.busy is not None
+        }
+        oldest = None
+        for task_id in sorted(running):
+            if task_id in batch.results:
+                continue
+            started = batch.dispatch_times.get(task_id)
+            if started is None or now - started < limit:
+                continue
+            if oldest is None or started < batch.dispatch_times[oldest]:
+                oldest = task_id
+        return oldest
+
+    def _poll(self, batch: _Batch) -> None:
+        fds = {
+            s.proc.recv_fd: s for s in self._slots if s.proc is not None
+        }
+        if not fds:
+            time.sleep(self.config.poll_interval_seconds)
+            return
+        try:
+            readable, _w, _x = select.select(
+                list(fds), [], [], self.config.poll_interval_seconds
+            )
+        except OSError:
+            return
+        for fd in readable:
+            slot = fds[fd]
+            if slot.proc is None or slot.proc.recv_fd != fd:
+                continue  # slot turned over within this poll round
+            try:
+                data = os.read(fd, 1 << 16)
+            except OSError:
+                data = b""
+            if not data:
+                self._reap(slot, "crashed")
+                self._requeue_orphan(slot, batch)
+                continue
+            for frame in slot.proc.reader.feed(data):
+                self._handle_frame(slot, frame, batch)
+
+    def _handle_frame(self, slot: _Slot, frame, batch: _Batch) -> None:
+        kind, task_id, payload = frame
+        proc = slot.proc
+        if proc is not None and proc.busy == task_id:
+            proc.busy = None
+            proc.dispatch_time = None
+        if kind == "budget":
+            raise BudgetExceeded(
+                f"worker {slot.index} exhausted a budget on task "
+                f"{task_id}: {payload}"
+            )
+        if task_id in batch.results:
+            return  # straggler duplicate: first result won
+        if kind == "ok":
+            batch.results[task_id] = payload
+            return
+        # kind == "error": the worker survived but the task raised.
+        self._record(
+            "task-failed", worker=slot.index, task=task_id, detail=payload
+        )
+        self._retry_or_quarantine(
+            slot.index, task_id, batch, reason=payload
+        )
+
+    def _check_deadlines(self, batch: _Batch) -> None:
+        now = time.monotonic()
+        limit = self.config.task_timeout_seconds
+        for slot in self._slots:
+            proc = slot.proc
+            if proc is None or proc.busy is None:
+                continue
+            reason = None
+            if (
+                limit is not None
+                and proc.dispatch_time is not None
+                and now - proc.dispatch_time > limit
+            ):
+                reason = f"task deadline ({limit:g}s) exceeded"
+            else:
+                age = proc.monitor.age_seconds()
+                if (
+                    age is not None
+                    and age > self.config.heartbeat_timeout_seconds
+                ):
+                    reason = f"heartbeat stale for {age:.2f}s (hung)"
+            if reason is None:
+                continue
+            try:
+                os.kill(proc.pid, signal.SIGKILL)
+            except OSError:
+                pass
+            self._reap(slot, reason)
+            self._requeue_orphan(slot, batch)
+
+    # -- failure handling ----------------------------------------------
+
+    def _reap(self, slot: _Slot, reason: str) -> Optional[int]:
+        """Close out a dead worker; schedule its restart or retire it.
+
+        Returns the orphaned in-flight task id (also stashed on the
+        slot's entry in :attr:`_orphans` for :meth:`_requeue_orphan`).
+        """
+        proc = slot.proc
+        if proc is None:
+            return None
+        try:
+            os.waitpid(proc.pid, 0)
+        except OSError:
+            pass
+        for fd in (proc.send_fd, proc.recv_fd):
+            try:
+                os.close(fd)
+            except OSError:
+                pass
+        slot.proc = None
+        orphan = proc.busy
+        self._orphans[slot.index] = orphan
+        slot.crashes += 1
+        self._record(
+            "worker-crashed", worker=slot.index, task=orphan, detail=reason
+        )
+        if slot.crashes > self.config.max_worker_crashes:
+            slot.retired = True
+            slot.restart_at = None
+            self._record(
+                "worker-retired",
+                worker=slot.index,
+                detail=f"{slot.crashes} crashes (breaker open)",
+            )
+        else:
+            backoff = self.config.policy.backoff_seconds(slot.crashes - 1)
+            slot.restart_at = time.monotonic() + backoff
+        return orphan
+
+    def _requeue_orphan(self, slot: _Slot, batch: _Batch) -> None:
+        task_id = self._orphans.pop(slot.index, None)
+        if task_id is None or task_id in batch.results:
+            return
+        running_elsewhere = any(
+            s.proc is not None and s.proc.busy == task_id
+            for s in self._slots
+        )
+        self._record(
+            "task-reassigned",
+            worker=slot.index,
+            task=task_id,
+            detail="worker died with the task in flight",
+        )
+        self._retry_or_quarantine(
+            slot.index,
+            task_id,
+            batch,
+            reason="worker crash",
+            skip_requeue=running_elsewhere,
+        )
+
+    def _retry_or_quarantine(
+        self,
+        worker: int,
+        task_id: int,
+        batch: _Batch,
+        *,
+        reason: str,
+        skip_requeue: bool = False,
+    ) -> None:
+        count = batch.attempts.get(task_id, 0) + 1
+        batch.attempts[task_id] = count
+        if count > self.config.max_task_retries:
+            batch.quarantined.add(task_id)
+            self._record(
+                "task-quarantined",
+                worker=worker,
+                task=task_id,
+                detail=f"{count} failed attempts; will run serially",
+            )
+            return
+        if skip_requeue:
+            return  # a duplicate is still running; let it finish
+        if task_id not in batch.pending:
+            batch.pending.append(task_id)
+        self._record(
+            "task-retried",
+            worker=worker,
+            task=task_id,
+            detail=f"attempt {count + 1} ({reason})",
+        )
+
+    # -- serial fallbacks ----------------------------------------------
+
+    def _degrade(self, batch: _Batch) -> None:
+        remaining = [
+            i
+            for i in range(len(batch.tasks))
+            if i not in batch.results and i not in batch.quarantined
+        ]
+        self._record(
+            "pool-degraded",
+            detail=(
+                f"all {len(self._slots)} workers retired; "
+                f"{len(remaining)} task(s) fall back to serial"
+            ),
+        )
+        for task_id in remaining:
+            batch.results[task_id] = self._run_serial(
+                batch.tasks[task_id], batch.scope_of(task_id)
+            )
+
+    def _run_serial(self, payload, scope: Optional[str]):
+        """Parent-side serial execution (quarantine/degradation path).
+
+        Deliberately skips the ``task`` fault site: the serial path is
+        the recovery route for tasks poisoned by injected (or real)
+        per-task failures, so it must not re-trigger them.
+        """
+        heartbeat.beat(force=True)
+        if scope is None:
+            return self.task_fn(payload)
+        with checkpoint.scoped(scope):
+            return self.task_fn(payload)

@@ -199,6 +199,46 @@ class ProcessAttemptReport:
 
 
 @dataclass
+class PoolEvent:
+    """One worker-pool lifecycle event (see :mod:`repro.robust.pool`).
+
+    ``kind`` taxonomy: ``"worker-started"``, ``"worker-crashed"`` (the
+    process died or was killed by the pool: ``detail`` carries the
+    reason — crash/hung/timeout), ``"worker-restarted"``,
+    ``"worker-retired"`` (per-worker crash-loop breaker),
+    ``"task-failed"`` (an attempt raised in the worker),
+    ``"task-retried"``, ``"task-reassigned"`` (its worker died mid-task),
+    ``"task-quarantined"`` (retry budget exhausted; ran serially),
+    ``"straggler-redispatched"`` (duplicate dispatch of a slow task),
+    ``"pool-degraded"`` (no workers left; remaining tasks ran serially).
+    """
+
+    kind: str
+    worker: Optional[int] = None
+    task: Optional[str] = None
+    detail: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "worker": self.worker,
+            "task": self.task,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "PoolEvent":
+        worker = data.get("worker")
+        task = data.get("task")
+        return cls(
+            kind=str(data.get("kind", "")),
+            worker=None if worker is None else int(worker),
+            task=None if task is None else str(task),
+            detail=str(data.get("detail", "")),
+        )
+
+
+@dataclass
 class RunReport:
     """Structured record of one pipeline run.
 
@@ -214,6 +254,7 @@ class RunReport:
     fallbacks: List[FallbackEvent] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
     process_attempts: List[ProcessAttemptReport] = field(default_factory=list)
+    pool_events: List[PoolEvent] = field(default_factory=list)
     budget: Optional[BudgetConsumption] = None
 
     # ------------------------------------------------------------------
@@ -283,6 +324,23 @@ class RunReport:
         self.process_attempts.append(attempt)
         return attempt
 
+    def record_pool_event(
+        self,
+        kind: str,
+        worker: Optional[int] = None,
+        task: Optional[str] = None,
+        detail: str = "",
+    ) -> PoolEvent:
+        """Record one worker-pool lifecycle event."""
+        event = PoolEvent(kind=kind, worker=worker, task=task, detail=detail)
+        self.pool_events.append(event)
+        return event
+
+    def pool_events_of_kind(self, *kinds: str) -> List[PoolEvent]:
+        """The recorded pool events whose kind is one of ``kinds``."""
+        wanted = set(kinds)
+        return [event for event in self.pool_events if event.kind in wanted]
+
     def attach_budget(self, budget: Optional[Budget]) -> None:
         """Snapshot a budget's consumption into the report."""
         if budget is not None:
@@ -305,6 +363,7 @@ class RunReport:
         self.fallbacks.extend(other.fallbacks)
         self.notes.extend(other.notes)
         self.process_attempts.extend(other.process_attempts)
+        self.pool_events.extend(other.pool_events)
         if self.budget is None:
             self.budget = other.budget
         elif other.budget is not None:
@@ -350,6 +409,9 @@ class RunReport:
                 "process_attempts": [
                     attempt.to_dict() for attempt in self.process_attempts
                 ],
+                "pool_events": [
+                    event.to_dict() for event in self.pool_events
+                ],
                 "budget": self.budget.to_dict() if self.budget else None,
             }
         )
@@ -378,6 +440,9 @@ class RunReport:
             process_attempts=[
                 ProcessAttemptReport.from_dict(p)
                 for p in data.get("process_attempts", ())
+            ],
+            pool_events=[
+                PoolEvent.from_dict(e) for e in data.get("pool_events", ())
             ],
             budget=(
                 None if budget is None else BudgetConsumption.from_dict(budget)
@@ -426,6 +491,15 @@ class RunReport:
                 line += f"  resumed-from={proc.resumed_from}"
             if proc.error:
                 line += f"  ({proc.error})"
+            lines.append(line)
+        for event in self.pool_events:
+            line = f"  pool {event.kind}"
+            if event.worker is not None:
+                line += f" worker={event.worker}"
+            if event.task is not None:
+                line += f" task={event.task}"
+            if event.detail:
+                line += f"  ({event.detail})"
             lines.append(line)
         for note in self.notes:
             lines.append(f"  note: {note}")

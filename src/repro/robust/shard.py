@@ -1,0 +1,215 @@
+"""Sharded drivers for the pipeline's two parallel sections.
+
+:mod:`repro.robust.pool` supplies the fault-tolerant worker machinery;
+this module supplies the *algorithms* that fan out over it, in a way
+that keeps parallel results bitwise-identical to serial ones:
+
+* :func:`sharded_reachable_states` — level-synchronous BFS.  Each round
+  shards the sorted frontier contiguously across workers; every worker
+  returns the sorted successor set of its shard; the parent merges in
+  task order against the ``seen`` set.  The reachable set of a model is
+  scheduling-independent (BFS computes a closure), and the returned
+  value is ``sorted(seen)``, so any set-equal exploration yields the
+  identical state list.
+* :func:`parallel_refinement_rounds` — the parallel form of the paper's
+  ``CompLumpingLevel`` (Figure 3a).  Each round runs ``CompLumping``
+  for *every* node of the level against the same input partition and
+  meets the results in sorted node order.  Both the serial sequential
+  pass and this parallel meet-iteration converge to the unique coarsest
+  partition refining the initial one that is stable for all node
+  splitters (each step refines, never past the fixpoint, and
+  termination means stability for every node), and downstream consumers
+  read partitions only through canonical queries (blocks ordered by
+  smallest member), so the lumped model is bitwise-identical either way.
+
+Budget accounting mirrors the serial loops where it is deterministic:
+the *parent* charges one iteration per round and checks the state
+budget per discovered state (the same counts as the serial BFS), while
+workers check only the wall clock (their forked budget counters are
+scheduling-dependent and must not drive call-counted fault schedules).
+Checkpoints reuse the serial engines' payload formats under the same
+keys, so a run killed in parallel mode can resume serially and vice
+versa.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import LumpingError, StateSpaceError
+from repro.robust import budgets
+from repro.robust.budgets import BudgetExceeded
+from repro.robust.pool import ParallelConfig, WorkerPool
+
+
+def shard_items(items: Sequence, shard_count: int) -> List[list]:
+    """Split ``items`` into at most ``shard_count`` contiguous, non-empty
+    shards of near-equal size (fewer when there are fewer items)."""
+    total = len(items)
+    count = min(shard_count, total)
+    if count <= 0:
+        return []
+    base, extra = divmod(total, count)
+    shards = []
+    start = 0
+    for index in range(count):
+        size = base + (1 if index < extra else 0)
+        shards.append(list(items[start : start + size]))
+        start += size
+    return shards
+
+
+def sharded_reachable_states(
+    model,
+    seen: Set[Tuple[int, ...]],
+    frontier: Sequence[Tuple[int, ...]],
+    config: ParallelConfig,
+    *,
+    ck=None,
+    key: Optional[str] = None,
+    guard: Optional[dict] = None,
+    max_states: Optional[int] = None,
+    stage: str = "reachability",
+) -> List[Tuple[int, ...]]:
+    """Parallel BFS closure of ``seen``/``frontier``; returns the sorted
+    reachable states.
+
+    ``seen`` and ``frontier`` are the caller's (possibly
+    checkpoint-resumed) exploration state.  When ``ck``/``key``/``guard``
+    are given, partial progress is snapshotted with the same
+    ``{"seen", "frontier"}`` payload the serial engine writes — on a
+    periodic tick and, as in serial, before a :class:`BudgetExceeded`
+    propagates.
+    """
+
+    def expand(shard: List[Tuple[int, ...]]) -> List[Tuple[int, ...]]:
+        successors: Set[Tuple[int, ...]] = set()
+        for state in shard:
+            # Worker side: wall-clock check only (pulses the worker's
+            # heartbeat); counted budget charges stay in the parent so
+            # their call numbering matches the serial engine.
+            budgets.check_time(stage=stage)
+            for target, _rate in model.successors(state):
+                successors.add(target)
+        return sorted(successors)
+
+    seen = set(seen)
+    frontier = sorted(frontier)
+    # Kept consistent at every budget hook: when the budget fires
+    # mid-merge, states already added to ``seen`` this round would be
+    # skipped by the resume's ``target not in seen`` test without ever
+    # being expanded, losing anything reachable only through them — so
+    # the snapshot frontier must include the round's partial
+    # discoveries alongside the (idempotently re-expandable) input
+    # frontier, mirroring the serial engine's ``frontier[position:] +
+    # next_frontier`` save.
+    discovered: Set[Tuple[int, ...]] = set()
+    with WorkerPool(
+        expand, config, report=config.report, label="reach"
+    ) as pool:
+        try:
+            budgets.check_states(len(seen), stage=stage)
+            while frontier:
+                budgets.charge_iterations(1, stage=stage)
+                merged = pool.run(shard_items(frontier, config.workers))
+                discovered = set()
+                for successors in merged:  # task order == frontier order
+                    for target in successors:
+                        if target not in seen:
+                            seen.add(target)
+                            discovered.add(target)
+                            budgets.check_states(len(seen), stage=stage)
+                            if (
+                                max_states is not None
+                                and len(seen) > max_states
+                            ):
+                                raise StateSpaceError(
+                                    "state space exceeds "
+                                    f"max_states={max_states}"
+                                )
+                frontier = sorted(discovered)
+                if ck is not None and ck.tick(key):
+                    ck.save(
+                        key,
+                        {"seen": sorted(seen), "frontier": frontier},
+                        guard=guard,
+                    )
+        except BudgetExceeded:
+            if ck is not None:
+                remaining = set(frontier) | discovered
+                ck.save(
+                    key,
+                    {"seen": sorted(seen), "frontier": sorted(remaining)},
+                    guard=guard,
+                )
+            raise
+    return sorted(seen)
+
+
+def parallel_refinement_rounds(
+    size: int,
+    nodes: Sequence[Tuple[int, object]],
+    splitter_for: Callable[[object], object],
+    initial,
+    strategy: str,
+    max_rounds: Optional[int],
+    config: ParallelConfig,
+    *,
+    level_label: str = "",
+):
+    """Parallel fixed-point of per-node ``CompLumping`` over one level.
+
+    ``nodes`` is the level's sorted ``(index, node)`` list and
+    ``splitter_for`` the per-node splitter factory, both captured by the
+    forked workers by closure (nothing model-sized crosses a pipe; each
+    task ships only the current partition's class vector).  Returns the
+    coarsest partition refining ``initial`` stable for every node —
+    canonically equal to the serial ``comp_lumping_level`` result.
+
+    Per-task checkpoint scopes (``shard-<level>r<round>n<pos>``) keep
+    the workers' inner ``comp_lumping`` snapshots under distinct keys,
+    exercising the checkpoint directory's concurrent-writer protocol.
+    """
+    # Imported lazily: refinement sits above the robust layer, and this
+    # driver is reached only from lumping code that already imports it.
+    from repro.lumping.refinement import comp_lumping
+    from repro.partitions import Partition
+
+    def refine_node(payload):
+        position, class_vector = payload
+        partition = Partition.from_labels(class_vector)
+        _index, node = nodes[position]
+        refined = comp_lumping(
+            size, splitter_for(node), partition, strategy=strategy
+        )
+        return refined.state_class_vector()
+
+    partition = initial.copy()
+    if not nodes:
+        return partition
+    rounds = 0
+    label = f"lump{level_label}" if level_label else "lump"
+    with WorkerPool(
+        refine_node, config, report=config.report, label=label
+    ) as pool:
+        while True:
+            blocks_before = len(partition)
+            budgets.charge_iterations(1, stage="lumping")
+            class_vector = partition.state_class_vector()
+            tasks = [(pos, class_vector) for pos in range(len(nodes))]
+            scopes = [
+                f"shard-{level_label}r{rounds}n{pos}"
+                for pos in range(len(nodes))
+            ]
+            merged = pool.run(tasks, scopes=scopes)
+            for refined_vector in merged:  # sorted node order
+                partition = partition.meet(
+                    Partition.from_labels(refined_vector)
+                )
+            rounds += 1
+            if len(partition) == blocks_before:
+                return partition
+            if max_rounds is not None and rounds >= max_rounds:
+                raise LumpingError(
+                    f"comp_lumping_level exceeded {max_rounds} rounds"
+                )

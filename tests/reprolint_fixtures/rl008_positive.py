@@ -1,0 +1,30 @@
+"""Fixture: RL008 true positives, plus compliant constructs.
+
+The seeded violations avoid spawn *calls* (``multiprocessing.Pool()``)
+so RL007 stays quiet and the test can assert RL008 findings only.
+"""
+
+import multiprocessing
+from concurrent.futures import as_completed
+
+
+def adhoc_pool(pool, work, tasks):
+    return list(pool.imap_unordered(work, tasks))
+
+
+def adhoc_futures(futures):
+    return [future.result() for future in as_completed(futures)]
+
+
+def ordered_consumption_is_clean(pool, work, tasks):
+    return list(pool.imap(work, tasks))
+
+
+def unrelated_import_is_clean():
+    import os
+
+    return os.getpid()
+
+
+def context_helper_is_clean():
+    return multiprocessing.get_context

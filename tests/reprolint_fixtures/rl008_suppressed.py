@@ -1,0 +1,7 @@
+"""Fixture: RL008 violation silenced by a per-line suppression."""
+
+import multiprocessing  # reprolint: disable=RL008 -- introspection only, no workers spawned
+
+
+def cpu_count():
+    return multiprocessing.cpu_count()

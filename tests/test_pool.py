@@ -1,0 +1,235 @@
+"""Worker-pool unit tests.
+
+The contract under test (see :mod:`repro.robust.pool`): results come
+back indexed by task id whatever the scheduling, and every fault the
+pool is designed to absorb — worker crashes, poisoned tasks, hangs,
+total worker loss — degrades throughput, never correctness.  Faults are
+staged with the position-addressed ``worker:<slot>`` / ``task:<id>``
+injection sites.
+"""
+
+import pytest
+
+from repro.robust.budgets import BudgetExceeded
+from repro.robust.faults import inject_faults
+from repro.robust.pool import ParallelConfig, WorkerPool, parallel_config
+from repro.robust.report import RunReport
+from repro.robust.retry import RetryPolicy
+from repro.robust.shard import shard_items
+
+
+def _square(x):
+    return x * x
+
+
+def _fast_config(**overrides):
+    kwargs = dict(
+        workers=2,
+        poll_interval_seconds=0.01,
+        heartbeat_min_interval_seconds=0.01,
+        policy=RetryPolicy(
+            max_restarts=3,
+            backoff_initial_seconds=0.0,
+            backoff_factor=1.0,
+            backoff_max_seconds=0.0,
+        ),
+    )
+    kwargs.update(overrides)
+    return ParallelConfig(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# parallel_config normalization
+# ----------------------------------------------------------------------
+
+
+def test_parallel_config_serial_values():
+    assert parallel_config(None) is None
+    assert parallel_config(False) is None
+    assert parallel_config(0) is None
+    assert parallel_config(1) is None
+
+
+def test_parallel_config_int_and_passthrough():
+    cfg = parallel_config(4)
+    assert isinstance(cfg, ParallelConfig) and cfg.workers == 4
+    explicit = ParallelConfig(workers=1)  # explicit config: pool engages
+    assert parallel_config(explicit) is explicit
+
+
+def test_parallel_config_rejects_ambiguous_values():
+    with pytest.raises(ValueError):
+        parallel_config(True)
+    with pytest.raises(ValueError):
+        parallel_config("2")
+
+
+def test_parallel_config_validation():
+    with pytest.raises(ValueError):
+        ParallelConfig(workers=0)
+    with pytest.raises(ValueError):
+        ParallelConfig(heartbeat_timeout_seconds=0.0)
+
+
+# ----------------------------------------------------------------------
+# shard_items
+# ----------------------------------------------------------------------
+
+
+def test_shard_items_partitions_in_order():
+    items = list(range(10))
+    for count in range(1, 14):
+        shards = shard_items(items, count)
+        assert len(shards) == min(count, len(items))
+        assert all(shards), "no empty shards"
+        assert [x for shard in shards for x in shard] == items
+        sizes = [len(shard) for shard in shards]
+        assert max(sizes) - min(sizes) <= 1
+
+
+def test_shard_items_empty():
+    assert shard_items([], 4) == []
+
+
+# ----------------------------------------------------------------------
+# the happy path
+# ----------------------------------------------------------------------
+
+
+def test_results_come_back_in_task_order():
+    tasks = list(range(7))
+    with WorkerPool(_square, _fast_config()) as pool:
+        assert pool.run(tasks) == [x * x for x in tasks]
+        # The same pool serves multiple batches (refinement runs one
+        # batch per round).
+        assert pool.run([10, 11]) == [100, 121]
+
+
+def test_single_worker_pool_works():
+    with WorkerPool(_square, _fast_config(workers=1)) as pool:
+        assert pool.run([1, 2, 3]) == [1, 4, 9]
+
+
+def test_task_exception_is_retried_then_quarantined():
+    def flaky(x):
+        raise ValueError(f"task {x} always fails in workers")
+
+    config = _fast_config(max_task_retries=1)
+    report = RunReport()
+    with WorkerPool(flaky, config, report=report) as pool:
+        # Quarantined tasks run serially in the parent — where the task
+        # function still raises, so the pool must propagate it.
+        with pytest.raises(ValueError):
+            pool.run([5])
+    assert report.pool_events_of_kind("task-failed")
+    assert report.pool_events_of_kind("task-quarantined")
+
+
+# ----------------------------------------------------------------------
+# crash recovery
+# ----------------------------------------------------------------------
+
+
+def test_worker_kill_is_absorbed():
+    tasks = list(range(6))
+    with inject_faults("worker:2@sigkill"):
+        with WorkerPool(_square, _fast_config()) as pool:
+            events = pool.events
+            assert pool.run(tasks) == [x * x for x in tasks]
+    kinds = {event.kind for event in events}
+    assert "worker-crashed" in kinds
+    # The killed slot either died idle or with a task in flight; either
+    # way the batch completed, and a dead-with-task crash must have
+    # logged the reassignment.
+    if any(
+        event.kind == "worker-crashed" and event.task is not None
+        for event in events
+    ):
+        assert "task-reassigned" in kinds
+
+
+def test_task_targeted_kill_retries_that_task():
+    tasks = list(range(5))
+    with inject_faults("task:3@sigkill"):
+        with WorkerPool(_square, _fast_config()) as pool:
+            events = pool.events
+            assert pool.run(tasks) == [x * x for x in tasks]
+    retried = [e for e in events if e.kind == "task-retried"]
+    assert any(e.task is not None and e.task.endswith(":2") for e in retried)
+
+
+def test_hung_task_is_killed_and_retried():
+    tasks = list(range(4))
+    config = _fast_config(heartbeat_timeout_seconds=0.5)
+    with inject_faults("task:2@hang:30"):
+        with WorkerPool(_square, config) as pool:
+            events = pool.events
+            assert pool.run(tasks) == [x * x for x in tasks]
+    assert any(event.kind == "worker-crashed" for event in events)
+    assert any(event.kind == "task-retried" for event in events)
+
+
+def test_poisoned_tasks_quarantine_to_serial():
+    # Tasks 2..4 (1-based 3+) kill their worker on every attempt; after
+    # max_task_retries they are quarantined and run serially in the
+    # parent, where the position-addressed ``task`` site is skipped.
+    tasks = list(range(5))
+    config = _fast_config(max_task_retries=0, max_worker_crashes=10)
+    with inject_faults("task:3+@sigkill"):
+        with WorkerPool(_square, config) as pool:
+            events = pool.events
+            assert pool.run(tasks) == [x * x for x in tasks]
+    quarantined = [e for e in events if e.kind == "task-quarantined"]
+    assert len(quarantined) == 3
+
+
+def test_total_worker_loss_degrades_to_serial():
+    # Every worker startup is killed, forever: both slots retire and the
+    # whole batch runs serially in the parent.
+    tasks = list(range(5))
+    config = _fast_config(max_worker_crashes=0)
+    with inject_faults("worker:1+@sigkill"):
+        with WorkerPool(_square, config) as pool:
+            events = pool.events
+            assert pool.run(tasks) == [x * x for x in tasks]
+    kinds = [event.kind for event in events]
+    assert kinds.count("worker-retired") == 2
+    assert "pool-degraded" in kinds
+
+
+def test_straggler_is_redispatched():
+    # Task 0 hangs for a while (far below the heartbeat timeout); with a
+    # tiny straggler threshold the idle worker gets a duplicate, whose
+    # fresh execution skips the one-shot hang and finishes first.
+    tasks = list(range(2))
+    config = _fast_config(straggler_after_seconds=0.05)
+    with inject_faults("task:1@hang:3"):
+        with WorkerPool(_square, config) as pool:
+            events = pool.events
+            assert pool.run(tasks) == [0, 1]
+    assert any(
+        event.kind == "straggler-redispatched" for event in events
+    )
+
+
+def test_budget_exceeded_in_worker_is_terminal():
+    def over_budget(x):
+        raise BudgetExceeded("wall clock exhausted in worker")
+
+    with WorkerPool(over_budget, _fast_config()) as pool:
+        with pytest.raises(BudgetExceeded):
+            pool.run([0, 1, 2])
+
+
+def test_pool_events_land_in_run_report():
+    report = RunReport()
+    with inject_faults("worker:2@sigkill"):
+        with WorkerPool(_square, _fast_config(), report=report) as pool:
+            pool.run([1, 2, 3])
+    assert report.pool_events_of_kind("worker-started")
+    assert report.pool_events_of_kind("worker-crashed")
+    rendered = report.render()
+    assert "pool worker-crashed" in rendered
+    # The report round-trips through its dict form, pool events included.
+    recovered = RunReport.from_dict(report.to_dict())
+    assert len(recovered.pool_events) == len(report.pool_events)

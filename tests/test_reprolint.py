@@ -35,6 +35,7 @@ RULE_CASES = {
     "RL005": ("src/repro/robust/fixture_mod.py", 2),
     "RL006": ("src/repro/statespace/fixture_mod.py", 4),
     "RL007": ("src/repro/robust/fixture_mod.py", 5),
+    "RL008": ("src/repro/lumping/fixture_mod.py", 4),
 }
 
 
@@ -170,6 +171,37 @@ def test_rl007_out_of_scope_path_is_clean():
     text = _fixture("rl007_positive.py")
     report = _lint("benchmarks/run_all.py", text)
     assert [f for f in report.findings if f.rule == "RL007"] == []
+
+
+def test_rl007_worker_pool_module_may_spawn():
+    text = "import os\n\n\ndef spawn():\n    return os.fork()\n"
+    report = _lint("src/repro/robust/pool.py", text)
+    assert [f for f in report.findings if f.rule == "RL007"] == []
+    assert len(_lint("src/repro/markov/ctmc.py", text).findings) == 1
+
+
+def test_rl008_process_layer_may_import_parallelism():
+    text = "import multiprocessing\n"
+    for path in (
+        "src/repro/robust/pool.py",
+        "src/repro/robust/supervisor.py",
+    ):
+        assert _lint(path, text).findings == [], path
+    assert len(_lint("src/repro/markov/ctmc.py", text).findings) == 1
+
+
+def test_rl008_completion_order_flagged_even_in_pool():
+    # The determinism half of the rule has no allowlist: even the pool
+    # module must never fold results in completion order.
+    text = "def f(pool, work, tasks):\n    return pool.imap_unordered(work, tasks)\n"
+    report = _lint("src/repro/robust/pool.py", text)
+    assert [f.rule for f in report.findings] == ["RL008"]
+
+
+def test_rl008_out_of_scope_path_is_clean():
+    text = _fixture("rl008_positive.py")
+    report = _lint("benchmarks/run_all.py", text)
+    assert [f for f in report.findings if f.rule == "RL008"] == []
 
 
 def test_syntax_error_reported_not_raised():

@@ -493,7 +493,9 @@ class TestCheckpointGC:
         names = sorted(
             p.name
             for p in tmp_path.iterdir()
-            if p.name != MANIFEST_NAME
+            # Skip the manifest and the ``.lock`` advisory-lock file:
+            # only snapshot files are subject to GC.
+            if p.name != MANIFEST_NAME and not p.name.startswith(".")
         )
         assert names == ["solve#4.json", "solve#5.json"]
         assert ck.pruned_count == 4

@@ -21,6 +21,7 @@ from reprolint.rules.rl006_unseeded_randomness import UnseededRandomness
 from reprolint.rules.rl007_unsupervised_subprocess import (
     UnsupervisedSubprocess,
 )
+from reprolint.rules.rl008_adhoc_parallelism import AdHocParallelism
 
 RULE_CLASSES: Sequence[Type[Rule]] = (
     NondeterministicIteration,
@@ -30,6 +31,7 @@ RULE_CLASSES: Sequence[Type[Rule]] = (
     BareOrBroadExcept,
     UnseededRandomness,
     UnsupervisedSubprocess,
+    AdHocParallelism,
 )
 
 

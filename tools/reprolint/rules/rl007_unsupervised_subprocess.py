@@ -1,18 +1,21 @@
-"""RL007: process spawning outside the supervisor; unbounded waits.
+"""RL007: process spawning outside the process layer; unbounded waits.
 
-The supervised-execution layer (:mod:`repro.robust.supervisor`) is the
-one place allowed to create child processes: it is the component that
-pairs every child with hard OS limits (``resource.setrlimit``), a
-heartbeat-driven watchdog, and restart-from-checkpoint semantics.  A
-``subprocess.Popen``/``os.fork`` call anywhere else creates an orphan
-the watchdog cannot see — it can hang forever, leak memory past the
-budget, or survive the parent, and none of it lands in the RunReport.
+The supervised-execution layer (:mod:`repro.robust.supervisor`) and the
+fault-tolerant worker pool (:mod:`repro.robust.pool`) are the only
+places allowed to create child processes: they are the components that
+pair every child with hard OS limits (``resource.setrlimit``), a
+heartbeat-driven watchdog, and restart-from-checkpoint / task-retry
+semantics.  A ``subprocess.Popen``/``os.fork`` call anywhere else
+creates an orphan the watchdog cannot see — it can hang forever, leak
+memory past the budget, or survive the parent, and none of it lands in
+the RunReport.
 
 Two constructs are flagged:
 
 * **spawn calls** — ``os.fork``/``os.forkpty``/``os.spawn*``/
   ``os.system``/``os.popen``, any ``subprocess.*`` call, and
-  ``multiprocessing.Process`` — anywhere outside the supervisor module;
+  ``multiprocessing.Process`` — anywhere outside the allowlisted
+  process-layer modules;
 * **unbounded waits** — ``.wait()`` / ``.communicate()`` attribute calls
   without a ``timeout=`` keyword, *everywhere* (including the
   supervisor): a blocking wait with no timeout is exactly the hang the
@@ -26,8 +29,14 @@ from typing import Iterator, Tuple, Type
 
 from reprolint.core import FileContext, Finding, Rule, dotted_name
 
-#: The one module allowed to create child processes.
-_SUPERVISOR_PATH = "src/repro/robust/supervisor.py"
+#: The modules allowed to create child processes: the watchdog
+#: supervisor and the fault-tolerant worker pool built on its machinery.
+_PROCESS_LAYER_PATHS = frozenset(
+    {
+        "src/repro/robust/supervisor.py",
+        "src/repro/robust/pool.py",
+    }
+)
 
 #: Fully-dotted call names that spawn a process.
 _SPAWN_CALLS = frozenset(
@@ -77,15 +86,16 @@ class UnsupervisedSubprocess(Rule):
 
     def check(self, node: ast.Call, ctx: FileContext) -> Iterator[Finding]:
         name = dotted_name(node.func)
-        if name is not None and ctx.path != _SUPERVISOR_PATH:
+        if name is not None and ctx.path not in _PROCESS_LAYER_PATHS:
             if name in _SPAWN_CALLS or name.startswith("subprocess."):
                 yield self.finding(
                     ctx,
                     node,
-                    f"{name}() spawns a process outside the supervisor "
-                    "(repro.robust.supervisor) — no rlimits, heartbeat, "
-                    "or restart-from-checkpoint apply; route it through "
-                    "run_supervised() instead",
+                    f"{name}() spawns a process outside the process "
+                    "layer (repro.robust.supervisor / "
+                    "repro.robust.pool) — no rlimits, heartbeat, or "
+                    "restart-from-checkpoint apply; route it through "
+                    "run_supervised() or WorkerPool instead",
                 )
                 return
         func = node.func

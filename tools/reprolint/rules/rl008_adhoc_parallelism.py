@@ -1,0 +1,114 @@
+"""RL008: ad-hoc parallelism outside the fault-tolerant pool.
+
+The worker-pool layer (:mod:`repro.robust.pool`) is the one place
+allowed to build parallelism: it pairs every worker with a heartbeat, a
+crash-loop breaker, deterministic retry/reassignment, and — critically —
+a merge that consumes results in sorted task-id order so parallel runs
+stay bitwise-identical to serial ones.  A stray
+``multiprocessing``/``concurrent.futures`` usage elsewhere recreates the
+exact failure modes this repo spent several milestones killing: orphan
+workers no watchdog sees, lost tasks on crash, and results folded in
+completion order.
+
+Two constructs are flagged:
+
+* **parallelism imports** — ``import multiprocessing`` /
+  ``import concurrent.futures`` (or ``from`` either) anywhere outside
+  the process-layer allowlist (:data:`_PROCESS_LAYER_PATHS`);
+* **completion-order iteration** — ``.imap_unordered(...)`` and
+  ``as_completed(...)`` calls, *everywhere* (including the allowlisted
+  modules): iterating results in completion order is nondeterminism by
+  construction, and every parallel merge in this repo must consume
+  results in task order instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple, Type, Union
+
+from reprolint.core import FileContext, Finding, Rule, dotted_name
+
+#: Modules allowed to import process/parallelism machinery: the
+#: fault-tolerant worker pool and the supervised-execution layer.
+_PROCESS_LAYER_PATHS = frozenset(
+    {
+        "src/repro/robust/pool.py",
+        "src/repro/robust/supervisor.py",
+    }
+)
+
+#: Top-level modules whose import means "I am about to parallelize".
+_PARALLEL_MODULES = frozenset({"multiprocessing", "concurrent"})
+
+_ImportNode = Union[ast.Import, ast.ImportFrom]
+
+
+def _imported_roots(node: _ImportNode) -> Iterator[str]:
+    if isinstance(node, ast.ImportFrom):
+        if node.module is not None and node.level == 0:
+            yield node.module.split(".")[0]
+        return
+    for alias in node.names:
+        yield alias.name.split(".")[0]
+
+
+class AdHocParallelism(Rule):
+    code = "RL008"
+    name = "adhoc-parallelism"
+    rationale = (
+        "parallel execution outside repro.robust.pool has no heartbeat, "
+        "no crash recovery, and no deterministic task-order merge; "
+        "imap_unordered()/as_completed() iterate in completion order, "
+        "which breaks the parallel == serial bitwise guarantee."
+    )
+    node_types: Tuple[Type[ast.AST], ...] = (
+        ast.Import,
+        ast.ImportFrom,
+        ast.Call,
+    )
+
+    def applies_to(self, path: str) -> bool:
+        return super().applies_to(path) and path.startswith(
+            ("src/", "tools/")
+        )
+
+    def check(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            if ctx.path in _PROCESS_LAYER_PATHS:
+                return
+            for root in _imported_roots(node):
+                if root in _PARALLEL_MODULES:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"import of {root!r} outside the process layer "
+                        "(repro.robust.pool / repro.robust.supervisor) — "
+                        "ad-hoc workers have no heartbeat, retry, or "
+                        "deterministic merge; fan work out through "
+                        "WorkerPool instead",
+                    )
+                    return
+            return
+        name = dotted_name(node.func)
+        attr = (
+            node.func.attr
+            if isinstance(node.func, ast.Attribute)
+            else None
+        )
+        if attr == "imap_unordered" or (
+            name is not None
+            and (
+                name == "as_completed"
+                or name.endswith(".as_completed")
+            )
+        ):
+            label = attr or "as_completed"
+            yield self.finding(
+                ctx,
+                node,
+                f"{label}() yields results in completion order — "
+                "scheduling-dependent and unreproducible; consume "
+                "results in sorted task-id order (as WorkerPool.run "
+                "does) instead",
+            )
