@@ -1,0 +1,134 @@
+"""The durable analysis service, end to end.
+
+Drives `repro.service` through its headline guarantees:
+
+1. submit a small batch with duplicates — the duplicates coalesce onto
+   one primary and the batch costs exactly N_distinct solves;
+2. kill a worker slot mid-run with the fault injector — the dispatcher
+   restarts it and the queue still drains, results bitwise-identical
+   to computing directly;
+3. resubmit everything — pure cache hits, resolved at submit time;
+4. dead-letter a job whose every lease expires, and read its
+   structured diagnosis.
+
+Run:  python examples/service_pipeline.py
+"""
+
+import os
+import tempfile
+
+from repro.robust import faults
+from repro.robust.retry import RetryPolicy
+from repro.service import (
+    Dispatcher,
+    DispatcherConfig,
+    JobStore,
+    ResultCache,
+    canonical_digest,
+    demo_spec,
+    solve_spec,
+)
+from repro.service.store import DONE
+
+
+def open_service(root):
+    store = JobStore(os.path.join(root, "store"))
+    cache = ResultCache(os.path.join(root, "store", "cache"))
+    return store, cache
+
+
+def main() -> None:
+    specs = [
+        demo_spec("redundant:3,1"),
+        demo_spec("redundant:2,1"),
+        demo_spec("redundant:3,1"),  # duplicate of the first
+        demo_spec("tandem:1,2,2,2"),
+    ]
+
+    with tempfile.TemporaryDirectory() as root:
+        store, cache = open_service(root)
+
+        print("=== submit (1 duplicate in 4 jobs) ===")
+        for spec in specs:
+            outcome = store.submit(spec, cache=cache)
+            note = (
+                f" (coalesced with {outcome.coalesced_with})"
+                if outcome.coalesced_with
+                else ""
+            )
+            print(f"  {outcome.job_id} {outcome.state}{note}")
+
+        print()
+        print("=== drain under a worker kill (slot 1 dies at startup) ===")
+        faults.reload_env("service.slot:1@sigkill")
+        try:
+            dispatcher = Dispatcher(
+                store,
+                cache,
+                DispatcherConfig(
+                    workers=2,
+                    lease_seconds=30.0,
+                    policy=RetryPolicy(backoff_initial_seconds=0.05),
+                ),
+            )
+            stats = dispatcher.run()
+        finally:
+            faults.reload_env("")
+        print(
+            f"  workers: {stats.worker_starts} started, "
+            f"{stats.worker_deaths} died"
+        )
+        solves = 0
+        for view in store.views():
+            detail = view.last["detail"]
+            print(
+                f"  {view.job_id} {view.state} source={detail['source']}"
+            )
+            solves += detail["source"] == "solve"
+        assert all(v.state == DONE for v in store.views())
+        print(f"  distinct digests: 3, solves performed: {solves}")
+
+        print()
+        print("=== results match computing directly ===")
+        for spec in specs[:2]:
+            entry = cache.get(canonical_digest(spec))
+            direct = solve_spec(spec)
+            assert entry["result"] == direct
+            print(
+                f"  {canonical_digest(spec)[:12]}...: "
+                f"pi[0]={direct['stationary'][0]:.6f}  (identical)"
+            )
+
+        print()
+        print("=== resubmission is a pure cache hit ===")
+        for spec in specs:
+            outcome = store.submit(spec, cache=cache)
+            print(
+                f"  {outcome.job_id} {outcome.state} "
+                f"cache_hit={outcome.cache_hit}"
+            )
+
+        print()
+        print("=== dead-lettering: a job whose every lease expires ===")
+        doomed_root = os.path.join(root, "doomed")
+        doomed = JobStore(os.path.join(doomed_root, "store"))
+        job = doomed.submit(demo_spec("redundant:2,1")).job_id
+        # Simulate three crashed workers by claiming with instant
+        # leases and recovering after each.
+        policy = RetryPolicy(backoff_initial_seconds=0.0)
+        real_clock = doomed.clock
+        skew = [0.0]
+        doomed.clock = lambda: real_clock() + skew[0]
+        for _ in range(3):
+            doomed.claim(job, "doomed-worker", lease_seconds=0.0)
+            skew[0] += 1.0
+            doomed.recover(policy=policy, max_attempts=3)
+        view = doomed.view(job)
+        diagnosis = view.last["detail"]["diagnosis"]
+        print(f"  {job} is {view.state} after {diagnosis['attempts']} attempts")
+        print(f"  exit reasons: {diagnosis['exit_reasons']}")
+        print(f"  suggestion: {diagnosis['suggestion']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -23,7 +23,7 @@ from repro.lumping.md_model import MDModel
 from repro.markov.solvers import steady_state
 from repro.markov.transient import transient_distribution
 from repro.robust.budgets import Budget
-from repro.robust.pool import parallel_config
+from repro.robust.pool import autodegrade_parallel
 from repro.robust.report import RunReport
 
 
@@ -219,7 +219,7 @@ def lump_and_solve(
         with (ck if ck is not None else nullcontext()):
             result = compositional_lump(
                 model, kind=kind, key=key, iterate=iterate,
-                parallel=parallel,
+                parallel=autodegrade_parallel(parallel),
             )
             lumped_ctmc = result.lumped.flat_ctmc()
             if not lumped_ctmc.is_irreducible():
@@ -330,7 +330,7 @@ def _lump_and_solve_robust(
 
     if report is None:
         report = RunReport()
-    cfg = parallel_config(parallel)
+    cfg = autodegrade_parallel(parallel, report)
     if cfg is not None and cfg.report is None:
         # Worker-pool events (crashes, retries, reassignments,
         # degradations) land in the same run report as everything else.

@@ -144,7 +144,15 @@ def main(argv=None) -> int:
         metavar="N",
         help="fan reachability and refinement out to N fault-tolerant "
         "worker processes (N >= 2); results are bitwise-identical to "
-        "the serial run",
+        "the serial run; widths the host cannot support (one core, or "
+        "N > cores) auto-degrade to serial",
+    )
+    parser.add_argument(
+        "--parallel-force",
+        action="store_true",
+        help="engage the worker pool even when the host has too few "
+        "cores for --parallel N to win (disables the insufficient-cores "
+        "auto-degrade; used by fault-injection smoke jobs)",
     )
     parser.add_argument(
         "--emit-json",
@@ -188,6 +196,14 @@ def main(argv=None) -> int:
         parser.error("--parallel must be >= 2")
     if args.parallel is not None and args.symbolic:
         parser.error("--parallel is not supported with --symbolic")
+    if args.parallel_force and args.parallel is None:
+        parser.error("--parallel-force requires --parallel")
+    parallel_arg = args.parallel
+    if args.parallel_force:
+        from repro.robust.pool import ParallelConfig
+
+        # An explicit config bypasses the insufficient-cores degrade.
+        parallel_arg = ParallelConfig(workers=args.parallel)
     if args.emit_json is not None:
         if args.parallel is None:
             parser.error("--emit-json requires --parallel")
@@ -252,7 +268,7 @@ def main(argv=None) -> int:
                     resume=args.resume,
                     supervised=args.supervised,
                     supervisor=supervisor_config,
-                    parallel=args.parallel,
+                    parallel=parallel_arg,
                 )
             except CrashLoopError as exc:
                 # The circuit breaker tripped: emit the structured
@@ -291,7 +307,7 @@ def main(argv=None) -> int:
             start = time.perf_counter()
             parallel_row = run_table1_row(
                 jobs, params, reach_engine=args.engine, kind=args.kind,
-                parallel=args.parallel,
+                parallel=parallel_arg,
             )
             parallel_seconds = time.perf_counter() - start
             identical = _comparable(serial_row) == _comparable(parallel_row)
@@ -315,7 +331,7 @@ def main(argv=None) -> int:
             rows.append(
                 run_table1_row(
                     jobs, params, reach_engine=args.engine, kind=args.kind,
-                    parallel=args.parallel,
+                    parallel=parallel_arg,
                 )
             )
     rendered = render_table1(rows)
@@ -326,9 +342,19 @@ def main(argv=None) -> int:
         with open(args.output, "w") as handle:
             handle.write(rendered + "\n")
     if args.emit_json is not None:
+        from repro.robust.pool import autodegrade_parallel
+        from repro.robust.report import RunReport
+
+        probe = RunReport()
+        engaged = autodegrade_parallel(parallel_arg, probe) is not None
+        degrade_events = probe.pool_events_of_kind("pool-degraded")
         payload = {
             "benchmark": "table1 serial vs parallel",
             "parallel_workers": args.parallel,
+            "pool_engaged": engaged,
+            "degraded": (
+                degrade_events[0].detail if degrade_events else None
+            ),
             "host": {
                 "cpu_count": os.cpu_count(),
                 "platform": platform.platform(),

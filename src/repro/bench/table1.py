@@ -33,7 +33,7 @@ from repro.models import TandemParams, build_tandem, tandem_md_model
 from repro.models.tandem import projected_event_model
 from repro.robust.budgets import Budget
 from repro.robust.checkpoint import scoped as checkpoint_scoped
-from repro.robust.pool import parallel_config
+from repro.robust.pool import autodegrade_parallel
 from repro.robust.report import RunReport
 from repro.statespace import reachable_bfs, reachable_mdd
 from repro.util import Stopwatch, Table, format_bytes, format_seconds
@@ -78,8 +78,11 @@ def run_table1_row(
     ``parallel`` (an int >= 2 or a
     :class:`~repro.robust.pool.ParallelConfig`) fans reachability and
     per-level refinement out to a fault-tolerant worker pool; the row is
-    bitwise-identical to the serial one.
+    bitwise-identical to the serial one.  An int width the host cannot
+    support (one core, or N > cores) silently degrades to serial; pass
+    a config to force the pool.
     """
+    parallel = autodegrade_parallel(parallel)
     if params is None:
         params = TandemParams(jobs=jobs)
     elif params.jobs != jobs:
@@ -273,7 +276,7 @@ def run_table1_row_robust(
         raise ValueError("params.jobs disagrees with the jobs argument")
     if report is None:
         report = RunReport()
-    cfg = parallel_config(parallel)
+    cfg = autodegrade_parallel(parallel, report)
     if cfg is not None and cfg.report is None:
         cfg.report = report
     if solver_chain is None:

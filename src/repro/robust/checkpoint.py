@@ -146,6 +146,51 @@ def atomic_write_json(path: str, obj, indent: Optional[int] = None) -> None:
     atomic_write_text(path, json.dumps(obj, indent=indent))
 
 
+def atomic_create_bytes(path: str, data: bytes) -> bool:
+    """Atomically create ``path`` with ``data`` — a durable compare-and-set.
+
+    Like :func:`atomic_write_bytes` (tmp file + fsync + publish), but the
+    publish step is ``os.link``, which fails with ``EEXIST`` instead of
+    overwriting.  Returns ``True`` if this call created the file, ``False``
+    if some other writer got there first — the loser must re-read the
+    winner's contents and react.  This is the primitive the service job
+    store builds its lock-free state transitions on: two processes racing
+    to append record ``N`` cannot both win, and the loser's data is never
+    partially visible.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    tmp_path = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp_path, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        try:
+            os.link(tmp_path, path)
+        except FileExistsError:
+            return False
+        finally:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+    except OSError as exc:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise CheckpointError(
+            f"cannot atomically create {path!r}: {exc}"
+        ) from exc
+    _fsync_directory(directory)
+    return True
+
+
+def atomic_create_json(path: str, obj) -> bool:
+    """JSON variant of :func:`atomic_create_bytes`."""
+    return atomic_create_bytes(path, json.dumps(obj).encode("utf-8"))
+
+
 def digest(*chunks: bytes) -> str:
     """sha256 hex digest over the concatenation of ``chunks`` (used for
     snapshot guards: content fingerprints of matrices, seed sets, ...)."""
@@ -168,7 +213,8 @@ class CheckpointEvent:
     ``resumed``, ``skipped`` (a complete snapshot short-circuited the
     loop), ``pruned`` (keep_last garbage collection), ``corrupt``,
     ``stale``, ``version-mismatch``, ``manifest-corrupt``,
-    ``manifest-stale``.
+    ``manifest-stale``, ``stale-lock-reclaimed`` (a dead holder's
+    advisory lock was detected and taken over).
     """
 
     kind: str
@@ -336,24 +382,111 @@ class Checkpointer:
         parent).  Degrades to a no-op where ``fcntl`` is unavailable or
         the lockfile cannot be opened — single-writer behaviour, which
         is what those platforms had before.
+
+        The holder stamps its PID into the lockfile.  A stamp naming a
+        dead process is stale — left by a SIGKILLed holder (the kernel
+        released its flock but the stamp survived) or by a wedged lock
+        on a leaked descriptor — and is reclaimed instead of blocking
+        resume forever, with the reclaim recorded in the RunReport.
         """
         if fcntl is None:
             yield
             return
         try:
-            fd = os.open(self._lock_path, os.O_CREAT | os.O_RDWR, 0o644)
+            fd = self._acquire_lock_fd()
         except OSError:
             yield
             return
+        if fd is None:
+            yield
+            return
         try:
-            fcntl.flock(fd, fcntl.LOCK_EX)
             yield
         finally:
+            try:
+                os.ftruncate(fd, 0)
+            except OSError:
+                pass
             try:
                 fcntl.flock(fd, fcntl.LOCK_UN)
             except OSError:
                 pass
             os.close(fd)
+
+    def _acquire_lock_fd(self) -> Optional[int]:
+        """Open + flock the lockfile, reclaiming stale dead-PID locks.
+
+        Returns the locked fd (stamped with our PID), or ``None`` when
+        the lockfile cannot be opened (degrade to no-op, as before).
+        """
+        fd = os.open(self._lock_path, os.O_CREAT | os.O_RDWR, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            # Contended.  If the stamped holder is dead the flock is
+            # wedged (a leaked descriptor in a live relative, a stale
+            # remote lock): unlink the inode so fresh lockers converge
+            # on a new one, and retry on that.
+            stale = self._stale_lock_pid(fd)
+            if stale is not None:
+                os.close(fd)
+                try:
+                    os.unlink(self._lock_path)
+                except OSError:
+                    pass
+                self._event(
+                    "stale-lock-reclaimed",
+                    "",
+                    f"advisory lock wedged by dead pid {stale}; "
+                    "lockfile replaced",
+                )
+                fd = os.open(
+                    self._lock_path, os.O_CREAT | os.O_RDWR, 0o644
+                )
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            self._stamp_lock_fd(fd)
+            return fd
+        # Uncontended — but a dead-PID stamp means the previous holder
+        # crashed while holding the lock.  Resume proceeds (the flock
+        # died with the holder); record that we reclaimed its leavings.
+        stale = self._stale_lock_pid(fd)
+        if stale is not None:
+            self._event(
+                "stale-lock-reclaimed",
+                "",
+                f"advisory lock stamp from dead pid {stale}; reclaimed",
+            )
+        self._stamp_lock_fd(fd)
+        return fd
+
+    def _stale_lock_pid(self, fd: int) -> Optional[int]:
+        """The dead PID stamped in the lockfile, or ``None`` if the
+        stamp is empty, unreadable, ours, or names a live process."""
+        try:
+            os.lseek(fd, 0, os.SEEK_SET)
+            raw = os.read(fd, 64).split(b"\n", 1)[0].strip()
+            pid = int(raw)
+        except (OSError, ValueError):
+            return None
+        if pid <= 0 or pid == os.getpid():
+            return None
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return pid
+        except OSError:
+            pass
+        return None
+
+    def _stamp_lock_fd(self, fd: int) -> None:
+        """Write our PID into the locked fd (best effort — the stamp is
+        diagnostic metadata, not the lock itself)."""
+        try:
+            os.ftruncate(fd, 0)
+            os.lseek(fd, 0, os.SEEK_SET)
+            os.write(fd, f"{os.getpid()}\n".encode("ascii"))
+        except OSError:
+            pass
 
     def _reload_files_locked(self) -> None:
         """Adopt the on-disk manifest's files map (caller holds the lock).
@@ -603,6 +736,8 @@ class Checkpointer:
             self._report.note(f"checkpoint: resumed {key} mid-loop")
         elif kind == "pruned":
             self._report.note(f"checkpoint: pruned {key}: {detail}")
+        elif kind == "stale-lock-reclaimed":
+            self._report.note(f"checkpoint: {detail}")
 
     def events_of_kind(self, *kinds: str) -> List[CheckpointEvent]:
         """The recorded events whose kind is one of ``kinds``."""

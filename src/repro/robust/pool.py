@@ -173,6 +173,36 @@ def parallel_config(parallel) -> Optional[ParallelConfig]:
     )
 
 
+def autodegrade_parallel(parallel, report=None) -> Optional[ParallelConfig]:
+    """Resolve ``parallel=`` against the host, degrading hopeless widths.
+
+    Forked workers on a host with one core — or more workers than cores —
+    can only lose wall-clock to fork/IPC overhead while changing nothing
+    about the answer (the pool's merge is bitwise-deterministic either
+    way).  So an *int* width that cannot win here degrades to serial,
+    recorded as a ``pool-degraded`` event with reason
+    ``insufficient-cores``.  An explicit :class:`ParallelConfig` remains
+    the escape hatch: it always engages the pool, which tests and storms
+    use to exercise the machinery regardless of host shape.
+    """
+    cfg = parallel_config(parallel)
+    if cfg is None or isinstance(parallel, ParallelConfig):
+        return cfg
+    cores = os.cpu_count() or 1
+    if cores <= 1 or cfg.workers > cores:
+        if report is not None:
+            report.record_pool_event(
+                "pool-degraded",
+                detail=(
+                    f"insufficient-cores: requested {cfg.workers} "
+                    f"worker(s), host has {cores} core(s); running "
+                    "serially"
+                ),
+            )
+        return None
+    return cfg
+
+
 # ----------------------------------------------------------------------
 # frame protocol (length-prefixed pickles over pipes)
 # ----------------------------------------------------------------------

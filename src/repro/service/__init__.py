@@ -1,0 +1,55 @@
+"""Durable, fault-tolerant analysis service around ``lump_and_solve``.
+
+The service turns the robustness substrate (budgets, checkpoints,
+supervisor, pool) into callable infrastructure: a crash-safe job store
+(:mod:`repro.service.store`), leased supervised workers
+(:mod:`repro.service.worker`, :mod:`repro.service.dispatcher`), and a
+content-addressed result cache (:mod:`repro.service.cache`), fronted by
+``python -m repro.service`` with ``submit / status / result /
+run-workers / gc`` verbs.  See ``docs/service.md``.
+"""
+
+from repro.service.cache import ResultCache
+from repro.service.dispatcher import (
+    Dispatcher,
+    DispatcherConfig,
+    DispatcherStats,
+    run_service,
+)
+from repro.service.spec import (
+    SpecError,
+    canonical_digest,
+    demo_spec,
+    model_from_spec,
+    spec_from_model,
+)
+from repro.service.store import (
+    JobStore,
+    JobView,
+    RecoverStats,
+    StoreError,
+    SubmitOutcome,
+    TERMINAL_STATES,
+)
+from repro.service.worker import ServiceWorker, solve_spec
+
+__all__ = [
+    "Dispatcher",
+    "DispatcherConfig",
+    "DispatcherStats",
+    "JobStore",
+    "JobView",
+    "RecoverStats",
+    "ResultCache",
+    "ServiceWorker",
+    "SpecError",
+    "StoreError",
+    "SubmitOutcome",
+    "TERMINAL_STATES",
+    "canonical_digest",
+    "demo_spec",
+    "model_from_spec",
+    "run_service",
+    "solve_spec",
+    "spec_from_model",
+]

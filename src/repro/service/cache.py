@@ -1,0 +1,101 @@
+"""Content-addressed result cache.
+
+Results are stored under the *spec digest* — the sha256 of the canonical
+job spec (model + solve parameters) — so two submissions of the same
+analysis share one entry no matter when, or by whom, they were
+submitted.  Entries are self-digested like every other durable file the
+service writes; a read re-verifies the stored digest and treats any
+mismatch as corruption: the entry is evicted, the miss is recorded in
+the :class:`~repro.robust.report.RunReport`, and the caller recomputes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional
+
+from repro.robust import faults
+from repro.robust.checkpoint import atomic_write_bytes
+from repro.service.spec import (
+    SpecError,
+    canonical_bytes,
+    self_digested,
+    verify_digest,
+)
+
+CACHE_FORMAT = 1
+
+
+class ResultCache:
+    """One directory of digest-keyed, self-verifying result entries."""
+
+    def __init__(self, root: str) -> None:
+        self.root = os.path.abspath(root)
+        os.makedirs(self.root, exist_ok=True)
+
+    def _entry_path(self, spec_digest: str) -> str:
+        # Two-level fanout keeps directory listings sane at scale.
+        return os.path.join(
+            self.root, spec_digest[:2], f"{spec_digest}.json"
+        )
+
+    def get(self, spec_digest: str, report=None) -> Optional[dict]:
+        """The verified entry for ``spec_digest`` (a dict with
+        ``result`` and ``digest`` keys), or ``None``.
+
+        A corrupt entry — torn write, bit rot, truncation — is evicted
+        on sight and recorded as a fallback in ``report``; the caller
+        then recomputes, which re-populates the entry.
+        """
+        faults.check("service.cache")
+        path = self._entry_path(spec_digest)
+        try:
+            with open(path, "rb") as handle:
+                raw = handle.read()
+        except OSError:
+            return None
+        try:
+            body = verify_digest(json.loads(raw.decode("utf-8")))
+            if body.get("spec_digest") != spec_digest:
+                raise SpecError(
+                    "entry is filed under the wrong content address"
+                )
+        except (ValueError, SpecError) as exc:
+            self.evict(spec_digest)
+            if report is not None:
+                report.record_fallback(
+                    stage="service-cache",
+                    requested=f"cached result {spec_digest[:12]}...",
+                    used="recompute",
+                    reason=f"corrupt cache entry evicted: {exc}",
+                )
+            return None
+        # Hand back the digest of the *entry* too: done-records point at
+        # it, so a later reader can tie job to result bit-for-bit.
+        body["digest"] = json.loads(raw.decode("utf-8"))["digest"]
+        return body
+
+    def put(self, spec_digest: str, result: dict) -> str:
+        """Store ``result`` under ``spec_digest``; returns the entry
+        digest.  Last-writer-wins is safe: equal spec digests mean equal
+        answers, so concurrent writers write identical bytes."""
+        faults.check("service.cache")
+        body = self_digested(
+            {
+                "format": CACHE_FORMAT,
+                "spec_digest": spec_digest,
+                "result": result,
+            }
+        )
+        path = self._entry_path(spec_digest)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        atomic_write_bytes(path, canonical_bytes(body))
+        return body["digest"]
+
+    def evict(self, spec_digest: str) -> bool:
+        try:
+            os.unlink(self._entry_path(spec_digest))
+            return True
+        except OSError:
+            return False

@@ -1,0 +1,711 @@
+"""Crash-safe job store: versioned, self-digested, append-only records.
+
+Layout (all under one store root)::
+
+    jobs/j000001/spec.json            the immutable job spec + digest
+    jobs/j000001/records/00000001.json  state records, one per transition
+    byhash/<sha256>.json              content digest -> primary job id
+
+A job's life is its record chain: ``queued -> leased -> running ->
+done | failed | dead``, with ``leased/running -> queued`` requeues on
+lease expiry.  Every transition is a *new* record at the next sequence
+number, created with :func:`repro.robust.checkpoint.atomic_create_bytes`
+(tmp + fsync + hard-link publish).  The hard link is a compare-and-set:
+two processes racing to write record ``N`` cannot both win, and the
+loser re-reads the chain and reacts — that one primitive gives us
+atomic claims, zombie-worker fencing (a worker whose lease the
+dispatcher already requeued loses the race for its terminal record),
+and torn-write detection (every record carries its own sha256, so a
+SIGKILL mid-write leaves at worst an orphan tmp file, never a
+half-record the scan would trust).
+
+``recover()`` is the deterministic scan that makes the store
+crash-safe: it prunes dead writers' tmp files, requeues expired leases
+with retry backoff, and buries jobs that exhausted their attempts with
+a structured dead-letter diagnosis.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ReproError
+from repro.robust import faults
+from repro.robust.checkpoint import (
+    atomic_create_bytes,
+    atomic_write_bytes,
+)
+from repro.robust.retry import RetryPolicy
+from repro.service.spec import (
+    SpecError,
+    canonical_bytes,
+    canonical_digest,
+    self_digested,
+    verify_digest,
+)
+
+STORE_FORMAT = 1
+
+QUEUED = "queued"
+LEASED = "leased"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+DEAD = "dead"
+STATES = (QUEUED, LEASED, RUNNING, DONE, FAILED, DEAD)
+TERMINAL_STATES = frozenset({DONE, FAILED, DEAD})
+
+#: Allowed transitions (from-state -> to-states).  ``None`` is the
+#: pre-submission pseudo-state.
+_TRANSITIONS: Dict[Optional[str], frozenset] = {
+    None: frozenset({QUEUED}),
+    QUEUED: frozenset({LEASED, DEAD, DONE, FAILED}),
+    # An expired lease at max attempts dead-letters directly from
+    # LEASED/RUNNING: the worker holding it is gone and will never
+    # write the requeue itself.
+    LEASED: frozenset({RUNNING, QUEUED, DEAD, DONE, FAILED}),
+    RUNNING: frozenset({RUNNING, QUEUED, DEAD, DONE, FAILED}),
+}
+
+DEFAULT_LEASE_SECONDS = 30.0
+DEFAULT_MAX_ATTEMPTS = 4
+
+
+class StoreError(ReproError):
+    """A job-store invariant was violated by the caller."""
+
+
+@dataclass
+class JobView:
+    """A job's effective state: the verified record chain's last word."""
+
+    job_id: str
+    spec_digest: str
+    records: List[dict] = field(default_factory=list)
+
+    @property
+    def last(self) -> Optional[dict]:
+        return self.records[-1] if self.records else None
+
+    @property
+    def state(self) -> Optional[str]:
+        record = self.last
+        return None if record is None else record["state"]
+
+    @property
+    def attempt(self) -> int:
+        record = self.last
+        return 0 if record is None else int(record.get("attempt", 0))
+
+    @property
+    def next_seq(self) -> int:
+        return len(self.records) + 1
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def lease_expired(self, now: float) -> bool:
+        record = self.last
+        if record is None or record["state"] not in (LEASED, RUNNING):
+            return False
+        return float(record.get("lease_expires_at", 0.0)) <= now
+
+    def claimable(self, now: float) -> bool:
+        record = self.last
+        if record is None or record["state"] != QUEUED:
+            return False
+        return float(record.get("not_before", 0.0)) <= now
+
+
+@dataclass
+class SubmitOutcome:
+    """What happened to one submission."""
+
+    job_id: Optional[str]
+    state: Optional[str]
+    spec_digest: str
+    coalesced_with: Optional[str] = None
+    cache_hit: bool = False
+    shed: bool = False
+
+
+@dataclass
+class RecoverStats:
+    """What one ``recover()`` scan did."""
+
+    scanned: int = 0
+    requeued: List[str] = field(default_factory=list)
+    buried: List[str] = field(default_factory=list)
+    tmp_files_removed: int = 0
+    rehomed_primaries: List[str] = field(default_factory=list)
+
+
+def _diagnose(
+    view: JobView, max_attempts: int, final_reason: Optional[str] = None
+) -> dict:
+    """A dead-letter diagnosis in the crash-loop breaker's shape: an
+    exit-reason histogram over the job's requeues plus a suggestion.
+
+    ``final_reason`` is the failure that triggered the burial itself —
+    it never produced a requeue record, so it is counted here.
+    """
+    reasons: Dict[str, int] = {}
+    if final_reason:
+        reasons[final_reason] = 1
+    last_error: Optional[str] = None
+    for record in view.records:
+        detail = record.get("detail") or {}
+        reason = detail.get("reason")
+        if record["state"] == QUEUED and reason:
+            reasons[reason] = reasons.get(reason, 0) + 1
+        if detail.get("error"):
+            last_error = detail["error"]
+    if reasons.get("lease-expired", 0) >= max(1, max_attempts - 1):
+        suggestion = (
+            "every attempt lost its lease: the job likely crashes or "
+            "hangs its worker; raise --lease-seconds, lower the model "
+            "size, or inspect the worker logs"
+        )
+    elif last_error:
+        suggestion = (
+            "the job failed repeatedly with a recorded error; fix the "
+            "spec or the environment and resubmit"
+        )
+    else:
+        suggestion = (
+            "attempts exhausted without a recorded error; inspect the "
+            "record chain and the dispatcher log"
+        )
+    return {
+        "job": view.job_id,
+        "attempts": view.attempt,
+        "max_attempts": max_attempts,
+        "exit_reasons": reasons,
+        "last_error": last_error,
+        "suggestion": suggestion,
+    }
+
+
+class JobStore:
+    """The durable queue: every mutation is an atomically created file.
+
+    All state lives on disk; instances are cheap, stateless handles, so
+    any number of submitters, workers, and dispatchers — in any mix of
+    processes — can open the same root concurrently.
+    """
+
+    def __init__(self, root: str, clock=time.time) -> None:
+        self.root = os.path.abspath(root)
+        self.jobs_dir = os.path.join(self.root, "jobs")
+        self.byhash_dir = os.path.join(self.root, "byhash")
+        self.clock = clock
+        os.makedirs(self.jobs_dir, exist_ok=True)
+        os.makedirs(self.byhash_dir, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # paths
+    # ------------------------------------------------------------------
+
+    def _job_dir(self, job_id: str) -> str:
+        return os.path.join(self.jobs_dir, job_id)
+
+    def _records_dir(self, job_id: str) -> str:
+        return os.path.join(self._job_dir(job_id), "records")
+
+    def _record_path(self, job_id: str, seq: int) -> str:
+        return os.path.join(self._records_dir(job_id), f"{seq:08d}.json")
+
+    def _spec_path(self, job_id: str) -> str:
+        return os.path.join(self._job_dir(job_id), "spec.json")
+
+    def _byhash_path(self, digest: str) -> str:
+        return os.path.join(self.byhash_dir, f"{digest}.json")
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+
+    def list_jobs(self) -> List[str]:
+        try:
+            names = os.listdir(self.jobs_dir)
+        except OSError:
+            return []
+        return sorted(n for n in names if n.startswith("j"))
+
+    def load_spec(self, job_id: str) -> dict:
+        """The job's immutable spec envelope (verified)."""
+        path = self._spec_path(job_id)
+        try:
+            with open(path, "rb") as handle:
+                raw = handle.read()
+        except OSError as exc:
+            raise StoreError(f"job {job_id}: no spec: {exc}") from exc
+        try:
+            import json
+
+            return verify_digest(json.loads(raw.decode("utf-8")))
+        except (ValueError, SpecError) as exc:
+            raise StoreError(f"job {job_id}: corrupt spec: {exc}") from exc
+
+    def view(self, job_id: str) -> JobView:
+        """The job's verified record chain.
+
+        The chain is the longest prefix of consecutive, digest-valid
+        records; anything after a gap or a corrupt file is a torn write
+        from a killed process and carries no authority.
+        """
+        import json
+
+        envelope = self.load_spec(job_id)
+        view = JobView(job_id=job_id, spec_digest=envelope["spec_digest"])
+        seq = 1
+        while True:
+            path = self._record_path(job_id, seq)
+            try:
+                with open(path, "rb") as handle:
+                    raw = handle.read()
+            except OSError:
+                break
+            try:
+                body = verify_digest(json.loads(raw.decode("utf-8")))
+            except (ValueError, SpecError):
+                break
+            if body.get("seq") != seq or body.get("job") != job_id:
+                break
+            view.records.append(body)
+            seq += 1
+        return view
+
+    def views(self) -> List[JobView]:
+        """All readable jobs.  A job directory without a valid spec is a
+        submission that died before its durable write completed — the
+        client never got an ack, so it is invisible here (and swept by
+        :meth:`recover` once it is old enough to be certainly dead)."""
+        views = []
+        for job_id in self.list_jobs():
+            try:
+                views.append(self.view(job_id))
+            except StoreError:
+                continue
+        return views
+
+    def active_count(self) -> int:
+        return sum(1 for v in self.views() if not v.terminal)
+
+    ORPHAN_GRACE_SECONDS = 60.0
+
+    def primary_for(self, digest: str) -> Optional[str]:
+        """The job id registered as this digest's primary (the one job
+        allowed to actually solve), or ``None``."""
+        import json
+
+        try:
+            with open(self._byhash_path(digest), "rb") as handle:
+                body = verify_digest(json.loads(handle.read().decode()))
+            return body["primary"]
+        except (OSError, ValueError, SpecError, KeyError):
+            return None
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+
+    def _append(self, view: JobView, state: str, **fields) -> Optional[JobView]:
+        """Append the next record via CAS.  Returns the refreshed view on
+        success, ``None`` when another writer won the sequence slot (the
+        caller must re-read and reconsider)."""
+        allowed = _TRANSITIONS.get(view.state, frozenset())
+        if state not in allowed:
+            raise StoreError(
+                f"job {view.job_id}: illegal transition "
+                f"{view.state!r} -> {state!r}"
+            )
+        body = {
+            "format": STORE_FORMAT,
+            "job": view.job_id,
+            "seq": view.next_seq,
+            "state": state,
+            "at": float(self.clock()),
+            "attempt": fields.pop("attempt", view.attempt),
+        }
+        body.update(fields)
+        # The kill-anywhere property's canonical site: a SIGKILL here
+        # lands between two store transitions.
+        faults.check("service.record")
+        path = self._record_path(view.job_id, view.next_seq)
+        if not atomic_create_bytes(path, canonical_bytes(self_digested(body))):
+            return None
+        view.records.append(body)
+        return view
+
+    def register_primary(self, digest: str, job_id: str) -> str:
+        """CAS this digest's primary registration; returns the winning
+        primary job id (ours, or an earlier live one)."""
+        path = self._byhash_path(digest)
+        for _ in range(16):
+            body = self_digested(
+                {"format": STORE_FORMAT, "primary": job_id}
+            )
+            if atomic_create_bytes(path, canonical_bytes(body)):
+                return job_id
+            primary = self.primary_for(digest)
+            if primary is not None and os.path.isdir(
+                self._job_dir(primary)
+            ):
+                return primary
+            # Stale or corrupt registration (primary GC'd, torn write):
+            # remove and retake.  The unlink/create window is safe —
+            # whoever wins the create is the new primary.
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        raise StoreError(
+            f"cannot register primary for digest {digest[:12]}..."
+        )
+
+    def _allocate_job_id(self) -> str:
+        existing = self.list_jobs()
+        n = 1
+        if existing:
+            n = 1 + max(int(name[1:]) for name in existing)
+        while True:
+            job_id = f"j{n:06d}"
+            try:
+                os.mkdir(self._job_dir(job_id))
+            except FileExistsError:
+                n += 1
+                continue
+            os.mkdir(self._records_dir(job_id))
+            return job_id
+
+    def submit(
+        self,
+        spec: dict,
+        queue_limit: Optional[int] = None,
+        cache=None,
+        report=None,
+    ) -> SubmitOutcome:
+        """Admit one job (or shed it, or resolve it from cache).
+
+        ``queue_limit`` is the admission bound: when that many jobs are
+        already active the submission is *shed* — explicitly rejected,
+        nothing durable written — rather than queued into an unbounded
+        backlog.  With ``cache`` given, a content hit completes the job
+        instantly (``done``, source ``cache``).
+        """
+        digest = canonical_digest(spec)
+        faults.check("service.submit")
+        if queue_limit is not None and self.active_count() >= queue_limit:
+            return SubmitOutcome(
+                job_id=None, state=None, spec_digest=digest, shed=True
+            )
+        job_id = self._allocate_job_id()
+        envelope = self_digested(
+            {
+                "format": STORE_FORMAT,
+                "job": job_id,
+                "spec_digest": digest,
+                "spec": spec,
+            }
+        )
+        atomic_write_bytes(self._spec_path(job_id), canonical_bytes(envelope))
+        primary = self.register_primary(digest, job_id)
+        coalesced_with = None if primary == job_id else primary
+        view = JobView(job_id=job_id, spec_digest=digest)
+        detail = {}
+        if coalesced_with:
+            detail["coalesced_with"] = coalesced_with
+        view = self._append(view, QUEUED, detail=detail)
+        if view is None:  # a fresh job dir has no competing writers
+            raise StoreError(f"job {job_id}: lost the first-record race")
+        cached = None
+        if cache is not None:
+            cached = cache.get(digest, report=report)
+        if cached is not None:
+            done = self._append(
+                view,
+                DONE,
+                worker="submit",
+                detail={"source": "cache", "result_digest": cached["digest"]},
+            )
+            if done is not None:
+                return SubmitOutcome(
+                    job_id=job_id,
+                    state=DONE,
+                    spec_digest=digest,
+                    coalesced_with=coalesced_with,
+                    cache_hit=True,
+                )
+        return SubmitOutcome(
+            job_id=job_id,
+            state=QUEUED,
+            spec_digest=digest,
+            coalesced_with=coalesced_with,
+        )
+
+    # -- worker-side transitions ---------------------------------------
+
+    def claim(
+        self, job_id: str, worker: str, lease_seconds: float
+    ) -> Optional[JobView]:
+        """Claim a queued job with an expiring lease.  Returns the view
+        holding the ``leased`` record, or ``None`` if the job is not
+        claimable or another worker won."""
+        now = float(self.clock())
+        view = self.view(job_id)
+        if not view.claimable(now):
+            return None
+        faults.check("service.claim")
+        return self._append(
+            view,
+            LEASED,
+            worker=worker,
+            attempt=view.attempt + 1,
+            lease_expires_at=now + float(lease_seconds),
+        )
+
+    def start_running(
+        self, view: JobView, worker: str, lease_seconds: float
+    ) -> Optional[JobView]:
+        return self._append(
+            view,
+            RUNNING,
+            worker=worker,
+            lease_expires_at=float(self.clock()) + float(lease_seconds),
+        )
+
+    def renew(
+        self, view: JobView, worker: str, lease_seconds: float
+    ) -> Optional[JobView]:
+        """Extend a running lease (a new ``running`` record)."""
+        return self._append(
+            view,
+            RUNNING,
+            worker=worker,
+            lease_expires_at=float(self.clock()) + float(lease_seconds),
+        )
+
+    def complete(
+        self,
+        view: JobView,
+        worker: str,
+        source: str,
+        result_digest: str,
+        mirrored_from: Optional[str] = None,
+    ) -> Optional[JobView]:
+        detail = {"source": source, "result_digest": result_digest}
+        if mirrored_from:
+            detail["mirrored_from"] = mirrored_from
+        return self._append(view, DONE, worker=worker, detail=detail)
+
+    def fail(
+        self,
+        view: JobView,
+        worker: str,
+        error: str,
+        mirrored_from: Optional[str] = None,
+    ) -> Optional[JobView]:
+        detail = {"error": error}
+        if mirrored_from:
+            detail["mirrored_from"] = mirrored_from
+        return self._append(view, FAILED, worker=worker, detail=detail)
+
+    def release(
+        self, view: JobView, worker: str, reason: str, delay_seconds: float
+    ) -> Optional[JobView]:
+        """Voluntarily give a claim back (coalesced jobs waiting on
+        their primary).  Does not consume an attempt."""
+        return self._append(
+            view,
+            QUEUED,
+            worker=worker,
+            attempt=max(0, view.attempt - 1),
+            not_before=float(self.clock()) + float(delay_seconds),
+            detail={"reason": reason},
+        )
+
+    # -- dispatcher-side transitions -----------------------------------
+
+    def requeue(
+        self,
+        view: JobView,
+        reason: str,
+        policy: RetryPolicy,
+    ) -> Optional[JobView]:
+        """Put an expired-lease job back in the queue with deterministic
+        exponential backoff (jitter seeded by the job digest)."""
+        attempt = view.attempt
+        seed_policy = RetryPolicy(
+            max_restarts=policy.max_restarts,
+            backoff_initial_seconds=policy.backoff_initial_seconds,
+            backoff_factor=policy.backoff_factor,
+            backoff_max_seconds=policy.backoff_max_seconds,
+            jitter_fraction=policy.jitter_fraction,
+            seed=int(view.spec_digest[:8], 16),
+        )
+        delay = seed_policy.backoff_seconds(max(0, attempt - 1))
+        return self._append(
+            view,
+            QUEUED,
+            not_before=float(self.clock()) + delay,
+            detail={"reason": reason},
+        )
+
+    def bury(
+        self,
+        view: JobView,
+        max_attempts: int,
+        final_reason: Optional[str] = None,
+    ) -> Optional[JobView]:
+        """Dead-letter a job whose attempts are exhausted, carrying the
+        structured diagnosis."""
+        return self._append(
+            view,
+            DEAD,
+            detail={
+                "diagnosis": _diagnose(view, max_attempts, final_reason)
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # recovery and gc
+    # ------------------------------------------------------------------
+
+    def _sweep_tmp_files(self) -> int:
+        """Remove tmp files left by dead writers (pid suffix no longer
+        alive).  A live writer's tmp is milliseconds old and its pid is
+        running; everything else is crash litter."""
+        removed = 0
+        for dirpath, _dirnames, filenames in os.walk(self.root):
+            for name in filenames:
+                if ".tmp." not in name:
+                    continue
+                pid_text = name.rsplit(".tmp.", 1)[1]
+                try:
+                    pid = int(pid_text)
+                except ValueError:
+                    continue
+                if pid != os.getpid() and not _pid_alive(pid):
+                    try:
+                        os.unlink(os.path.join(dirpath, name))
+                        removed += 1
+                    except OSError:
+                        pass
+        return removed
+
+    def recover(
+        self,
+        policy: Optional[RetryPolicy] = None,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        report=None,
+    ) -> RecoverStats:
+        """The deterministic crash-recovery scan.
+
+        Safe (and idempotent) to run at any time, from any process,
+        concurrently with live workers: every mutation is a CAS append,
+        so a racing worker either beats us (we re-read) or loses its own
+        next write (it re-reads).
+        """
+        if policy is None:
+            policy = RetryPolicy()
+        stats = RecoverStats()
+        stats.tmp_files_removed = self._sweep_tmp_files()
+        now = float(self.clock())
+        for job_id in self.list_jobs():
+            stats.scanned += 1
+            try:
+                view = self.view(job_id)
+            except StoreError:
+                # No valid spec: a submission killed before its durable
+                # write.  The submitter never got an ack, so once the
+                # directory is old enough that no live submitter can
+                # still be mid-write, removing it loses nothing.
+                try:
+                    # Real wall clock on purpose: mtime is kernel time,
+                    # not the (injectable) store clock.
+                    age = time.time() - os.path.getmtime(  # reprolint: disable=RL006 -- compared against kernel mtime, must be the same clock, never measures pipeline time
+                        self._job_dir(job_id)
+                    )
+                except OSError:
+                    continue
+                if age > self.ORPHAN_GRACE_SECONDS:
+                    import shutil
+
+                    shutil.rmtree(
+                        self._job_dir(job_id), ignore_errors=True
+                    )
+                continue
+            if view.state is None:
+                # Spec written but the first record never landed (killed
+                # mid-submit): make it a real queued job.
+                self._append(view, QUEUED, detail={"reason": "recovered"})
+                stats.requeued.append(job_id)
+                continue
+            if not view.lease_expired(now):
+                continue
+            if view.attempt >= max_attempts:
+                if self.bury(
+                    view, max_attempts, final_reason="lease-expired"
+                ) is not None:
+                    stats.buried.append(job_id)
+                    if report is not None:
+                        report.note(
+                            f"service: job {job_id} dead-lettered after "
+                            f"{view.attempt} attempt(s)"
+                        )
+            else:
+                if self.requeue(view, "lease-expired", policy) is not None:
+                    stats.requeued.append(job_id)
+                    if report is not None:
+                        report.note(
+                            f"service: job {job_id} lease expired; "
+                            f"requeued (attempt {view.attempt})"
+                        )
+        return stats
+
+    def gc(self, keep_seconds: float = 0.0) -> List[str]:
+        """Remove terminal jobs older than ``keep_seconds`` (and their
+        byhash registrations).  Returns the removed job ids."""
+        import json
+        import shutil
+
+        now = float(self.clock())
+        removed = []
+        for job_id in self.list_jobs():
+            try:
+                view = self.view(job_id)
+            except StoreError:
+                continue
+            if not view.terminal:
+                continue
+            last = view.last
+            if last is not None and now - float(last["at"]) < keep_seconds:
+                continue
+            digest = view.spec_digest
+            primary = self.primary_for(digest)
+            shutil.rmtree(self._job_dir(job_id), ignore_errors=True)
+            removed.append(job_id)
+            if primary == job_id:
+                try:
+                    os.unlink(self._byhash_path(digest))
+                except OSError:
+                    pass
+        self._sweep_tmp_files()
+        return removed
+
+
+def _pid_alive(pid: int) -> bool:
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        return True
+    return True

@@ -1,0 +1,282 @@
+"""The leased worker loop: claim, solve, publish, repeat.
+
+A worker is a stateless loop over the shared :class:`JobStore`: scan for
+the oldest claimable job, take an expiring lease on it (a CAS record —
+two workers can never hold the same job), run ``lump_and_solve`` on the
+spec, publish the result to the content cache, and write the ``done``
+record.  Everything a worker does survives a SIGKILL at any instant:
+
+* the lease expires, so the dispatcher's ``recover()`` requeues the job;
+* the cache write is atomic, so a half-published result never exists;
+* the terminal record is a CAS, so a *zombie* worker — one whose lease
+  was already requeued and re-claimed — loses the race and its stale
+  result is discarded.
+
+Duplicate coalescing happens here too: only the job registered as its
+digest's *primary* ever solves.  A worker that claims a duplicate waits
+(releases with a short delay) until the primary's result shows up in
+the cache, then completes as a cache hit — so N duplicate submissions
+cost exactly one solve.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.analysis import lump_and_solve
+from repro.robust import faults
+from repro.robust.report import RunReport
+from repro.service import store as job_store
+from repro.service.cache import ResultCache
+from repro.service.spec import model_from_spec, solve_params
+from repro.service.store import JobStore, JobView
+
+#: Delay before a coalesced duplicate re-checks its primary's progress.
+COALESCE_RETRY_SECONDS = 0.2
+
+
+@dataclass
+class WorkerStats:
+    """What one worker loop accomplished."""
+
+    claimed: int = 0
+    solved: int = 0
+    cache_hits: int = 0
+    mirrored: int = 0
+    failed: int = 0
+    released: int = 0
+    lost_races: int = 0
+    notes: List[str] = field(default_factory=list)
+
+
+def solve_spec(spec: dict, report: Optional[RunReport] = None) -> dict:
+    """Run the analysis a spec describes; returns the JSON-compatible
+    result payload stored in the cache.
+
+    The payload is bitwise-deterministic: ``lump_and_solve`` is, and
+    JSON float round-trips are exact, so equal specs always produce
+    byte-identical cache entries.
+    """
+    model = model_from_spec(spec)
+    params = solve_params(spec)
+    solution = lump_and_solve(
+        model,
+        kind=params["kind"],
+        method=params["method"],
+        iterate=params["iterate"],
+        key=params["key"],
+        robust=True,
+        report=report,
+    )
+    return {
+        "stationary": [float(x) for x in solution.stationary],
+        "solve_method": solution.solve_method,
+        "num_states": int(solution.num_states),
+        "reduction_factor": float(solution.reduction_factor),
+        "expected_reward": float(solution.expected_reward()),
+    }
+
+
+class ServiceWorker:
+    """One worker identity driving the claim/solve/publish loop."""
+
+    def __init__(
+        self,
+        store: JobStore,
+        cache: ResultCache,
+        worker_id: Optional[str] = None,
+        lease_seconds: float = job_store.DEFAULT_LEASE_SECONDS,
+        heartbeat=None,
+        report: Optional[RunReport] = None,
+        sleep=time.sleep,
+    ) -> None:
+        self.store = store
+        self.cache = cache
+        self.worker_id = worker_id or f"w-{os.getpid()}"
+        self.lease_seconds = float(lease_seconds)
+        self.heartbeat = heartbeat
+        self.report = report if report is not None else RunReport()
+        self.sleep = sleep
+        self.stats = WorkerStats()
+        self.stopping = False
+
+    # ------------------------------------------------------------------
+
+    def _beat(self, force: bool = False) -> None:
+        if self.heartbeat is not None:
+            self.heartbeat.beat(force=force)
+
+    def run_once(self) -> bool:
+        """Claim and process one job.  Returns whether any claimable job
+        was found (False = the queue is momentarily empty)."""
+        faults.check("service.worker")
+        self._beat()
+        now = float(self.store.clock())
+        for view in self.store.views():
+            if not view.claimable(now):
+                continue
+            if self._should_defer(view):
+                continue
+            claimed = self.store.claim(
+                view.job_id, self.worker_id, self.lease_seconds
+            )
+            if claimed is None:
+                self.stats.lost_races += 1
+                continue
+            self.stats.claimed += 1
+            self._process(claimed)
+            return True
+        return False
+
+    def drain(self, poll_seconds: float = 0.05) -> WorkerStats:
+        """Loop until every job in the store is terminal (or
+        :attr:`stopping` is raised by a signal handler): the
+        drain-and-stop shutdown path."""
+        while not self.stopping:
+            made_progress = self.run_once()
+            if made_progress:
+                continue
+            self._beat(force=True)
+            if self.store.active_count() == 0:
+                break
+            self.sleep(poll_seconds)
+        return self.stats
+
+    # ------------------------------------------------------------------
+
+    def _should_defer(self, view: JobView) -> bool:
+        """Whether claiming ``view`` now could only end in a release: a
+        coalesced duplicate whose primary is still in flight and whose
+        result is not cached yet.  Deferring instead of claiming keeps
+        the wait record-free — every claim/release cycle would append
+        two records to the chain for nothing."""
+        primary = self.store.primary_for(view.spec_digest)
+        if primary is None or primary == view.job_id:
+            return False
+        if self.cache.get(view.spec_digest, report=self.report) is not None:
+            return False
+        try:
+            primary_state = self.store.view(primary).state
+        except job_store.StoreError:
+            return False
+        return primary_state not in job_store.TERMINAL_STATES
+
+    def _process(self, view: JobView) -> None:
+        """Run one leased job to a terminal record (or release it)."""
+        digest = view.spec_digest
+        primary = self.store.primary_for(digest)
+        if primary is None:
+            # The submitter died between its spec write and its byhash
+            # registration.  Register before solving, so two recovered
+            # twins of the same digest cannot both become primary.
+            primary = self.store.register_primary(digest, view.job_id)
+        if primary != view.job_id:
+            self._process_duplicate(view, primary)
+            return
+        cached = self.cache.get(digest, report=self.report)
+        if cached is not None:
+            if self.store.complete(
+                view, self.worker_id, "cache", cached["digest"]
+            ) is not None:
+                self.stats.cache_hits += 1
+            else:
+                self.stats.lost_races += 1
+            return
+        self._solve(view)
+
+    def _solve(self, view: JobView) -> None:
+        """Actually run the analysis for a leased job and publish the
+        result (the only place the service computes anything)."""
+        digest = view.spec_digest
+        running = self.store.start_running(
+            view, self.worker_id, self.lease_seconds
+        )
+        if running is None:
+            self.stats.lost_races += 1
+            return
+        self._beat(force=True)
+        try:
+            faults.check("service.run")
+            envelope = self.store.load_spec(view.job_id)
+            result = solve_spec(envelope["spec"], report=self.report)
+        except Exception as exc:
+            # A deterministic failure: retrying cannot change it, so the
+            # job goes to ``failed`` (infra deaths never reach here —
+            # they kill the process and surface as lease expiry).
+            self.report.note(f"service: job {view.job_id} failed: {exc}")
+            if self.store.fail(running, self.worker_id, str(exc)) is not None:
+                self.stats.failed += 1
+            else:
+                self.stats.lost_races += 1
+            return
+        entry_digest = self.cache.put(digest, result)
+        self._beat(force=True)
+        if self.store.complete(
+            running, self.worker_id, "solve", entry_digest
+        ) is not None:
+            self.stats.solved += 1
+        else:
+            # Zombie fencing: our lease was requeued and someone else
+            # owns the job now.  The cache write stands (identical bytes
+            # either way); the record loss is the fence working.
+            self.stats.lost_races += 1
+
+    def _process_duplicate(self, view: JobView, primary_id: str) -> None:
+        """A coalesced duplicate never solves: it resolves from the
+        cache once the primary finishes, mirrors the primary's
+        deterministic failure, or waits."""
+        digest = view.spec_digest
+        cached = self.cache.get(digest, report=self.report)
+        if cached is not None:
+            if self.store.complete(
+                view,
+                self.worker_id,
+                "cache",
+                cached["digest"],
+                mirrored_from=primary_id,
+            ) is not None:
+                self.stats.cache_hits += 1
+            else:
+                self.stats.lost_races += 1
+            return
+        try:
+            primary = self.store.view(primary_id)
+            primary_state = primary.state
+        except job_store.StoreError:
+            primary_state = None
+        if primary_state in (job_store.FAILED, job_store.DEAD):
+            # The same spec failed deterministically; one diagnosis
+            # serves all duplicates.
+            last = primary.last or {}
+            error = (last.get("detail") or {}).get(
+                "error", f"primary {primary_id} ended {primary_state}"
+            )
+            if self.store.fail(
+                view, self.worker_id, error, mirrored_from=primary_id
+            ) is not None:
+                self.stats.mirrored += 1
+            else:
+                self.stats.lost_races += 1
+            return
+        if primary_state is None:
+            # Primary vanished (GC'd with a pruned cache): re-register.
+            # ``_process`` then solves if this job won the registration,
+            # or defers to whichever twin did.
+            self.store.register_primary(digest, view.job_id)
+            self._process(view)
+            return
+        if primary_state == job_store.DONE:
+            # The primary finished but its cache entry is gone (evicted
+            # as corrupt, or pruned): waiting would never end, so this
+            # duplicate recomputes and republishes the entry itself.
+            self._solve(view)
+            return
+        if self.store.release(
+            view, self.worker_id, "awaiting-primary", COALESCE_RETRY_SECONDS
+        ) is not None:
+            self.stats.released += 1
+        else:
+            self.stats.lost_races += 1

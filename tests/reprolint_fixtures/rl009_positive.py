@@ -1,0 +1,57 @@
+"""Fixture: RL009 true positives, plus compliant constructs."""
+
+import os
+
+from repro.robust.checkpoint import atomic_create_bytes, atomic_write_json
+
+
+def torn_plain_write(path, text):
+    with open(path, "w") as handle:
+        handle.write(text)
+
+
+def torn_append(path, data):
+    with open(path, mode="ab") as handle:
+        handle.write(data)
+
+
+def torn_dynamic_mode(path, mode, data):
+    with open(path, mode) as handle:
+        handle.write(data)
+
+
+def torn_os_open(path):
+    return os.open(path, os.O_WRONLY | os.O_CREAT)
+
+
+def state_attribute_mutation(view):
+    view.state = "done"
+
+
+def state_record_mutation(record):
+    record["state"] = "queued"
+
+
+def atomic_write_is_clean(path, obj):
+    atomic_write_json(path, obj)
+
+
+def atomic_create_is_clean(path, data):
+    return atomic_create_bytes(path, data)
+
+
+def read_open_is_clean(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def read_os_open_is_clean(path):
+    return os.open(path, os.O_RDONLY)
+
+
+def other_key_mutation_is_clean(record):
+    record["detail"] = {}
+
+
+def other_attribute_is_clean(view):
+    view.worker = "w-1"

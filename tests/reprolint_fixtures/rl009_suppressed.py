@@ -1,0 +1,6 @@
+"""Fixture: RL009 violation silenced by a per-line suppression."""
+
+
+def suppressed_scratch_write(path, text):
+    with open(path, "w") as handle:  # reprolint: disable=RL009 -- scratch file, rebuilt on startup
+        handle.write(text)

@@ -23,6 +23,7 @@ from repro.robust.checkpoint import (
     FORMAT_VERSION,
     MANIFEST_NAME,
     Checkpointer,
+    atomic_create_bytes,
     atomic_write_bytes,
     atomic_write_json,
     atomic_write_text,
@@ -68,6 +69,63 @@ class TestAtomicWrite:
         import hashlib
 
         assert digest(b"ab", b"c") == hashlib.sha256(b"abc").hexdigest()
+
+    def test_atomic_create_is_first_writer_wins(self, tmp_path):
+        path = str(tmp_path / "cas")
+        assert atomic_create_bytes(path, b"first")
+        assert not atomic_create_bytes(path, b"second")
+        assert (tmp_path / "cas").read_bytes() == b"first"
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["cas"]
+
+
+# ----------------------------------------------------------------------
+# advisory lock: stale dead-PID reclaim
+# ----------------------------------------------------------------------
+
+
+class TestStaleLockReclaim:
+    def _dead_pid(self):
+        # A PID far above any default pid_max rollover still in use;
+        # verify it is actually unassigned before fabricating the lock.
+        pid = 2**22 - 5
+        with pytest.raises(OSError):
+            os.kill(pid, 0)
+        return pid
+
+    def test_dead_pid_lock_is_reclaimed_with_note(self, tmp_path):
+        d = str(tmp_path)
+        (tmp_path / ".lock").write_text(f"{self._dead_pid()}\n")
+        report = RunReport()
+        ck = Checkpointer(d, resume=True, report=report)
+        with ck._locked():
+            pass
+        reclaimed = ck.events_of_kind("stale-lock-reclaimed")
+        assert len(reclaimed) == 1
+        assert str(self._dead_pid()) in reclaimed[0].detail
+        assert any("reclaimed" in note for note in report.notes)
+        # The lock now carries this process's stamp and keeps working.
+        with ck._locked():
+            with open(tmp_path / ".lock") as handle:
+                assert handle.read().strip() == str(os.getpid())
+
+    def test_own_clean_lock_is_not_reclaimed(self, tmp_path):
+        d = str(tmp_path)
+        ck = Checkpointer(d)
+        with ck._locked():
+            pass
+        with ck._locked():
+            pass
+        assert ck.events_of_kind("stale-lock-reclaimed") == []
+
+    def test_live_pid_stamp_is_respected(self, tmp_path):
+        # A stamp from a live process (ourselves, simulating another
+        # live holder between beats) must not trigger a reclaim.
+        d = str(tmp_path)
+        (tmp_path / ".lock").write_text(f"{os.getpid()}\n")
+        ck = Checkpointer(d, resume=True)
+        with ck._locked():
+            pass
+        assert ck.events_of_kind("stale-lock-reclaimed") == []
 
 
 # ----------------------------------------------------------------------

@@ -8,7 +8,7 @@ a stationary distribution equal within solver tolerance (observed to be
 bitwise-identical, which the test also records).
 
 The parallel variants assert the same contract with the worker pool
-engaged (``parallel=2``): a parallel run, a killed-and-resumed parallel
+engaged (``parallel=ParallelConfig(workers=2)``): a parallel run, a killed-and-resumed parallel
 run, and the serial baseline must all be bitwise-identical — the
 determinism contract of :mod:`repro.robust.pool`.
 """
@@ -25,6 +25,7 @@ from repro.bench.table1 import run_table1_row_robust  # noqa: E402
 from repro.models import TandemParams  # noqa: E402
 from repro.robust.budgets import Budget, BudgetExceeded  # noqa: E402
 from repro.robust.faults import FaultInjector, FaultRule, inject_faults  # noqa: E402
+from repro.robust.pool import ParallelConfig  # noqa: E402
 
 PARAMS = TandemParams(jobs=1, cube_dim=2, msmq_servers=2, msmq_queues=2)
 
@@ -148,7 +149,11 @@ def _rows_match(run, clean):
 
 def test_parallel_run_is_bitwise_identical_to_serial():
     clean = _baseline()["clean"]
-    parallel = run_table1_row_robust(1, PARAMS, parallel=2)
+    # Explicit config: an int width would auto-degrade on a low-core
+    # host, and this test asserts the pool actually engages.
+    parallel = run_table1_row_robust(
+        1, PARAMS, parallel=ParallelConfig(workers=2)
+    )
     _rows_match(parallel, clean)
     # The pool actually engaged: workers were started for the parallel
     # reachability and refinement sections.
@@ -195,14 +200,18 @@ def test_parallel_kill_anywhere_then_resume_matches_clean(data):
                     1,
                     PARAMS,
                     checkpoint_dir=ck_dir,
-                    parallel=2,
+                    parallel=ParallelConfig(workers=2),
                     lumping_degrade=False,
                 )
         except BudgetExceeded:
             survived = None
         if survived is None:
             resumed = run_table1_row_robust(
-                1, PARAMS, checkpoint_dir=ck_dir, resume=True, parallel=2
+                1,
+                PARAMS,
+                checkpoint_dir=ck_dir,
+                resume=True,
+                parallel=ParallelConfig(workers=2),
             )
             _rows_match(resumed, clean)
         else:

@@ -14,7 +14,7 @@ Two invariants, per the supervision design:
   with a JSON-serializable diagnosis.
 
 The parallel variants run the same storms with the worker pool engaged
-(``parallel=2``), plus worker-targeted storms (``worker:<slot>`` /
+(``parallel=ParallelConfig(workers=2)``), plus worker-targeted storms (``worker:<slot>`` /
 ``task:<id>`` sites killing or stalling pool workers): whatever the
 schedule, the stationary vector must stay bitwise-identical to the
 undisturbed serial run.
@@ -31,6 +31,7 @@ from hypothesis import strategies as st
 
 from repro.analysis import lump_and_solve
 from repro.robust import faults
+from repro.robust.pool import ParallelConfig
 from repro.robust.retry import RetryPolicy
 from repro.robust.supervisor import CrashLoopError, SupervisorConfig
 from repro.robust.report import RunReport
@@ -136,7 +137,9 @@ def test_worker_storm_keeps_parallel_bitwise_equal_to_serial(
     try:
         faults.reload_env(spec)
         solution = lump_and_solve(
-            small_tandem["model"], robust=True, parallel=2
+            small_tandem["model"],
+            robust=True,
+            parallel=ParallelConfig(workers=2),
         )
     finally:
         faults.reload_env("")
@@ -163,7 +166,7 @@ def test_supervised_parallel_storm_is_bitwise_invisible(
         solution = lump_and_solve(
             small_tandem["model"],
             supervised=True,
-            parallel=2,
+            parallel=ParallelConfig(workers=2),
             checkpoint_dir=checkpoint_dir,
             supervisor=_fast_config(),
         )

@@ -36,6 +36,7 @@ RULE_CASES = {
     "RL006": ("src/repro/statespace/fixture_mod.py", 4),
     "RL007": ("src/repro/robust/fixture_mod.py", 5),
     "RL008": ("src/repro/lumping/fixture_mod.py", 4),
+    "RL009": ("src/repro/service/fixture_mod.py", 6),
 }
 
 

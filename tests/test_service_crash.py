@@ -1,0 +1,236 @@
+"""Kill-anywhere property of the durable analysis service.
+
+The job store's contract: a SIGKILL between (or during) any two record
+appends loses nothing.  After ``recover()`` and a faultless drain,
+every submitted job reaches ``done``, no job is duplicated, duplicate
+submissions still cost exactly one solve, and the cached result bytes
+are bitwise-identical to an undisturbed run.
+
+The harness mirrors ``test_crash_equivalence.py``: fork a child that
+runs the workload under ``REPRO_FAULTS=service.record:N@sigkill`` — the
+``service.record`` fault site fires immediately before *every* durable
+record append, so index N addresses the N-th write of the run — let it
+die, then recover and drain in the parent.  Hypothesis drives N across
+the whole schedule.
+"""
+
+import json
+import os
+import signal
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.robust import faults  # noqa: E402
+from repro.robust.faults import FaultInjector, FaultRule  # noqa: E402
+from repro.service import (  # noqa: E402
+    JobStore,
+    ResultCache,
+    ServiceWorker,
+    canonical_digest,
+    demo_spec,
+)
+from repro.service.store import DONE  # noqa: E402
+
+SPECS = [
+    demo_spec("redundant:3,1"),
+    demo_spec("redundant:2,1"),
+    demo_spec("redundant:3,1"),  # duplicate of the first
+]
+DIGESTS = sorted({canonical_digest(s) for s in SPECS})
+
+
+#: Lease used by the workload-under-kill.  Finite, so a SIGKILL that
+#: lands while a job is leased is recoverable; the recovery store runs
+#: on a clock skewed past it (waiting out a real 30s lease per
+#: hypothesis example would be absurd).
+WORKLOAD_LEASE_SECONDS = 30.0
+LEASE_SKEW_SECONDS = 2.0 * WORKLOAD_LEASE_SECONDS
+
+
+def _run_workload(root):
+    """Submit the workload and drain it inline; the unit under kill."""
+    store = JobStore(os.path.join(root, "store"))
+    cache = ResultCache(os.path.join(root, "store", "cache"))
+    for spec in SPECS:
+        store.submit(spec, cache=cache)
+    ServiceWorker(
+        store, cache, lease_seconds=WORKLOAD_LEASE_SECONDS
+    ).drain()
+    return store, cache
+
+
+def _recovery_store(root):
+    """The store a post-crash recovery sees, with its clock skewed past
+    any lease the killed run could still hold."""
+    store = JobStore(os.path.join(root, "store"))
+    real_clock = store.clock
+    store.clock = lambda: real_clock() + LEASE_SKEW_SECONDS
+    return store
+
+
+def _cache_bytes(cache):
+    out = {}
+    for digest in DIGESTS:
+        with open(cache._entry_path(digest), "rb") as handle:
+            out[digest] = handle.read()
+    return out
+
+
+@pytest.fixture(scope="module")
+def clean_run(tmp_path_factory):
+    """One undisturbed run: the reference results and the count of
+    durable record appends (= the number of kill points)."""
+    root = str(tmp_path_factory.mktemp("clean"))
+    counter = FaultInjector(
+        [FaultRule(site="service.record", fail_on=frozenset())]
+    )
+    with counter:
+        store, cache = _run_workload(root)
+    assert all(v.state == DONE for v in store.views())
+    record_writes = counter.call_count("service.record")
+    assert record_writes >= len(SPECS) * 3  # queued/leased/... per job
+    return {
+        "record_writes": record_writes,
+        "cache_bytes": _cache_bytes(cache),
+        "results": {
+            job: store.view(job).last["detail"] for job in store.list_jobs()
+        },
+    }
+
+
+def _crash_then_recover(root, site_spec, clean):
+    """Fork a child that runs the workload under ``site_spec`` faults;
+    after it dies, recover and drain faultlessly in the parent, then
+    check every durability invariant."""
+    child = os.fork()
+    if child == 0:
+        # Worker-to-be-killed: never let test machinery run in here.
+        try:
+            faults.reload_env(site_spec)
+            _run_workload(root)
+        finally:
+            os._exit(0)
+    _pid, status = os.waitpid(child, 0)
+
+    store = _recovery_store(root)
+    cache = ResultCache(os.path.join(root, "store", "cache"))
+    stats = store.recover()
+    worker = ServiceWorker(store, cache, "w-recovery", lease_seconds=1e6)
+    worker.drain()
+
+    views = store.views()
+    # Nothing lost: every submitted spec has at least one done job...
+    done_digests = {v.spec_digest for v in views if v.state == DONE}
+    if os.WIFSIGNALED(status) and views:
+        # The child died mid-run, so only jobs whose submit completed
+        # exist — but each one that does exist must finish.
+        assert all(v.state == DONE for v in views), [
+            (v.job_id, v.state) for v in views
+        ]
+        assert done_digests <= set(DIGESTS)
+    if not os.WIFSIGNALED(status):
+        # The fault index was past the schedule: a complete clean run.
+        assert done_digests == set(DIGESTS)
+
+    # ...and nothing duplicated: one solve per digest, ever.
+    solves = {}
+    for view in views:
+        detail = view.last.get("detail") or {}
+        if view.state == DONE and detail.get("source") == "solve":
+            solves[view.spec_digest] = solves.get(view.spec_digest, 0) + 1
+    assert all(count == 1 for count in solves.values()), solves
+
+    # Results are bitwise-identical to the undisturbed run.
+    for digest in done_digests:
+        with open(cache._entry_path(digest), "rb") as handle:
+            assert handle.read() == clean["cache_bytes"][digest], digest
+
+    return status, stats
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(data=st.data())
+def test_sigkill_at_any_record_append_loses_nothing(
+    data, clean_run, tmp_path_factory
+):
+    site = data.draw(
+        st.integers(min_value=1, max_value=clean_run["record_writes"] + 1),
+        label="record-append index to kill at",
+    )
+    root = str(tmp_path_factory.mktemp(f"kill{site}"))
+    status, _stats = _crash_then_recover(
+        root, f"service.record:{site}@sigkill", clean_run
+    )
+    if site <= clean_run["record_writes"]:
+        assert os.WIFSIGNALED(status)
+        assert os.WTERMSIG(status) == signal.SIGKILL
+
+
+@pytest.mark.parametrize("site", [1, 2, 3, 4, 5])
+def test_sigkill_at_early_record_appends(site, clean_run, tmp_path):
+    """The non-hypothesis floor: the first few appends cover submit's
+    spec-write/registration/queued-record window, the historical
+    torn-submit hazards."""
+    status, _stats = _crash_then_recover(
+        str(tmp_path), f"service.record:{site}@sigkill", clean_run
+    )
+    assert os.WIFSIGNALED(status)
+
+
+def test_sigkill_during_solve_then_recover(clean_run, tmp_path):
+    """Die inside the solve itself (after ``running`` was recorded):
+    recovery must requeue via lease expiry semantics and re-solve."""
+    root = str(tmp_path)
+    child = os.fork()
+    if child == 0:
+        try:
+            faults.reload_env("service.run:1@sigkill")
+            _run_workload(root)
+        finally:
+            os._exit(0)
+    _pid, status = os.waitpid(child, 0)
+    assert os.WIFSIGNALED(status)
+
+    # The dead worker's lease is still live; recovery would be a no-op
+    # until it expires, so the recovery store's clock is skewed past it.
+    store = _recovery_store(root)
+    cache = ResultCache(os.path.join(root, "store", "cache"))
+    stats = store.recover()
+    assert stats.requeued  # the killed solve's lease was reclaimed
+    ServiceWorker(store, cache, "w-recovery", lease_seconds=1e6).drain()
+    views = store.views()
+    assert all(v.state == DONE for v in views)
+    for digest in {v.spec_digest for v in views}:
+        with open(cache._entry_path(digest), "rb") as handle:
+            assert handle.read() == clean_run["cache_bytes"][digest]
+
+
+def test_recover_is_idempotent(clean_run, tmp_path):
+    root = str(tmp_path)
+    child = os.fork()
+    if child == 0:
+        try:
+            faults.reload_env("service.record:4@sigkill")
+            _run_workload(root)
+        finally:
+            os._exit(0)
+    os.waitpid(child, 0)
+    store = _recovery_store(root)
+    store.recover()
+    before = [
+        json.dumps(v.records, sort_keys=True) for v in store.views()
+    ]
+    store.recover()
+    store.recover()
+    after = [
+        json.dumps(v.records, sort_keys=True) for v in store.views()
+    ]
+    assert before == after

@@ -22,6 +22,9 @@ from reprolint.rules.rl007_unsupervised_subprocess import (
     UnsupervisedSubprocess,
 )
 from reprolint.rules.rl008_adhoc_parallelism import AdHocParallelism
+from reprolint.rules.rl009_nondurable_service_write import (
+    NonDurableServiceWrite,
+)
 
 RULE_CLASSES: Sequence[Type[Rule]] = (
     NondeterministicIteration,
@@ -32,6 +35,7 @@ RULE_CLASSES: Sequence[Type[Rule]] = (
     UnseededRandomness,
     UnsupervisedSubprocess,
     AdHocParallelism,
+    NonDurableServiceWrite,
 )
 
 

@@ -30,11 +30,14 @@ from typing import Iterator, Tuple, Type
 from reprolint.core import FileContext, Finding, Rule, dotted_name
 
 #: The modules allowed to create child processes: the watchdog
-#: supervisor and the fault-tolerant worker pool built on its machinery.
+#: supervisor, the fault-tolerant worker pool built on its machinery,
+#: and the service dispatcher, which supervises its leased workers the
+#: same way (heartbeat watchdog, bounded restarts, drain-and-stop).
 _PROCESS_LAYER_PATHS = frozenset(
     {
         "src/repro/robust/supervisor.py",
         "src/repro/robust/pool.py",
+        "src/repro/service/dispatcher.py",
     }
 )
 

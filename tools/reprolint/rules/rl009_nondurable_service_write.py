@@ -1,0 +1,158 @@
+"""RL009: service-layer durability bypasses.
+
+The durable analysis service (:mod:`repro.service`) survives a SIGKILL
+at any instant only because every piece of durable state goes through
+two narrow doors:
+
+* **all writes are atomic** — ``atomic_write_*`` (tmp + fsync + rename)
+  or ``atomic_create_*`` (tmp + fsync + link, the CAS variant) from
+  :mod:`repro.robust.checkpoint`.  A plain ``open(path, "w")`` in the
+  service tree can be torn by a crash mid-write, and a torn record or
+  cache entry is exactly the corruption the service promises cannot
+  exist.
+* **job state changes only through the store API** — ``JobStore`` append
+  methods validate the transition table and publish each change as a
+  CAS record.  Assigning ``view.state`` / ``record["state"]`` anywhere
+  else creates an in-memory lie (``JobView.state`` is derived from the
+  record chain) or, worse, mutates a record dict that later gets
+  serialized without a digest re-stamp.
+
+Two constructs are flagged, both scoped to ``src/repro/service/``:
+
+* a ``state`` **assignment** — attribute (``x.state = ...``) or
+  constant-key subscript (``x["state"] = ...``) — outside ``store.py``;
+* an ``open()`` call whose mode contains ``w``/``a``/``x`` or ``+``
+  (including positional and ``mode=`` keyword forms, and ``os.open``
+  with creat/write flags) anywhere in the service tree: durable writes
+  must use the atomic helpers, and the service has no legitimate
+  non-durable writes of its own (scratch files such as heartbeats live
+  in :mod:`repro.robust`).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple, Type
+
+from reprolint.core import FileContext, Finding, Rule, dotted_name
+
+_SERVICE_PREFIX = "src/repro/service/"
+_STORE_PATH = "src/repro/service/store.py"
+
+#: ``os.open`` flag names that imply the fd can write or create.
+_OS_OPEN_WRITE_FLAGS = frozenset(
+    {"O_WRONLY", "O_RDWR", "O_CREAT", "O_APPEND", "O_TRUNC"}
+)
+
+
+def _literal_mode(node: ast.Call) -> Optional[str]:
+    """The ``mode`` argument of an ``open()`` call when it is a string
+    literal; ``"r"`` (the default) when absent; ``None`` when dynamic."""
+    mode_node: Optional[ast.AST] = None
+    if len(node.args) >= 2:
+        mode_node = node.args[1]
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            mode_node = keyword.value
+    if mode_node is None:
+        return "r"
+    if isinstance(mode_node, ast.Constant) and isinstance(
+        mode_node.value, str
+    ):
+        return mode_node.value
+    return None
+
+
+def _os_open_writes(node: ast.Call) -> bool:
+    """Whether an ``os.open`` call's flags name any write/creat flag."""
+    flag_nodes = list(node.args[1:2]) + [
+        kw.value for kw in node.keywords if kw.arg == "flags"
+    ]
+    for flags in flag_nodes:
+        for sub in ast.walk(flags):
+            name = dotted_name(sub)
+            if name and name.split(".")[-1] in _OS_OPEN_WRITE_FLAGS:
+                return True
+    return False
+
+
+class NonDurableServiceWrite(Rule):
+    code = "RL009"
+    name = "nondurable-service-write"
+    rationale = (
+        "the service's crash-safety proof covers exactly two write "
+        "paths: atomic_write_*/atomic_create_* for bytes and the "
+        "JobStore append API for state; any other write can be torn by "
+        "a SIGKILL or skip the transition table."
+    )
+    node_types: Tuple[Type[ast.AST], ...] = (ast.Call, ast.Assign)
+
+    def applies_to(self, path: str) -> bool:
+        return super().applies_to(path) and path.startswith(
+            _SERVICE_PREFIX
+        )
+
+    def check(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        if isinstance(node, ast.Assign):
+            yield from self._check_state_assignment(node, ctx)
+        else:
+            yield from self._check_write_open(node, ctx)
+
+    # ------------------------------------------------------------------
+
+    def _check_state_assignment(
+        self, node: ast.Assign, ctx: FileContext
+    ) -> Iterator[Finding]:
+        if ctx.path == _STORE_PATH:
+            return
+        for target in node.targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and target.attr == "state"
+            ):
+                yield self.finding(
+                    ctx,
+                    target,
+                    "direct .state assignment outside the store API — "
+                    "job state is derived from the CAS record chain; "
+                    "append a record via JobStore "
+                    "(claim/complete/fail/requeue/...) instead",
+                )
+            elif (
+                isinstance(target, ast.Subscript)
+                and isinstance(target.slice, ast.Constant)
+                and target.slice.value == "state"
+            ):
+                yield self.finding(
+                    ctx,
+                    target,
+                    'record["state"] mutation outside the store API — '
+                    "records are immutable once their digest is "
+                    "stamped; append a new record via JobStore instead",
+                )
+
+    def _check_write_open(
+        self, node: ast.Call, ctx: FileContext
+    ) -> Iterator[Finding]:
+        name = dotted_name(node.func)
+        if name == "open" or name == "io.open":
+            mode = _literal_mode(node)
+            if mode is None or any(c in mode for c in "wax+"):
+                shown = "dynamic" if mode is None else f"{mode!r}"
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"open() with {shown} mode in the service tree — a "
+                    "crash mid-write tears the file; use "
+                    "atomic_write_*/atomic_create_* from "
+                    "repro.robust.checkpoint",
+                )
+        elif name == "os.open" and _os_open_writes(node):
+            yield self.finding(
+                ctx,
+                node,
+                "os.open() with write/creat flags in the service tree "
+                "— a crash mid-write tears the file; use "
+                "atomic_write_*/atomic_create_* from "
+                "repro.robust.checkpoint",
+            )
