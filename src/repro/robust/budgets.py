@@ -289,6 +289,12 @@ def set_pulse(pulse: Optional[Callable[[], None]]) -> None:
     _PULSE = pulse
 
 
+def get_pulse() -> Optional[Callable[[], None]]:
+    """The installed liveness pulse callback (so a caller can compose
+    with it and restore it afterwards)."""
+    return _PULSE
+
+
 def active_budget() -> Optional[Budget]:
     """The innermost active budget, or ``None``."""
     return _ACTIVE[-1] if _ACTIVE else None

@@ -35,7 +35,7 @@ from repro.service.spec import (
     demo_spec,
     spec_summary,
 )
-from repro.service.store import DEAD, DONE, JobStore
+from repro.service.store import DEAD, DONE, JobStore, StoreError
 
 EXIT_SHED = 5
 EXIT_NOT_DONE = 6
@@ -93,8 +93,20 @@ def _cmd_status(args) -> int:
     if not job_ids:
         print("no jobs")
         return 0
+    code = 0
     for job_id in job_ids:
-        view = store.view(job_id)
+        try:
+            view = store.view(job_id)
+            summary = spec_summary(store.load_spec(job_id)["spec"])
+        except StoreError as exc:
+            # Unknown id, an orphan directory whose spec never landed,
+            # or a corrupt spec: one clean line, never a traceback.  An
+            # explicitly requested job that is unreadable fails the
+            # command; a scan just skips past it.
+            print(f"{job_id} unreadable: {exc}", file=sys.stderr)
+            if args.jobs:
+                code = 1
+            continue
         last = view.last or {}
         detail = last.get("detail") or {}
         extra = ""
@@ -104,17 +116,20 @@ def _cmd_status(args) -> int:
             extra = f" error={detail['error']!r}"
         print(
             f"{job_id} {view.state or 'submitted'} "
-            f"attempt={view.attempt}{extra} "
-            f"[{spec_summary(store.load_spec(job_id)['spec'])}]"
+            f"attempt={view.attempt}{extra} [{summary}]"
         )
         if view.state == DEAD and args.verbose:
             print(json.dumps(detail.get("diagnosis", {}), indent=2))
-    return 0
+    return code
 
 
 def _cmd_result(args) -> int:
     store, cache = _open(args.store)
-    view = store.view(args.job)
+    try:
+        view = store.view(args.job)
+    except StoreError as exc:
+        print(f"error: {args.job} unreadable: {exc}", file=sys.stderr)
+        return 1
     if view.state != DONE:
         last = view.last or {}
         detail = last.get("detail") or {}

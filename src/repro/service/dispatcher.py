@@ -33,8 +33,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.robust import faults
-from repro.robust.heartbeat import Heartbeat, HeartbeatMonitor
+from repro.robust import faults, heartbeat
+from repro.robust.heartbeat import HeartbeatMonitor
 from repro.robust.report import RunReport
 from repro.robust.retry import RetryPolicy
 from repro.service.cache import ResultCache
@@ -76,6 +76,7 @@ class _Slot:
     deaths: int = 0
     retired: bool = False
     restart_at: float = 0.0
+    spawned_at: float = 0.0
 
 
 @dataclass
@@ -126,14 +127,19 @@ class Dispatcher:
             code = 1
             try:
                 faults.check_at("service.slot", slot.index + 1)
+                # install (not a bare Heartbeat) hooks the beat into the
+                # cooperative budget-check sites, so the worker proves
+                # liveness *during* a long solve — not just between jobs
+                # — and a slow-but-healthy job outlives the watchdog.
                 worker = ServiceWorker(
                     self.store,
                     self.cache,
                     worker_id=f"w{slot.index}-{os.getpid()}",
                     lease_seconds=self.config.lease_seconds,
-                    heartbeat=Heartbeat(
+                    heartbeat=heartbeat.install(
                         slot.heartbeat_path, min_interval_seconds=0.01
                     ),
+                    drain_when_empty=self.config.drain,
                 )
                 signal.signal(
                     signal.SIGTERM, lambda *_: _stop_worker(worker)
@@ -147,6 +153,7 @@ class Dispatcher:
             finally:
                 os._exit(code)
         slot.pid = pid
+        slot.spawned_at = time.monotonic()
         self.stats.worker_starts += 1
         self.report.record_pool_event(
             "worker-started", worker=slot.index, detail=f"pid {pid}"
@@ -155,14 +162,25 @@ class Dispatcher:
     def _on_death(self, slot: _Slot, status: int) -> None:
         if not os.WIFSIGNALED(status) and os.WEXITSTATUS(status) == 0:
             # A clean exit — the worker drained the queue or honored a
-            # stop request.  Not a crash: retire the slot quietly so it
-            # neither restarts into an empty queue nor feeds the
-            # crash-loop breaker.
+            # stop request.  Not a crash, so it never feeds the
+            # crash-loop breaker; but only in drain mode (or during
+            # shutdown) does it retire the slot.  In serve mode the
+            # queue emptying is routine, and a retired slot would
+            # silently demote --workers N to inline single-process
+            # draining for the rest of the service's life.
             slot.pid = None
-            slot.retired = True
-            self.report.record_pool_event(
-                "worker-exited", worker=slot.index, detail="drained"
-            )
+            if self.config.drain or self.stopping:
+                slot.retired = True
+                self.report.record_pool_event(
+                    "worker-exited", worker=slot.index, detail="drained"
+                )
+            else:
+                slot.restart_at = time.monotonic()
+                self.report.record_pool_event(
+                    "worker-exited",
+                    worker=slot.index,
+                    detail="clean exit in serve mode; respawning",
+                )
             return
         self.stats.worker_deaths += 1
         if os.WIFSIGNALED(status):
@@ -206,22 +224,32 @@ class Dispatcher:
                 self._on_death(slot, status)
                 continue
             # Hung?  Stale heartbeat -> SIGKILL; the reap happens on the
-            # next tick.
+            # next tick.  A worker with *no* beat yet gets the same
+            # deadline measured from its spawn — wedging during startup
+            # (import, fault hook, first claim) must not hold the slot
+            # forever just because the heartbeat file never appeared.
             monitor = HeartbeatMonitor(slot.heartbeat_path)
             age = monitor.age_seconds()
-            if (
-                age is not None
-                and age > self.config.heartbeat_timeout_seconds
+            timeout = self.config.heartbeat_timeout_seconds
+            if age is not None and age > timeout:
+                detail = f"hung: heartbeat {age:.1f}s stale; killed"
+            elif (
+                age is None
+                and time.monotonic() - slot.spawned_at > timeout
             ):
-                self.report.record_pool_event(
-                    "worker-crashed",
-                    worker=slot.index,
-                    detail=f"hung: heartbeat {age:.1f}s stale; killed",
+                detail = (
+                    f"hung: no heartbeat within {timeout:.1f}s "
+                    "of spawn; killed"
                 )
-                try:
-                    os.kill(slot.pid, signal.SIGKILL)
-                except OSError:
-                    pass
+            else:
+                continue
+            self.report.record_pool_event(
+                "worker-crashed", worker=slot.index, detail=detail
+            )
+            try:
+                os.kill(slot.pid, signal.SIGKILL)
+            except OSError:
+                pass
 
     def _live_workers(self) -> int:
         return sum(1 for s in self._slots if s.pid is not None)

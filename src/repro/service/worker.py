@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.analysis import lump_and_solve
-from repro.robust import faults
+from repro.robust import budgets, faults
 from repro.robust.report import RunReport
 from repro.service import store as job_store
 from repro.service.cache import ResultCache
@@ -49,6 +49,7 @@ class WorkerStats:
     failed: int = 0
     released: int = 0
     lost_races: int = 0
+    renewed: int = 0
     notes: List[str] = field(default_factory=list)
 
 
@@ -80,6 +81,56 @@ def solve_spec(spec: dict, report: Optional[RunReport] = None) -> dict:
     }
 
 
+class _LeaseRenewer:
+    """Extends a running job's lease from the cooperative budget-pulse
+    sites, so a solve that outlives ``lease_seconds`` keeps its claim
+    instead of being requeued (and, attempts exhausted, dead-lettered)
+    by ``recover()`` while its worker is still making progress.
+
+    Each renewal appends a ``running`` record, so pulses are
+    rate-limited to a fraction of the lease.  A renewal that loses its
+    CAS means the lease already expired and was requeued — the renewer
+    goes quiet and the zombie fence at the terminal record settles
+    ownership, exactly as if the worker had never renewed.
+    """
+
+    def __init__(
+        self,
+        store: JobStore,
+        view: JobView,
+        worker_id: str,
+        lease_seconds: float,
+    ) -> None:
+        self.store = store
+        self.view = view
+        self.worker_id = worker_id
+        self.lease_seconds = float(lease_seconds)
+        self.interval_seconds = max(0.05, self.lease_seconds / 3.0)
+        self.renewals = 0
+        self.lost = False
+        self._last = time.monotonic()
+
+    def pulse(self) -> None:
+        if self.lost:
+            return
+        now = time.monotonic()
+        if now - self._last < self.interval_seconds:
+            return
+        self._last = now
+        try:
+            renewed = self.store.renew(
+                self.view, self.worker_id, self.lease_seconds
+            )
+        except (job_store.StoreError, OSError):
+            # A pulse must not raise into the solver's hot loops; an
+            # unrenewable lease surfaces as expiry, the honest outcome.
+            renewed = None
+        if renewed is None:
+            self.lost = True
+        else:
+            self.renewals += 1
+
+
 class ServiceWorker:
     """One worker identity driving the claim/solve/publish loop."""
 
@@ -92,6 +143,7 @@ class ServiceWorker:
         heartbeat=None,
         report: Optional[RunReport] = None,
         sleep=time.sleep,
+        drain_when_empty: bool = True,
     ) -> None:
         self.store = store
         self.cache = cache
@@ -100,6 +152,7 @@ class ServiceWorker:
         self.heartbeat = heartbeat
         self.report = report if report is not None else RunReport()
         self.sleep = sleep
+        self.drain_when_empty = drain_when_empty
         self.stats = WorkerStats()
         self.stopping = False
 
@@ -134,13 +187,17 @@ class ServiceWorker:
     def drain(self, poll_seconds: float = 0.05) -> WorkerStats:
         """Loop until every job in the store is terminal (or
         :attr:`stopping` is raised by a signal handler): the
-        drain-and-stop shutdown path."""
+        drain-and-stop shutdown path.
+
+        With ``drain_when_empty=False`` (serve mode) an empty queue is
+        not an exit condition — the worker keeps polling for late
+        submissions until told to stop."""
         while not self.stopping:
             made_progress = self.run_once()
             if made_progress:
                 continue
             self._beat(force=True)
-            if self.store.active_count() == 0:
+            if self.drain_when_empty and self.store.active_count() == 0:
                 break
             self.sleep(poll_seconds)
         return self.stats
@@ -198,20 +255,44 @@ class ServiceWorker:
             self.stats.lost_races += 1
             return
         self._beat(force=True)
+        # The lease must outlive the solve: renew it from the same
+        # cooperative budget-pulse sites that feed the heartbeat, so a
+        # job longer than lease_seconds is not requeued (and its healthy
+        # worker's result fenced off) by ``recover()`` mid-computation.
+        renewer = _LeaseRenewer(
+            self.store, running, self.worker_id, self.lease_seconds
+        )
+        prev_pulse = budgets.get_pulse()
+
+        def _pulse() -> None:
+            if prev_pulse is not None:
+                prev_pulse()
+            renewer.pulse()
+
+        budgets.set_pulse(_pulse)
         try:
-            faults.check("service.run")
-            envelope = self.store.load_spec(view.job_id)
-            result = solve_spec(envelope["spec"], report=self.report)
-        except Exception as exc:
-            # A deterministic failure: retrying cannot change it, so the
-            # job goes to ``failed`` (infra deaths never reach here —
-            # they kill the process and surface as lease expiry).
-            self.report.note(f"service: job {view.job_id} failed: {exc}")
-            if self.store.fail(running, self.worker_id, str(exc)) is not None:
-                self.stats.failed += 1
-            else:
-                self.stats.lost_races += 1
-            return
+            try:
+                faults.check("service.run")
+                envelope = self.store.load_spec(view.job_id)
+                result = solve_spec(envelope["spec"], report=self.report)
+            except Exception as exc:
+                # A deterministic failure: retrying cannot change it, so
+                # the job goes to ``failed`` (infra deaths never reach
+                # here — they kill the process and surface as lease
+                # expiry).
+                self.report.note(
+                    f"service: job {view.job_id} failed: {exc}"
+                )
+                if self.store.fail(
+                    running, self.worker_id, str(exc)
+                ) is not None:
+                    self.stats.failed += 1
+                else:
+                    self.stats.lost_races += 1
+                return
+        finally:
+            budgets.set_pulse(prev_pulse)
+            self.stats.renewed += renewer.renewals
         entry_digest = self.cache.put(digest, result)
         self._beat(force=True)
         if self.store.complete(

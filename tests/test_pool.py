@@ -71,6 +71,28 @@ def test_parallel_config_validation():
         ParallelConfig(heartbeat_timeout_seconds=0.0)
 
 
+def test_autodegrade_on_insufficient_cores(monkeypatch):
+    from repro.robust import pool
+
+    monkeypatch.setattr(pool.os, "cpu_count", lambda: 1)
+    report = RunReport()
+    assert pool.autodegrade_parallel(2, report) is None
+    degraded = report.pool_events_of_kind("pool-degraded")
+    assert degraded and "insufficient-cores" in degraded[0].detail
+    # An explicit config is the escape hatch: the pool always engages.
+    explicit = ParallelConfig(workers=2)
+    assert pool.autodegrade_parallel(explicit) is explicit
+
+
+def test_autodegrade_keeps_viable_widths(monkeypatch):
+    from repro.robust import pool
+
+    monkeypatch.setattr(pool.os, "cpu_count", lambda: 8)
+    cfg = pool.autodegrade_parallel(2)
+    assert isinstance(cfg, ParallelConfig) and cfg.workers == 2
+    assert pool.autodegrade_parallel(9) is None  # wider than the host
+
+
 # ----------------------------------------------------------------------
 # shard_items
 # ----------------------------------------------------------------------

@@ -10,12 +10,17 @@ and the CLI verbs.
 import json
 import os
 import shutil
+import signal
+import threading
+import time
 
 import pytest
 
-from repro.robust import faults
+from repro.robust import budgets, faults
+from repro.robust import heartbeat as heartbeat_mod
 from repro.robust.report import RunReport
 from repro.robust.retry import RetryPolicy
+from repro.service.dispatcher import _Slot
 from repro.service import (
     Dispatcher,
     DispatcherConfig,
@@ -380,6 +385,73 @@ class TestWorker:
         entry = cache.get(store.view(job).spec_digest)
         assert entry["result"] == solve_spec(redundant_spec)
 
+    def test_long_solve_renews_lease_and_beats_heartbeat(
+        self, service, redundant_spec, monkeypatch, tmp_path
+    ):
+        """A solve longer than the lease keeps both liveness signals
+        alive from the budget-pulse sites: the lease is renewed (so
+        ``recover()`` never requeues a healthy worker's job) and the
+        heartbeat beats (so the watchdog never kills it as hung)."""
+        store, cache = service
+        store.submit(redundant_spec)
+        real_solve = solve_spec
+
+        def slow_solve(spec, report=None):
+            deadline = time.monotonic() + 0.35
+            while time.monotonic() < deadline:
+                budgets.check_time()
+            return real_solve(spec, report=report)
+
+        monkeypatch.setattr("repro.service.worker.solve_spec", slow_solve)
+        hb = heartbeat_mod.install(str(tmp_path / "worker.hb"))
+        try:
+            worker = ServiceWorker(
+                store, cache, lease_seconds=0.3, heartbeat=hb
+            )
+            assert worker.run_once()
+            # The solve restored the composed pulse (the heartbeat's).
+            assert budgets.get_pulse() is not None
+        finally:
+            heartbeat_mod.uninstall()
+        assert worker.stats.renewed >= 1
+        [view] = store.views()
+        assert view.state == DONE
+        runnings = [r for r in view.records if r["state"] == RUNNING]
+        assert len(runnings) >= 2  # start_running + at least one renewal
+        expiries = [r["lease_expires_at"] for r in runnings]
+        assert expiries == sorted(expiries)
+        assert hb.beats_written >= 2  # beat *during* the solve too
+
+    def test_serve_mode_worker_polls_through_empty_queue(
+        self, service, redundant_spec
+    ):
+        store, cache = service
+        polls = []
+        holder = {}
+
+        def fake_sleep(_seconds):
+            polls.append(_seconds)
+            if len(polls) == 2:
+                store.submit(redundant_spec)
+            if len(polls) >= 5:
+                holder["worker"].stopping = True
+
+        worker = ServiceWorker(
+            store,
+            cache,
+            lease_seconds=1e6,
+            sleep=fake_sleep,
+            drain_when_empty=False,
+        )
+        holder["worker"] = worker
+        worker.drain(poll_seconds=0.01)
+        # The empty queue did not end the loop; the late submission was
+        # picked up and solved.
+        assert len(polls) >= 5
+        assert worker.stats.solved == 1
+        [view] = store.views()
+        assert view.state == DONE
+
 
 # ----------------------------------------------------------------------
 # the dispatcher
@@ -452,6 +524,78 @@ class TestDispatcher:
         degraded = dispatcher.report.pool_events_of_kind("pool-degraded")
         assert degraded and "inline" in degraded[0].detail
 
+    def test_serve_mode_clean_exit_respawns_instead_of_retiring(
+        self, service
+    ):
+        store, cache = service
+        serve = Dispatcher(store, cache, self._config(drain=False))
+        slot = _Slot(index=0, pid=12345)
+        serve._on_death(slot, 0)  # waitpid status 0 = clean exit
+        assert slot.pid is None and not slot.retired
+        drain = Dispatcher(store, cache, self._config(drain=True))
+        slot = _Slot(index=0, pid=12345)
+        drain._on_death(slot, 0)
+        assert slot.retired
+
+    def test_serve_mode_keeps_worker_slots_after_idle(
+        self, service, redundant_spec, other_spec
+    ):
+        """The regression the review caught: with --no-drain, the first
+        idle moment must not retire every slot and demote the service to
+        inline single-process draining forever."""
+        store, cache = service
+        store.submit(redundant_spec, cache=cache)
+        dispatcher = Dispatcher(
+            store, cache, self._config(workers=2, drain=False)
+        )
+        thread = threading.Thread(target=dispatcher.run, daemon=True)
+        thread.start()
+
+        def wait_for(predicate, timeout=15.0):
+            deadline = time.monotonic() + timeout
+            while time.monotonic() < deadline:
+                if predicate():
+                    return
+                time.sleep(0.02)
+            raise AssertionError("condition not reached in time")
+
+        try:
+            wait_for(lambda: store.active_count() == 0)
+            time.sleep(0.3)  # let the workers observe the empty queue
+            store.submit(other_spec, cache=cache)
+            wait_for(lambda: store.active_count() == 0)
+        finally:
+            dispatcher.stopping = True
+            thread.join(timeout=15.0)
+        assert not thread.is_alive()
+        assert all(v.state == DONE for v in store.views())
+        assert not dispatcher.report.pool_events_of_kind("pool-degraded")
+
+    def test_worker_hung_before_first_heartbeat_is_killed(self, service):
+        store, cache = service
+        dispatcher = Dispatcher(
+            store, cache, self._config(heartbeat_timeout_seconds=0.05)
+        )
+        os.makedirs(dispatcher._scratch, exist_ok=True)
+        pid = os.fork()
+        if pid == 0:
+            # A worker wedged during startup: never writes a heartbeat.
+            time.sleep(30)
+            os._exit(0)
+        slot = _Slot(
+            index=0,
+            pid=pid,
+            heartbeat_path=os.path.join(dispatcher._scratch, "slot0.hb"),
+            spawned_at=time.monotonic() - 1.0,
+        )
+        dispatcher._slots = [slot]
+        dispatcher._watch_slots()
+        _reaped, status = os.waitpid(pid, 0)
+        assert os.WIFSIGNALED(status)
+        assert os.WTERMSIG(status) == signal.SIGKILL
+        crashed = dispatcher.report.pool_events_of_kind("worker-crashed")
+        assert crashed and "no heartbeat" in crashed[0].detail
+
 
 # ----------------------------------------------------------------------
 # the CLI
@@ -507,3 +651,23 @@ class TestCLI:
         capsys.readouterr()
         assert service_main(["status", "--store", root]) == 0
         assert "no jobs" in capsys.readouterr().out
+
+    def test_status_and_result_tolerate_unreadable_jobs(
+        self, tmp_path, capsys
+    ):
+        root = str(tmp_path / "svc")
+        service_main(["submit", "--store", root, "--demo", "redundant:2,1"])
+        capsys.readouterr()
+        # An orphaned job directory: the submitter died before its spec
+        # landed.  A bare scan skips it with a one-line notice.
+        os.makedirs(os.path.join(root, "jobs", "j999999", "records"))
+        assert service_main(["status", "--store", root]) == 0
+        captured = capsys.readouterr()
+        assert "j000001" in captured.out
+        assert "j999999 unreadable" in captured.err
+        # Explicitly asking for an unknown job is a clean failure, not a
+        # traceback.
+        assert service_main(["status", "--store", root, "jnope"]) == 1
+        assert "unreadable" in capsys.readouterr().err
+        assert service_main(["result", "--store", root, "jnope"]) == 1
+        assert "unreadable" in capsys.readouterr().err
