@@ -1,0 +1,131 @@
+"""Benchmark: dense vs sparse factor application in the shuffle algorithm.
+
+Settles the grandfathered RL003 question in ``repro/kronecker/ops.py``:
+``descriptor_vector_multiply`` densifies each per-component factor with
+``.toarray()`` before the axis multiply.  Is keeping the factor sparse
+(``flat @ csr``) faster?
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_kronecker_axis.py
+
+Writes ``BENCH_kronecker_axis.json`` next to the repo root: per shape,
+mean microseconds for the dense and sparse variants and their ratio.
+
+Conclusion captured from the 2026-08 run (and the reason ops.py keeps
+``.toarray()`` under an inline justification rather than switching):
+for the small per-component factors the paper's models have (component
+state spaces of 2-64), the dense BLAS path wins or ties — sparse only
+pulls ahead (~10%) for single factors >= 32x32 at very low density,
+a regime the per-component factorization exists to avoid.  The
+densified factor is O(n_i^2) for component size n_i, never the O(N)
+product space, so the RL003 concern (materializing the structure whose
+compactness is the paper's point) does not apply to these operands.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, List
+
+import numpy as np
+
+from repro.kronecker.descriptor import KroneckerDescriptor
+from repro.kronecker.ops import descriptor_vector_multiply
+
+REPS = 30
+SHAPES = [
+    (2, 2, 2, 2),  # redundant-array scale components
+    (4, 4, 4),
+    (8, 8, 8),
+    (16, 16, 16),
+    (32, 32),
+    (64, 64),
+]
+
+
+def make_descriptor(
+    rng: np.random.Generator, sizes, nnz_per_row: int = 2, terms: int = 4
+) -> KroneckerDescriptor:
+    d = KroneckerDescriptor(sizes)
+    for _ in range(terms):
+        factors = []
+        for n in sizes:
+            m = np.zeros((n, n))
+            for i in range(n):
+                cols = rng.choice(
+                    n, size=min(nnz_per_row, n), replace=False
+                )
+                for j in cols:
+                    m[i, j] = rng.random()
+            factors.append(m)
+        d.add_term(1.0, factors)
+    return d
+
+
+def sparse_variant(d: KroneckerDescriptor, x: np.ndarray) -> np.ndarray:
+    """descriptor_vector_multiply with the factors kept sparse."""
+    sizes = d.component_sizes
+    result = np.zeros(x.shape[0])
+    for term_index, term in enumerate(d.terms):
+        tensor = None
+        for component in range(d.num_components):
+            if term.factors[component] is None:
+                continue
+            if tensor is None:
+                tensor = x.reshape(sizes)
+            matrix = d.factor_matrix(term_index, component).tocsr()
+            moved = np.moveaxis(tensor, component, -1)
+            shape = moved.shape
+            flat = moved.reshape(-1, shape[-1])
+            flat = np.asarray(flat @ matrix)
+            tensor = np.moveaxis(flat.reshape(shape), -1, component)
+        if tensor is None:
+            result += term.weight * x
+        else:
+            result += term.weight * tensor.reshape(-1)
+    return result
+
+
+def timed(fn, reps: int = REPS) -> float:
+    fn()  # warm
+    start = time.perf_counter()
+    for _ in range(reps):
+        fn()
+    return (time.perf_counter() - start) / reps
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    rows: List[Dict[str, object]] = []
+    for sizes in SHAPES:
+        d = make_descriptor(rng, sizes)
+        x = rng.random(d.potential_size())
+        dense_us = timed(lambda: descriptor_vector_multiply(d, x)) * 1e6
+        sparse_us = timed(lambda: sparse_variant(d, x)) * 1e6
+        expected = descriptor_vector_multiply(d, x)
+        np.testing.assert_allclose(sparse_variant(d, x), expected)
+        rows.append(
+            {
+                "sizes": list(sizes),
+                "dense_us": round(dense_us, 1),
+                "sparse_us": round(sparse_us, 1),
+                "sparse_over_dense": round(sparse_us / dense_us, 3),
+            }
+        )
+        print(
+            f"{str(sizes):>16}  dense={dense_us:8.1f}us  "
+            f"sparse={sparse_us:8.1f}us  ratio={sparse_us / dense_us:.2f}"
+        )
+    out = Path(__file__).resolve().parents[1] / "BENCH_kronecker_axis.json"
+    out.write_text(
+        json.dumps({"reps": REPS, "results": rows}, indent=2) + "\n",
+        encoding="utf-8",
+    )
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Benchmark: full vs incremental reprolint wall-clock on this repo.
+
+Run::
+
+    PYTHONPATH=src:tools python benchmarks/bench_lint.py
+
+Writes ``BENCH_lint.json`` at the repo root with the mean wall-clock of
+
+* a **full** run (parse + per-file rules + call graph + project rules
+  over ``src`` and ``tools``), and
+* an **incremental** run (``--changed-only``-shaped: the whole tree is
+  still parsed — the cross-file rules need the complete call graph —
+  but findings are only reported for a one-file change set).
+
+The acceptance bound for PR 8 is a full-repo lint under 10 seconds;
+the script asserts it, so the benchmark doubles as a perf regression
+check.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from reprolint.core import iter_python_files
+from reprolint.engine import lint_files
+from reprolint.rules import default_rules
+
+REPS = 5
+BUDGET_SECONDS = 10.0
+
+
+def timed(fn, reps: int = REPS) -> float:
+    fn()  # warm (imports, bytecode, fs cache)
+    start = time.perf_counter()
+    for _ in range(reps):
+        fn()
+    return (time.perf_counter() - start) / reps
+
+
+def main() -> None:
+    repo = Path(__file__).resolve().parents[1]
+    files = [
+        str(p)
+        for p in iter_python_files([str(repo / "src"), str(repo / "tools")])
+    ]
+    rules = default_rules()
+
+    def full() -> None:
+        lint_files(rules, files, root=repo)
+
+    changed = {"src/repro/robust/checkpoint.py"}
+
+    def incremental() -> None:
+        lint_files(rules, files, root=repo, report_paths=changed)
+
+    full_s = timed(full)
+    incremental_s = timed(incremental)
+    assert full_s < BUDGET_SECONDS, (
+        f"full lint {full_s:.2f}s exceeds the {BUDGET_SECONDS}s budget"
+    )
+    payload = {
+        "files": len(files),
+        "reps": REPS,
+        "full_s": round(full_s, 3),
+        "incremental_s": round(incremental_s, 3),
+        "budget_s": BUDGET_SECONDS,
+    }
+    out = repo / "BENCH_lint.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(
+        f"{len(files)} files: full={full_s:.2f}s "
+        f"incremental={incremental_s:.2f}s (budget {BUDGET_SECONDS:.0f}s)"
+    )
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -90,7 +90,7 @@ _LAZY_EXPORTS = {
 }
 
 
-def __getattr__(name):
+def __getattr__(name: str) -> object:
     module_name = _LAZY_EXPORTS.get(name)
     if module_name is not None:
         import importlib

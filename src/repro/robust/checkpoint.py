@@ -66,7 +66,8 @@ import re
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional
+from types import TracebackType
+from typing import Any, Dict, Iterator, List, Optional, Type
 
 try:
     import fcntl
@@ -141,7 +142,7 @@ def atomic_write_text(path: str, text: str, encoding: str = "utf-8") -> None:
     atomic_write_bytes(path, text.encode(encoding))
 
 
-def atomic_write_json(path: str, obj, indent: Optional[int] = None) -> None:
+def atomic_write_json(path: str, obj: Any, indent: Optional[int] = None) -> None:
     """Serialize ``obj`` as JSON and write it atomically."""
     atomic_write_text(path, json.dumps(obj, indent=indent))
 
@@ -186,7 +187,7 @@ def atomic_create_bytes(path: str, data: bytes) -> bool:
     return True
 
 
-def atomic_create_json(path: str, obj) -> bool:
+def atomic_create_json(path: str, obj: Any) -> bool:
     """JSON variant of :func:`atomic_create_bytes`."""
     return atomic_create_bytes(path, json.dumps(obj).encode("utf-8"))
 
@@ -233,7 +234,7 @@ _FALLBACK_KINDS = frozenset(
 )
 
 
-def _jsonify(obj):
+def _jsonify(obj: Any) -> Any:
     """Round-trip through JSON so guard comparisons see what was stored
     (tuples become lists, numpy scalars are rejected early, ...)."""
     return json.loads(json.dumps(obj))
@@ -291,7 +292,7 @@ class Checkpointer:
         interval_iterations: int = 256,
         min_save_interval_seconds: float = 0.0,
         keep_last: Optional[int] = None,
-        report=None,
+        report: Optional[Any] = None,
     ) -> None:
         if interval_iterations <= 0:
             raise ValueError(
@@ -338,7 +339,12 @@ class Checkpointer:
         _ACTIVE.append(self)
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
         _ACTIVE.remove(self)
 
     @contextmanager
@@ -443,7 +449,15 @@ class Checkpointer:
                 fd = os.open(
                     self._lock_path, os.O_CREAT | os.O_RDWR, 0o644
                 )
-            fcntl.flock(fd, fcntl.LOCK_EX)
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX)
+            except OSError:
+                # The blocking retry itself failed (EINTR, ENOLCK).  The
+                # descriptor is open but unlocked: close it before
+                # degrading, or it leaks — and a leaked lockfile fd is
+                # exactly the wedged-lock failure this method reclaims.
+                os.close(fd)
+                raise
             self._stamp_lock_fd(fd)
             return fd
         # Uncontended — but a dead-PID stamp means the previous holder
@@ -569,7 +583,7 @@ class Checkpointer:
     def save(
         self,
         key: str,
-        payload,
+        payload: Any,
         guard: Optional[dict] = None,
         complete: bool = False,
     ) -> None:

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -247,9 +247,9 @@ class EngineFallbackResult:
 
 
 def reachable_with_fallback(
-    model,
+    model: Any,
     engines: Sequence[str] = DEFAULT_ENGINE_CHAIN,
-    **engine_kwargs,
+    **engine_kwargs: Any,
 ) -> EngineFallbackResult:
     """Generate the reachable state space, falling back across engines.
 

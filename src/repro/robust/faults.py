@@ -84,7 +84,8 @@ import random
 import signal
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from types import TracebackType
+from typing import Dict, Iterable, List, Optional, Set, Tuple, Type, Union
 
 from repro.errors import (
     LumpingError,
@@ -212,7 +213,7 @@ class FaultInjector:
     and reports can assert exactly which paths were exercised.
     """
 
-    def __init__(self, rules, seed: int = 0) -> None:
+    def __init__(self, rules: Iterable[FaultRule], seed: int = 0) -> None:
         self.rules: List[FaultRule] = list(rules)
         self._rng = random.Random(seed)
         self._counts: Dict[str, int] = {}
@@ -321,7 +322,12 @@ class FaultInjector:
         _ACTIVE.append(self)
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
         _ACTIVE.remove(self)
 
 
@@ -598,7 +604,9 @@ def check_at(site: str, index: int) -> None:
         _ENV_INJECTOR.check_at(site, index)
 
 
-def inject_faults(spec, seed: int = 0) -> FaultInjector:
+def inject_faults(
+    spec: Union[str, Iterable[FaultRule]], seed: int = 0
+) -> FaultInjector:
     """Convenience constructor: ``with inject_faults("solver.direct"): ...``
 
     ``spec`` is either a spec string (see module docstring) or an

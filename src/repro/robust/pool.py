@@ -74,7 +74,18 @@ import tempfile
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Set
+from types import TracebackType
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Type,
+    Union,
+)
 
 from repro.errors import ReproError
 from repro.robust import checkpoint, faults, heartbeat
@@ -149,7 +160,9 @@ class ParallelConfig:
             )
 
 
-def parallel_config(parallel) -> Optional[ParallelConfig]:
+def parallel_config(
+    parallel: Union[None, bool, int, ParallelConfig],
+) -> Optional[ParallelConfig]:
     """Normalize a user-facing ``parallel=`` value.
 
     ``None``/``False``/``0``/``1`` mean serial (returns ``None``); an
@@ -173,7 +186,10 @@ def parallel_config(parallel) -> Optional[ParallelConfig]:
     )
 
 
-def autodegrade_parallel(parallel, report=None) -> Optional[ParallelConfig]:
+def autodegrade_parallel(
+    parallel: Union[None, bool, int, ParallelConfig],
+    report: Optional[Any] = None,
+) -> Optional[ParallelConfig]:
     """Resolve ``parallel=`` against the host, degrading hopeless widths.
 
     Forked workers on a host with one core — or more workers than cores —
@@ -210,7 +226,7 @@ def autodegrade_parallel(parallel, report=None) -> Optional[ParallelConfig]:
 _HEADER_BYTES = 8
 
 
-def _write_frame(fd: int, obj) -> None:
+def _write_frame(fd: int, obj: Any) -> None:
     blob = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
     view = memoryview(len(blob).to_bytes(_HEADER_BYTES, "big") + blob)
     while view:
@@ -316,7 +332,9 @@ class _Proc:
         "dispatch_time",
     )
 
-    def __init__(self, pid: int, send_fd: int, recv_fd: int, hb_path: str):
+    def __init__(
+        self, pid: int, send_fd: int, recv_fd: int, hb_path: str
+    ) -> None:
         self.pid = pid
         self.send_fd = send_fd
         self.recv_fd = recv_fd
@@ -331,7 +349,7 @@ class _Slot:
 
     __slots__ = ("index", "hb_path", "crashes", "retired", "restart_at", "proc")
 
-    def __init__(self, index: int, hb_path: str):
+    def __init__(self, index: int, hb_path: str) -> None:
         self.index = index
         self.hb_path = hb_path
         self.crashes = 0
@@ -343,7 +361,7 @@ class _Slot:
 class _Batch:
     """Mutable state of one :meth:`WorkerPool.run` call."""
 
-    def __init__(self, tasks: Sequence[Any], scopes) -> None:
+    def __init__(self, tasks: Sequence[Any], scopes: Any) -> None:
         self.tasks = tasks
         self.scopes = scopes
         self.results: Dict[int, Any] = {}
@@ -376,7 +394,7 @@ class WorkerPool:
         task_fn: Callable[[Any], Any],
         config: ParallelConfig,
         *,
-        report=None,
+        report: Optional[Any] = None,
         label: str = "pool",
     ) -> None:
         self.task_fn = task_fn
@@ -411,7 +429,12 @@ class WorkerPool:
             self._spawn(slot)
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
         self.close()
 
     def close(self) -> None:

@@ -15,12 +15,12 @@ import json
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterator, List, Optional
 
 from repro.robust.budgets import Budget, BudgetConsumption
 
 
-def _native(value):
+def _native(value: Any) -> Any:
     """Coerce numpy scalars/arrays (and nested containers) to native
     Python types so reports serialize with the stdlib ``json``."""
     if isinstance(value, dict):

@@ -34,7 +34,7 @@ versa.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence, Set, Tuple
+from typing import Any, Callable, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import LumpingError, StateSpaceError
 from repro.robust import budgets
@@ -60,12 +60,12 @@ def shard_items(items: Sequence, shard_count: int) -> List[list]:
 
 
 def sharded_reachable_states(
-    model,
+    model: Any,
     seen: Set[Tuple[int, ...]],
     frontier: Sequence[Tuple[int, ...]],
     config: ParallelConfig,
     *,
-    ck=None,
+    ck: Optional[Any] = None,
     key: Optional[str] = None,
     guard: Optional[dict] = None,
     max_states: Optional[int] = None,
@@ -150,13 +150,13 @@ def parallel_refinement_rounds(
     size: int,
     nodes: Sequence[Tuple[int, object]],
     splitter_for: Callable[[object], object],
-    initial,
+    initial: Any,
     strategy: str,
     max_rounds: Optional[int],
     config: ParallelConfig,
     *,
     level_label: str = "",
-):
+) -> Any:
     """Parallel fixed-point of per-node ``CompLumping`` over one level.
 
     ``nodes`` is the level's sorted ``(index, node)`` list and
@@ -175,7 +175,7 @@ def parallel_refinement_rounds(
     from repro.lumping.refinement import comp_lumping
     from repro.partitions import Partition
 
-    def refine_node(payload):
+    def refine_node(payload: Any) -> Any:
         position, class_vector = payload
         partition = Partition.from_labels(class_vector)
         _index, node = nodes[position]

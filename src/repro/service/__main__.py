@@ -25,6 +25,7 @@ import argparse
 import json
 import os
 import sys
+from typing import Optional, Sequence, Tuple
 
 from repro.robust.checkpoint import atomic_write_text
 from repro.robust.retry import RetryPolicy
@@ -41,13 +42,13 @@ EXIT_SHED = 5
 EXIT_NOT_DONE = 6
 
 
-def _open(store_root: str):
+def _open(store_root: str) -> Tuple[JobStore, ResultCache]:
     store = JobStore(store_root)
     cache = ResultCache(os.path.join(store_root, "cache"))
     return store, cache
 
 
-def _cmd_submit(args) -> int:
+def _cmd_submit(args: argparse.Namespace) -> int:
     store, cache = _open(args.store)
     if args.demo:
         spec = demo_spec(args.demo)
@@ -87,7 +88,7 @@ def _cmd_submit(args) -> int:
     return 0
 
 
-def _cmd_status(args) -> int:
+def _cmd_status(args: argparse.Namespace) -> int:
     store, _cache = _open(args.store)
     job_ids = args.jobs or store.list_jobs()
     if not job_ids:
@@ -123,7 +124,7 @@ def _cmd_status(args) -> int:
     return code
 
 
-def _cmd_result(args) -> int:
+def _cmd_result(args: argparse.Namespace) -> int:
     store, cache = _open(args.store)
     try:
         view = store.view(args.job)
@@ -168,7 +169,7 @@ def _cmd_result(args) -> int:
     return 0
 
 
-def _cmd_run_workers(args) -> int:
+def _cmd_run_workers(args: argparse.Namespace) -> int:
     store, cache = _open(args.store)
     policy_kwargs = {"backoff_initial_seconds": 0.1}
     if args.max_restarts is not None:
@@ -196,7 +197,7 @@ def _cmd_run_workers(args) -> int:
     return 0
 
 
-def _cmd_gc(args) -> int:
+def _cmd_gc(args: argparse.Namespace) -> int:
     store, cache = _open(args.store)
     removed = store.gc(keep_seconds=args.keep_seconds)
     pruned = 0
@@ -217,7 +218,7 @@ def _cmd_gc(args) -> int:
     return 0
 
 
-def main(argv=None) -> int:
+def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.service",
         description="Durable fault-tolerant analysis service.",

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Optional
+from typing import Any, Optional
 
 from repro.robust import faults
 from repro.robust.checkpoint import atomic_write_bytes
@@ -40,7 +40,9 @@ class ResultCache:
             self.root, spec_digest[:2], f"{spec_digest}.json"
         )
 
-    def get(self, spec_digest: str, report=None) -> Optional[dict]:
+    def get(
+        self, spec_digest: str, report: Optional[Any] = None
+    ) -> Optional[dict]:
         """The verified entry for ``spec_digest`` (a dict with
         ``result`` and ``digest`` keys), or ``None``.
 

@@ -336,7 +336,7 @@ class Dispatcher:
                 time.sleep(self.config.poll_interval_seconds)
 
     def _install_signals(self) -> None:
-        def _request_stop(_signum, _frame):
+        def _request_stop(_signum: int, _frame: object) -> None:
             self.stopping = True
 
         try:

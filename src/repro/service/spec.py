@@ -18,13 +18,49 @@ from __future__ import annotations
 
 import hashlib
 import json
-from typing import List, Optional
+from typing import Any, Dict, FrozenSet, List, Optional, Tuple
 
 from repro.errors import ReproError
 from repro.lumping.md_model import MDModel
 from repro.matrixdiagram.io import md_from_dict, md_to_dict
 
 SPEC_FORMAT = 1
+
+# ---------------------------------------------------------------------------
+# The job-lifecycle protocol.
+#
+# This table IS the service's protocol specification: the store enforces
+# it at runtime on every record append, and reprolint's RL011 rule
+# extracts it statically to verify every mutation site in store.py /
+# worker.py / dispatcher.py performs an allowed transition.  It lives
+# here — next to the spec format, away from the store's mechanics — so
+# that changing the protocol is an explicit spec change, not a store
+# implementation detail.
+# ---------------------------------------------------------------------------
+
+QUEUED = "queued"
+LEASED = "leased"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+DEAD = "dead"
+STATES: Tuple[str, ...] = (QUEUED, LEASED, RUNNING, DONE, FAILED, DEAD)
+TERMINAL_STATES: FrozenSet[str] = frozenset({DONE, FAILED, DEAD})
+
+#: Allowed transitions (from-state -> to-states).  ``None`` is the
+#: pre-submission pseudo-state.
+TRANSITIONS: Dict[Optional[str], FrozenSet[str]] = {
+    None: frozenset({QUEUED}),
+    # ``queued -> done`` is the submit-time cache hit; ``queued ->
+    # dead`` is recover() burying a job that exhausted its attempts.
+    QUEUED: frozenset({LEASED, DEAD, DONE, FAILED}),
+    # An expired lease at max attempts dead-letters directly from
+    # LEASED/RUNNING: the worker holding it is gone and will never
+    # write the requeue itself.  ``leased -> done`` is a worker's
+    # cache hit before start_running.
+    LEASED: frozenset({RUNNING, QUEUED, DEAD, DONE, FAILED}),
+    RUNNING: frozenset({RUNNING, QUEUED, DEAD, DONE, FAILED}),
+}
 
 _SOLVE_DEFAULTS = {
     "kind": "ordinary",
@@ -104,7 +140,7 @@ def solve_params(spec: dict) -> dict:
     return params
 
 
-def canonical_bytes(obj) -> bytes:
+def canonical_bytes(obj: Any) -> bytes:
     """The canonical JSON encoding digests are computed over: sorted
     keys, minimal separators, pure ASCII."""
     return json.dumps(

@@ -30,7 +30,7 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.errors import ReproError
 from repro.robust import faults
@@ -40,6 +40,15 @@ from repro.robust.checkpoint import (
 )
 from repro.robust.retry import RetryPolicy
 from repro.service.spec import (
+    DEAD,
+    DONE,
+    FAILED,
+    LEASED,
+    QUEUED,
+    RUNNING,
+    STATES,
+    TERMINAL_STATES,
+    TRANSITIONS,
     SpecError,
     canonical_bytes,
     canonical_digest,
@@ -47,28 +56,14 @@ from repro.service.spec import (
     verify_digest,
 )
 
+__all__ = [
+    "QUEUED", "LEASED", "RUNNING", "DONE", "FAILED", "DEAD",
+    "STATES", "TERMINAL_STATES", "TRANSITIONS",
+    "StoreError", "JobView", "SubmitOutcome", "RecoverStats", "JobStore",
+    "DEFAULT_LEASE_SECONDS", "DEFAULT_MAX_ATTEMPTS",
+]
+
 STORE_FORMAT = 1
-
-QUEUED = "queued"
-LEASED = "leased"
-RUNNING = "running"
-DONE = "done"
-FAILED = "failed"
-DEAD = "dead"
-STATES = (QUEUED, LEASED, RUNNING, DONE, FAILED, DEAD)
-TERMINAL_STATES = frozenset({DONE, FAILED, DEAD})
-
-#: Allowed transitions (from-state -> to-states).  ``None`` is the
-#: pre-submission pseudo-state.
-_TRANSITIONS: Dict[Optional[str], frozenset] = {
-    None: frozenset({QUEUED}),
-    QUEUED: frozenset({LEASED, DEAD, DONE, FAILED}),
-    # An expired lease at max attempts dead-letters directly from
-    # LEASED/RUNNING: the worker holding it is gone and will never
-    # write the requeue itself.
-    LEASED: frozenset({RUNNING, QUEUED, DEAD, DONE, FAILED}),
-    RUNNING: frozenset({RUNNING, QUEUED, DEAD, DONE, FAILED}),
-}
 
 DEFAULT_LEASE_SECONDS = 30.0
 DEFAULT_MAX_ATTEMPTS = 4
@@ -198,7 +193,9 @@ class JobStore:
     processes — can open the same root concurrently.
     """
 
-    def __init__(self, root: str, clock=time.time) -> None:
+    def __init__(
+        self, root: str, clock: Callable[[], float] = time.time
+    ) -> None:
         self.root = os.path.abspath(root)
         self.jobs_dir = os.path.join(self.root, "jobs")
         self.byhash_dir = os.path.join(self.root, "byhash")
@@ -314,11 +311,13 @@ class JobStore:
     # writing
     # ------------------------------------------------------------------
 
-    def _append(self, view: JobView, state: str, **fields) -> Optional[JobView]:
+    def _append(
+        self, view: JobView, state: str, **fields: Any
+    ) -> Optional[JobView]:
         """Append the next record via CAS.  Returns the refreshed view on
         success, ``None`` when another writer won the sequence slot (the
         caller must re-read and reconsider)."""
-        allowed = _TRANSITIONS.get(view.state, frozenset())
+        allowed = TRANSITIONS.get(view.state, frozenset())
         if state not in allowed:
             raise StoreError(
                 f"job {view.job_id}: illegal transition "
@@ -387,8 +386,8 @@ class JobStore:
         self,
         spec: dict,
         queue_limit: Optional[int] = None,
-        cache=None,
-        report=None,
+        cache: Optional[Any] = None,
+        report: Optional[Any] = None,
     ) -> SubmitOutcome:
         """Admit one job (or shed it, or resolve it from cache).
 
@@ -602,7 +601,7 @@ class JobStore:
         self,
         policy: Optional[RetryPolicy] = None,
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
-        report=None,
+        report: Optional[Any] = None,
     ) -> RecoverStats:
         """The deterministic crash-recovery scan.
 

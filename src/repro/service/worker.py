@@ -24,7 +24,7 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Any, Callable, List, Optional
 
 from repro.analysis import lump_and_solve
 from repro.robust import budgets, faults
@@ -140,9 +140,9 @@ class ServiceWorker:
         cache: ResultCache,
         worker_id: Optional[str] = None,
         lease_seconds: float = job_store.DEFAULT_LEASE_SECONDS,
-        heartbeat=None,
+        heartbeat: Optional[Any] = None,
         report: Optional[RunReport] = None,
-        sleep=time.sleep,
+        sleep: Callable[[float], None] = time.sleep,
         drain_when_empty: bool = True,
     ) -> None:
         self.store = store

@@ -1,0 +1,69 @@
+"""RL010 positive fixture (linted under a pretend checkpoint.py path).
+
+Four seeded violations, each a distinct sub-check of the rule, plus
+compliant variants of every pattern that must stay silent.
+"""
+
+import fcntl
+import os
+
+
+def blocking_raise_leak(fd):
+    # VIOLATION: blocking flock can raise (EINTR, ENOLCK) with the
+    # descriptor open and nothing closes it on that path.
+    fcntl.flock(fd, fcntl.LOCK_EX)
+    os.close(fd)
+
+
+def never_released(fd):
+    # VIOLATION: non-blocking flock with no release on any path.
+    fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+    os.fsync(fd)
+
+
+class LeakyPool:
+    def bad_acquire(self):
+        # VIOLATION: .acquire() on a lock with no matching release.
+        self._lock.acquire()
+        return self._run()
+
+    def solve_under_lock(self, spec):
+        # VIOLATION: a solve inside the manifest-lock region
+        # serializes every process sharing the lock.
+        with self._manifest_lock():
+            return solve(spec)
+
+
+def good_blocking(path):
+    fd = os.open(path, os.O_RDWR)
+    try:
+        fcntl.flock(fd, fcntl.LOCK_EX)
+    except OSError:
+        os.close(fd)
+        raise
+    return fd  # ownership transfer: the caller releases
+
+
+def good_finally(fd):
+    try:
+        fcntl.flock(fd, fcntl.LOCK_EX)
+        os.fsync(fd)
+    finally:
+        fcntl.flock(fd, fcntl.LOCK_UN)
+
+
+class TidyPool:
+    def good_acquire(self):
+        self._lock.acquire()
+        try:
+            return self._run()
+        finally:
+            self._lock.release()
+
+    def fast_update_under_lock(self):
+        with self._manifest_lock():
+            self._manifest["generation"] = 1
+
+
+def solve(spec):
+    return spec

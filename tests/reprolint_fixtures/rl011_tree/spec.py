@@ -1,0 +1,17 @@
+"""Fixture protocol spec: a transition table that (unlike the real
+service) forbids the leased -> done shortcut, so a worker completing a
+job it never started running is a seeded protocol fault."""
+
+QUEUED = "queued"
+LEASED = "leased"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+DEAD = "dead"
+
+TRANSITIONS = {
+    None: frozenset({QUEUED}),
+    QUEUED: frozenset({LEASED, DEAD}),
+    LEASED: frozenset({RUNNING, QUEUED, DEAD}),
+    RUNNING: frozenset({DONE, FAILED, QUEUED, DEAD}),
+}

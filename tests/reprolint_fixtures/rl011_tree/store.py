@@ -1,0 +1,24 @@
+"""Fixture job store: the class RL011 derives its API table from."""
+
+from repro.service.spec import DONE, LEASED, QUEUED, RUNNING
+
+
+class JobStore:
+    def _append(self, view, state):
+        return view
+
+    def claim(self, worker_id):
+        view = self._fetch(worker_id)
+        return self._append(view, LEASED)
+
+    def start_running(self, view):
+        return self._append(view, RUNNING)
+
+    def complete(self, view, result):
+        return self._append(view, DONE)
+
+    def requeue(self, view):
+        return self._append(view, QUEUED)
+
+    def _fetch(self, worker_id):
+        return worker_id

@@ -1,0 +1,10 @@
+"""Branch-ambiguous worker: the view's state differs between branches,
+so the drop-on-disagreement merge makes it unknown — RL011 must stay
+silent rather than guess (findings are first-iteration-true only)."""
+
+
+def run_once(store, worker_id, fast_path, payload):
+    view = store.claim(worker_id)
+    if not fast_path:
+        view = store.start_running(view)
+    return store.complete(view, payload)

@@ -1,0 +1,9 @@
+"""Seeded fault: completes a leased job without start_running first —
+an illegal leased -> done transition under the fixture spec."""
+
+
+def run_once(store, worker_id, payload):
+    view = store.claim(worker_id)
+    if view is None:
+        return None
+    return store.complete(view, payload)

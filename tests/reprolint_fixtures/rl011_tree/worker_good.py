@@ -1,0 +1,9 @@
+"""Protocol-conformant worker: claim -> start_running -> complete."""
+
+
+def run_once(store, worker_id, payload):
+    view = store.claim(worker_id)
+    if view is None:
+        return None
+    view = store.start_running(view)
+    return store.complete(view, payload)

@@ -1,0 +1,689 @@
+"""Tests for the cross-file reprolint engine (PR 8).
+
+Covers the project-wide rules — RL010 lock/lease discipline, RL011
+job-lifecycle protocol conformance, the interprocedural RL002 upgrade —
+plus the new CLI surface: ``--select`` validation, SARIF output
+(validated against a vendored SARIF 2.1.0 subset schema),
+``--changed-only`` incremental mode, and the suppression-directive
+audit (multi-code, justification, continuation lines, staleness).
+
+Fixture *trees* are linted in memory via ``lint_sources`` under
+pretend in-scope paths (files under ``tests/`` are out of every rule's
+scope by design), mirroring how the single-file fixtures are fed to
+``check_file``.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from pathlib import Path
+
+import pytest
+
+from reprolint import check_file, default_rules
+from reprolint.cli import run as cli_run
+from reprolint.core import parse_context
+from reprolint.engine import lint_sources
+from reprolint.graph import Project, module_name_for_path
+from reprolint.rules import known_codes, normalize_select
+from reprolint.rules.rl011_lifecycle_conformance import (
+    PRE,
+    _extract_protocol,
+)
+from reprolint.sarif import sarif_payload
+
+FIXTURES = Path(__file__).resolve().parent / "reprolint_fixtures"
+
+
+def _fixture(name: str) -> str:
+    return (FIXTURES / name).read_text(encoding="utf-8")
+
+
+def _tree(select, sources):
+    """Lint in-memory (path, text) pairs; return (findings, suppressed)."""
+    reports = lint_sources(default_rules(select), sources)
+    assert all(r.error is None for r in reports), [r.error for r in reports]
+    findings = [f for r in reports for f in r.findings]
+    suppressed = [f for r in reports for f in r.suppressed]
+    return findings, suppressed
+
+
+# ----------------------------------------------------------------------
+# RL010: lock/lease discipline
+# ----------------------------------------------------------------------
+
+
+def test_rl010_positive_fixture():
+    findings, _ = _tree(
+        ["RL010"],
+        [("src/repro/robust/checkpoint.py", _fixture("rl010_positive.py"))],
+    )
+    assert all(f.rule == "RL010" for f in findings)
+    assert len(findings) == 4, findings
+    messages = " | ".join(f.message for f in findings)
+    assert "descriptor open" in messages  # blocking-raise fd leak
+    assert "not released on all paths" in messages
+    assert "acquire() is not matched by a release" in messages
+    assert "blocking call solve()" in messages
+
+
+def test_rl010_suppressed_fixture():
+    findings, suppressed = _tree(
+        ["RL010"],
+        [("src/repro/robust/checkpoint.py", _fixture("rl010_suppressed.py"))],
+    )
+    assert findings == []
+    assert any(f.rule == "RL010" for f in suppressed)
+
+
+def test_rl010_out_of_scope_path_is_clean():
+    findings, _ = _tree(
+        ["RL010"],
+        [("src/repro/markov/iterate.py", _fixture("rl010_positive.py"))],
+    )
+    assert findings == []
+
+
+POOL_BLOCKING_VIA_HELPER = """\
+from repro.service.helpers import drain_results
+
+
+class Pool:
+    def flush(self):
+        with self._manifest_lock():
+            return drain_results(self)
+"""
+
+HELPER_THAT_SLEEPS = """\
+import time
+
+
+def drain_results(pool):
+    time.sleep(0.05)
+    return pool
+"""
+
+HELPER_THAT_RETURNS = """\
+def drain_results(pool):
+    return pool.results
+"""
+
+
+def test_rl010_blocking_reached_through_other_module():
+    findings, _ = _tree(
+        ["RL010"],
+        [
+            ("src/repro/service/pool.py", POOL_BLOCKING_VIA_HELPER),
+            ("src/repro/service/helpers.py", HELPER_THAT_SLEEPS),
+        ],
+    )
+    assert len(findings) == 1, findings
+    assert "time.sleep" in findings[0].message
+    assert "repro.service.helpers.drain_results" in findings[0].message
+
+
+def test_rl010_nonblocking_helper_under_lock_is_clean():
+    findings, _ = _tree(
+        ["RL010"],
+        [
+            ("src/repro/service/pool.py", POOL_BLOCKING_VIA_HELPER),
+            ("src/repro/service/helpers.py", HELPER_THAT_RETURNS),
+        ],
+    )
+    assert findings == []
+
+
+LOCKS_MANIFEST_THEN_STORE = """\
+class Store:
+    def rebalance(self):
+        with self._manifest_lock():
+            with self._store_lock():
+                return True
+"""
+
+LOCKS_STORE_THEN_MANIFEST = """\
+class Worker:
+    def publish(self):
+        with self._store_lock():
+            with self._manifest_lock():
+                return True
+"""
+
+
+def test_rl010_lock_order_inversion_flags_both_sites():
+    findings, _ = _tree(
+        ["RL010"],
+        [
+            ("src/repro/service/store.py", LOCKS_MANIFEST_THEN_STORE),
+            ("src/repro/service/worker.py", LOCKS_STORE_THEN_MANIFEST),
+        ],
+    )
+    assert len(findings) == 2, findings
+    assert {f.path for f in findings} == {
+        "src/repro/service/store.py",
+        "src/repro/service/worker.py",
+    }
+    assert all("inconsistent lock order" in f.message for f in findings)
+
+
+def test_rl010_consistent_lock_order_is_clean():
+    findings, _ = _tree(
+        ["RL010"],
+        [
+            ("src/repro/service/store.py", LOCKS_MANIFEST_THEN_STORE),
+            ("src/repro/service/worker.py", LOCKS_MANIFEST_THEN_STORE),
+        ],
+    )
+    assert findings == []
+
+
+def test_rl010_discarded_claim():
+    src = "def requeue(store, worker_id):\n    store.claim(worker_id)\n"
+    findings, _ = _tree(
+        ["RL010"], [("src/repro/service/dispatcher.py", src)]
+    )
+    assert len(findings) == 1
+    assert "claim() result discarded" in findings[0].message
+
+
+def test_rl010_bound_claim_is_clean():
+    src = (
+        "def requeue(store, worker_id):\n"
+        "    view = store.claim(worker_id)\n"
+        "    return view\n"
+    )
+    findings, _ = _tree(
+        ["RL010"], [("src/repro/service/dispatcher.py", src)]
+    )
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# RL011: job-lifecycle protocol conformance
+# ----------------------------------------------------------------------
+
+
+def _rl011_tree(worker_fixture: str):
+    return [
+        ("src/repro/service/spec.py", _fixture("rl011_tree/spec.py")),
+        ("src/repro/service/store.py", _fixture("rl011_tree/store.py")),
+        (
+            "src/repro/service/worker.py",
+            _fixture(f"rl011_tree/{worker_fixture}"),
+        ),
+    ]
+
+
+def test_rl011_catches_illegal_leased_to_done():
+    """Seeded-fault regression: a worker that completes a job without
+    start_running performs leased -> done, which the fixture spec's
+    TRANSITIONS table forbids — RL011 must catch it statically."""
+    findings, _ = _tree(["RL011"], _rl011_tree("worker_bad.py"))
+    assert [f.rule for f in findings] == ["RL011"], findings
+    (finding,) = findings
+    assert finding.path == "src/repro/service/worker.py"
+    assert "complete() performs 'leased' -> 'done'" in finding.message
+    assert "spec.py" in finding.message
+
+
+def test_rl011_conformant_worker_is_clean():
+    findings, _ = _tree(["RL011"], _rl011_tree("worker_good.py"))
+    assert findings == []
+
+
+def test_rl011_branch_disagreement_stays_silent():
+    """A view whose state differs across branches becomes unknown at
+    the merge — RL011 reports first-iteration-true facts only."""
+    findings, _ = _tree(["RL011"], _rl011_tree("worker_ambiguous.py"))
+    assert findings == []
+
+
+def test_rl011_suppressed_inline():
+    text = _fixture("rl011_tree/worker_bad.py").replace(
+        "return store.complete(view, payload)",
+        "return store.complete(view, payload)"
+        "  # reprolint: disable=RL011 -- replay path, store re-validates",
+    )
+    sources = _rl011_tree("worker_bad.py")[:2] + [
+        ("src/repro/service/worker.py", text)
+    ]
+    findings, suppressed = _tree(["RL011"], sources)
+    assert findings == []
+    assert any(f.rule == "RL011" for f in suppressed)
+
+
+def test_rl011_append_fence():
+    src = 'def kill(store, view):\n    return store._append(view, "dead")\n'
+    sources = _rl011_tree("worker_good.py") + [
+        ("src/repro/service/reaper.py", src)
+    ]
+    findings, _ = _tree(["RL011"], sources)
+    assert len(findings) == 1, findings
+    assert findings[0].path == "src/repro/service/reaper.py"
+    assert "JobStore API, not _append directly" in findings[0].message
+
+
+def test_rl011_silent_without_spec_table():
+    sources = _rl011_tree("worker_bad.py")[1:]  # drop spec.py
+    findings, _ = _tree(["RL011"], sources)
+    assert findings == []
+
+
+def test_rl011_protocol_extraction():
+    _report, ctx = parse_context(
+        "src/repro/service/spec.py", _fixture("rl011_tree/spec.py")
+    )
+    proto = _extract_protocol(ctx)
+    assert proto is not None
+    assert proto.table[PRE] == frozenset({"queued"})
+    assert proto.table["leased"] == frozenset({"running", "queued", "dead"})
+    assert "done" not in proto.table["leased"]
+
+
+def test_rl011_real_service_tree_extracts_real_table():
+    """The real spec.py/store.py must yield a protocol + store API
+    (the repo-tree-clean test then proves conformance)."""
+    repo = Path(__file__).resolve().parents[1]
+    spec_text = (repo / "src/repro/service/spec.py").read_text(
+        encoding="utf-8"
+    )
+    _report, ctx = parse_context("src/repro/service/spec.py", spec_text)
+    proto = _extract_protocol(ctx)
+    assert proto is not None
+    # the real table allows the worker cache-hit shortcut
+    assert "done" in proto.table["leased"]
+
+
+# ----------------------------------------------------------------------
+# RL002 interprocedural (RL002i)
+# ----------------------------------------------------------------------
+
+SOLVER_LOOP_CALLS_HELPER = """\
+from repro.markov.iterate import relax_once
+
+
+def power_iterate(matrix, vector, budget):
+    while True:
+        vector = relax_once(matrix, vector, budget)
+"""
+
+HELPER_WITH_HOOK = """\
+def relax_once(matrix, vector, budget):
+    budget.charge_iterations(1)
+    return matrix @ vector
+"""
+
+HELPER_WITHOUT_HOOK = """\
+def relax_once(matrix, vector, budget):
+    return matrix @ vector
+"""
+
+
+def test_rl002i_hook_in_other_module_is_clean():
+    findings, _ = _tree(
+        ["RL002"],
+        [
+            ("src/repro/markov/solvers.py", SOLVER_LOOP_CALLS_HELPER),
+            ("src/repro/markov/iterate.py", HELPER_WITH_HOOK),
+        ],
+    )
+    assert findings == []
+
+
+def test_rl002i_unhooked_helper_is_flagged():
+    findings, _ = _tree(
+        ["RL002"],
+        [
+            ("src/repro/markov/solvers.py", SOLVER_LOOP_CALLS_HELPER),
+            ("src/repro/markov/iterate.py", HELPER_WITHOUT_HOOK),
+        ],
+    )
+    assert len(findings) == 1, findings
+    assert findings[0].rule == "RL002"
+    assert findings[0].path == "src/repro/markov/solvers.py"
+
+
+def test_rl002i_local_helper_hook_is_clean_without_project():
+    """Standalone check_file has no cross-file graph; same-file
+    resolution must still find the hook one call down."""
+    text = (
+        "def helper(budget):\n"
+        "    budget.check_time()\n"
+        "\n"
+        "\n"
+        "def run(budget):\n"
+        "    while True:\n"
+        "        helper(budget)\n"
+    )
+    report = check_file(
+        default_rules(["RL002"]), "src/repro/markov/solvers.py", text=text
+    )
+    assert report.findings == []
+
+
+def test_rl002i_select_alias():
+    assert normalize_select(["RL002i"]) == ["RL002"]
+    assert normalize_select(["rl002i"]) == ["RL002"]
+
+
+# ----------------------------------------------------------------------
+# the project graph itself
+# ----------------------------------------------------------------------
+
+
+def test_module_name_for_path_strips_roots():
+    assert module_name_for_path("src/repro/service/store.py") == (
+        "repro.service.store"
+    )
+    assert module_name_for_path("tools/reprolint/core.py") == (
+        "reprolint.core"
+    )
+
+
+def test_project_call_graph_crosses_modules():
+    project = Project.from_sources(
+        [
+            ("src/repro/markov/solvers.py", SOLVER_LOOP_CALLS_HELPER),
+            ("src/repro/markov/iterate.py", HELPER_WITH_HOOK),
+        ]
+    )
+    edges = project.call_graph["repro.markov.solvers.power_iterate"]
+    assert "repro.markov.iterate.relax_once" in edges
+    reached = project.reachable_functions(
+        ["repro.markov.solvers.power_iterate"]
+    )
+    assert "repro.markov.iterate.relax_once" in reached
+
+
+# ----------------------------------------------------------------------
+# --select validation (CLI satellite)
+# ----------------------------------------------------------------------
+
+
+def _seed_toarray_tree(tmp_path: Path) -> Path:
+    pkg = tmp_path / "src" / "repro" / "lumping"
+    pkg.mkdir(parents=True)
+    mod = pkg / "fixture_mod.py"
+    mod.write_text(
+        "def f(m):\n    return m.toarray()\n", encoding="utf-8"
+    )
+    return mod
+
+
+def test_cli_select_unknown_code_names_known_codes(tmp_path, capsys):
+    _seed_toarray_tree(tmp_path)
+    code = cli_run(["--select", "RL999", str(tmp_path / "src")])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "unknown rule code 'RL999'" in err
+    for known in known_codes():
+        assert known in err
+
+
+def test_cli_select_malformed_code(tmp_path, capsys):
+    _seed_toarray_tree(tmp_path)
+    code = cli_run(["--select", ",", str(tmp_path / "src")])
+    assert code == 2
+    assert "malformed rule code" in capsys.readouterr().err
+
+
+def test_cli_select_duplicate_code(tmp_path, capsys):
+    _seed_toarray_tree(tmp_path)
+    code = cli_run(["--select", "RL003,RL003", str(tmp_path / "src")])
+    assert code == 2
+    assert "duplicate rule code 'RL003'" in capsys.readouterr().err
+
+
+def test_cli_select_alias_accepted(tmp_path, capsys):
+    _seed_toarray_tree(tmp_path)  # RL003 violation, but RL002 selected
+    code = cli_run(
+        ["--select", "RL002i", "--no-baseline", str(tmp_path / "src")]
+    )
+    capsys.readouterr()
+    assert code == 0
+
+
+# ----------------------------------------------------------------------
+# suppression directives (satellite: edge cases)
+# ----------------------------------------------------------------------
+
+
+def test_suppression_multi_code_one_used_one_stale():
+    text = (
+        "import time\n"
+        "\n"
+        "\n"
+        "def now():\n"
+        "    return time.time()"
+        "  # reprolint: disable=RL006,RL001 -- wall-clock display only\n"
+    )
+    reports = lint_sources(
+        default_rules(), [("src/repro/markov/runner.py", text)]
+    )
+    (report,) = reports
+    assert report.findings == []
+    assert any(f.rule == "RL006" for f in report.suppressed)
+    assert report.unjustified_suppressions == []
+    assert len(report.stale_suppressions) == 1
+    _line, stale_codes, _comment = report.stale_suppressions[0]
+    assert stale_codes == ("RL001",)
+
+
+def test_suppression_missing_why_is_reported():
+    text = (
+        "import time\n"
+        "\n"
+        "\n"
+        "def now():\n"
+        "    return time.time()  # reprolint: disable=RL006\n"
+    )
+    reports = lint_sources(
+        default_rules(), [("src/repro/markov/runner.py", text)]
+    )
+    (report,) = reports
+    assert report.findings == []  # still suppressed...
+    assert len(report.unjustified_suppressions) == 1  # ...but reported
+    _line, codes, _comment = report.unjustified_suppressions[0]
+    assert codes == ("RL006",)
+
+
+def test_suppression_on_continuation_line():
+    text = (
+        "def f(m):\n"
+        "    return (\n"
+        "        m\n"
+        "    ).toarray()  # reprolint: disable=RL003 -- dense is fine\n"
+    )
+    reports = lint_sources(
+        default_rules(), [("src/repro/lumping/fixture_mod.py", text)]
+    )
+    (report,) = reports
+    assert report.findings == []
+    assert any(f.rule == "RL003" for f in report.suppressed)
+    assert report.stale_suppressions == []
+
+
+def test_suppression_stale_is_reported():
+    text = (
+        "def f(items):\n"
+        "    return sorted(items)"
+        "  # reprolint: disable=RL001 -- leftover from old code\n"
+    )
+    reports = lint_sources(
+        default_rules(), [("src/repro/partitions/fixture_mod.py", text)]
+    )
+    (report,) = reports
+    assert report.findings == []
+    assert len(report.stale_suppressions) == 1
+
+
+def test_cli_text_reports_stale_and_unjustified(tmp_path, capsys):
+    pkg = tmp_path / "src" / "repro" / "markov"
+    pkg.mkdir(parents=True)
+    (pkg / "runner.py").write_text(
+        "import time\n"
+        "\n"
+        "\n"
+        "def now():\n"
+        "    return time.time()  # reprolint: disable=RL006\n"
+        "\n"
+        "\n"
+        "def f(items):\n"
+        "    return sorted(items)  # reprolint: disable=RL001 -- leftover\n",
+        encoding="utf-8",
+    )
+    code = cli_run(["--no-baseline", str(tmp_path / "src")])
+    out = capsys.readouterr().out
+    assert code == 0  # audit messages are advisory, not findings
+    assert "unjustified suppression" in out
+    assert "stale suppression" in out
+
+
+# ----------------------------------------------------------------------
+# SARIF output (validated against a vendored 2.1.0 subset schema)
+# ----------------------------------------------------------------------
+
+
+def _sarif_schema():
+    return json.loads(_fixture("sarif-2.1.0-subset.schema.json"))
+
+
+def test_sarif_payload_validates_against_schema():
+    jsonschema = pytest.importorskip("jsonschema")
+    rules = default_rules()
+    reports = lint_sources(
+        rules,
+        [
+            (
+                "src/repro/lumping/fixture_mod.py",
+                "def f(m):\n    return m.toarray()\n",
+            ),
+            (
+                "src/repro/lumping/quiet.py",
+                "def g(m):\n"
+                "    return m.toarray()"
+                "  # reprolint: disable=RL003 -- test\n",
+            ),
+        ],
+    )
+    findings = [f for r in reports for f in r.findings]
+    suppressed = [f for r in reports for f in r.suppressed]
+    assert findings and suppressed
+    payload = sarif_payload(
+        rules, findings, baselined=findings, suppressed=suppressed
+    )
+    jsonschema.validate(payload, _sarif_schema())
+    run = payload["runs"][0]
+    catalog = [r["id"] for r in run["tool"]["driver"]["rules"]]
+    assert catalog == known_codes()  # sorted, complete
+    states = {r.get("baselineState") for r in run["results"]}
+    assert "unchanged" in states
+    kinds = [
+        s["kind"]
+        for r in run["results"]
+        for s in r.get("suppressions", ())
+    ]
+    assert "inSource" in kinds
+
+
+def test_cli_sarif_output_validates(tmp_path, capsys):
+    jsonschema = pytest.importorskip("jsonschema")
+    _seed_toarray_tree(tmp_path)
+    code = cli_run(
+        [
+            "--root",
+            str(tmp_path),
+            "--no-baseline",
+            "--format",
+            "sarif",
+            str(tmp_path / "src"),
+        ]
+    )
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    jsonschema.validate(payload, _sarif_schema())
+    assert payload["version"] == "2.1.0"
+    (result,) = payload["runs"][0]["results"]
+    assert result["ruleId"] == "RL003"
+    index = result["ruleIndex"]
+    assert payload["runs"][0]["tool"]["driver"]["rules"][index]["id"] == (
+        "RL003"
+    )
+    location = result["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"] == (
+        "src/repro/lumping/fixture_mod.py"
+    )
+    assert location["region"]["startLine"] == 2
+
+
+# ----------------------------------------------------------------------
+# --changed-only incremental mode
+# ----------------------------------------------------------------------
+
+
+def _git(cwd: Path, *args: str) -> None:
+    subprocess.run(
+        ["git", *args], cwd=cwd, check=True, capture_output=True
+    )
+
+
+def test_cli_changed_only_reports_only_changed_files(tmp_path, capsys):
+    pkg = tmp_path / "src" / "repro" / "lumping"
+    pkg.mkdir(parents=True)
+    changed = pkg / "changed.py"
+    unchanged = pkg / "unchanged.py"
+    clean = "def f(items):\n    return sorted(items)\n"
+    bad = "def f(m):\n    return m.toarray()\n"
+    changed.write_text(clean, encoding="utf-8")
+    unchanged.write_text(bad, encoding="utf-8")  # pre-existing violation
+    try:
+        _git(tmp_path, "init", "-q")
+        _git(tmp_path, "add", "-A")
+        _git(
+            tmp_path,
+            "-c",
+            "user.email=lint@test.invalid",
+            "-c",
+            "user.name=lint",
+            "commit",
+            "-q",
+            "-m",
+            "seed",
+        )
+    except (OSError, subprocess.CalledProcessError) as exc:
+        pytest.skip(f"git unavailable: {exc}")
+    changed.write_text(bad, encoding="utf-8")  # the PR's edit
+    code = cli_run(
+        [
+            "--root",
+            str(tmp_path),
+            "--no-baseline",
+            "--format",
+            "json",
+            "--changed-only",
+            "HEAD",
+            str(tmp_path / "src"),
+        ]
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 1
+    paths = {f["path"] for f in payload["new_findings"]}
+    assert paths == {"src/repro/lumping/changed.py"}
+
+
+def test_cli_changed_only_outside_git_is_an_error(tmp_path, capsys):
+    _seed_toarray_tree(tmp_path)
+    code = cli_run(
+        [
+            "--root",
+            str(tmp_path),
+            "--no-baseline",
+            "--changed-only",
+            "HEAD",
+            str(tmp_path / "src"),
+        ]
+    )
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "git diff" in captured.err

@@ -1,16 +1,21 @@
-"""reprolint — AST-based invariant linter for this reproduction.
+"""reprolint — project-wide invariant linter for this reproduction.
 
-A domain-specific static-analysis pass that enforces the conventions the
-repo's headline guarantees rest on: deterministic iteration in the
+A domain-specific static-analysis engine that enforces the conventions
+the repo's headline guarantees rest on: deterministic iteration in the
 refinement/reachability hot paths (bitwise kill/resume equivalence),
-budget/checkpoint hooks in every unbounded loop (cooperative stops), no
-dense materialization of the matrices whose compactness is the paper's
-point, tolerance-based rate comparison, observable failure handling,
-and seeded randomness / single-source timing.
+budget/checkpoint hooks reachable from every unbounded loop
+(cooperative stops, checked interprocedurally through an approximate
+call graph), no dense materialization of the matrices whose compactness
+is the paper's point, tolerance-based rate comparison, observable
+failure handling, seeded randomness / single-source timing, lock/lease
+discipline in the multi-process layer (RL010), and job-lifecycle
+protocol conformance against the transition table in
+``service/spec.py`` (RL011).
 
-Run it as ``python -m reprolint [--format text|json] [--baseline FILE]
-paths...``; see ``docs/static-analysis.md`` for the rule catalog and the
-suppression/baseline workflow.
+Run it as ``python -m reprolint [--format text|json|sarif]
+[--baseline FILE] [--changed-only REF] paths...``; see
+``docs/static-analysis.md`` for the rule catalog, the call-graph
+approximation's limits, and the suppression/baseline workflow.
 """
 
 from __future__ import annotations
@@ -20,14 +25,16 @@ from reprolint.core import (
     FileContext,
     FileReport,
     Finding,
+    ProjectRule,
     Rule,
     check_file,
     iter_python_files,
+    parse_suppression_directives,
     parse_suppressions,
 )
 from reprolint.rules import RULE_CLASSES, default_rules
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 __all__ = [
     "Baseline",
@@ -36,11 +43,13 @@ __all__ = [
     "FileContext",
     "FileReport",
     "Finding",
+    "ProjectRule",
     "Rule",
     "RULE_CLASSES",
     "check_file",
     "default_rules",
     "iter_python_files",
+    "parse_suppression_directives",
     "parse_suppressions",
     "__version__",
 ]

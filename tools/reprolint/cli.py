@@ -4,24 +4,33 @@ Exit codes
 ----------
 0  no new findings (everything clean, suppressed, or baselined)
 1  new (non-baselined, non-suppressed) findings
-2  usage or environment error (bad baseline, unknown rule, no files)
+2  usage or environment error (bad baseline, unknown rule, no files,
+   unresolvable --changed-only ref)
 
 The default baseline is ``tools/reprolint/baseline.json`` relative to
 the current working directory when it exists; pass ``--baseline FILE``
 to override or ``--no-baseline`` to ignore it.
+
+``--changed-only REF`` is the diff-aware incremental mode: every file
+is still parsed (the cross-file rules need the whole call graph), but
+findings are only reported for files ``git diff --name-only REF``
+lists — what a PR check wants.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 import sys
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Set
 
 from reprolint.baseline import Baseline, BaselineError
-from reprolint.core import FileReport, Finding, check_file, iter_python_files
+from reprolint.core import FileReport, Finding, iter_python_files
+from reprolint.engine import lint_files
 from reprolint.rules import RULE_CLASSES, default_rules
+from reprolint.sarif import sarif_payload
 
 DEFAULT_BASELINE = Path("tools/reprolint/baseline.json")
 
@@ -30,9 +39,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="reprolint",
         description=(
-            "AST-based invariant linter: determinism, budget coverage, "
-            "sparse efficiency, tolerant comparison, observable failures, "
-            "seeded randomness"
+            "Project-wide invariant linter: determinism, budget "
+            "coverage, sparse efficiency, tolerant comparison, "
+            "observable failures, seeded randomness, lock/lease "
+            "discipline, job-lifecycle protocol conformance"
         ),
     )
     parser.add_argument(
@@ -40,7 +50,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="output format (default: text)",
     )
@@ -71,6 +81,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="repository root used to relativize paths (default: cwd)",
     )
     parser.add_argument(
+        "--changed-only",
+        metavar="GIT_REF",
+        default=None,
+        help=(
+            "report findings only for files changed since GIT_REF "
+            "(the full tree is still analyzed for cross-file rules)"
+        ),
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule catalog and exit",
@@ -88,6 +107,30 @@ def _line_content(report_root: Path, finding: Finding) -> str:
         return ""
 
 
+def _changed_paths(root: Path, ref: str) -> Optional[Set[str]]:
+    """Repo-relative posix paths changed since ``ref`` (committed or
+    not), or ``None`` when git cannot answer."""
+    try:
+        diff = subprocess.run(
+            # reprolint: disable=RL007 -- one-shot `git diff` metadata
+            # query, not a compute workload; rlimits/heartbeat/restart
+            # semantics do not apply
+            ["git", "diff", "--name-only", ref, "--"],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            timeout=30,
+            check=True,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    return {
+        line.strip()
+        for line in diff.stdout.splitlines()
+        if line.strip().endswith(".py")
+    }
+
+
 def run(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -101,8 +144,8 @@ def run(argv: Optional[Sequence[str]] = None) -> int:
         parser.error("paths are required (unless --list-rules)")
 
     select = (
-        [c.strip() for c in args.select.split(",") if c.strip()]
-        if args.select
+        [c.strip() for c in args.select.split(",")]
+        if args.select is not None
         else None
     )
     try:
@@ -135,13 +178,28 @@ def run(argv: Optional[Sequence[str]] = None) -> int:
         print("reprolint: no python files found", file=sys.stderr)
         return 2
 
-    reports: List[FileReport] = []
+    report_paths: Optional[Set[str]] = None
+    if args.changed_only:
+        report_paths = _changed_paths(root, args.changed_only)
+        if report_paths is None:
+            print(
+                f"reprolint: git diff against {args.changed_only!r} "
+                "failed; is this a git checkout?",
+                file=sys.stderr,
+            )
+            return 2
+
+    reports = lint_files(
+        rules,
+        [str(f) for f in files],
+        root=root,
+        report_paths=report_paths,
+    )
+
     new_findings: List[Finding] = []
     baselined: List[Finding] = []
     errors: List[str] = []
-    for file_path in files:
-        report = check_file(rules, str(file_path), root=root)
-        reports.append(report)
+    for report in reports:
         if report.error is not None:
             errors.append(f"{report.path}: {report.error}")
             continue
@@ -155,17 +213,44 @@ def run(argv: Optional[Sequence[str]] = None) -> int:
 
     stale = baseline.stale_entries() if baseline is not None else []
     suppressed_all = [f for r in reports for f in r.suppressed]
-    suppressed_total = len(suppressed_all)
+    unjustified = [
+        (r.path, line, codes, comment)
+        for r in reports
+        for (line, codes, comment) in r.unjustified_suppressions
+    ]
+    stale_suppressions = [
+        (r.path, line, codes, comment)
+        for r in reports
+        for (line, codes, comment) in r.stale_suppressions
+    ]
+    exit_code = 1 if (new_findings or errors) else 0
 
-    if args.format == "json":
+    if args.format == "sarif":
+        print(
+            json.dumps(
+                sarif_payload(
+                    rules, new_findings, baselined, suppressed_all
+                ),
+                indent=2,
+            )
+        )
+    elif args.format == "json":
         payload: Dict[str, object] = {
             "files_checked": len(files),
             "new_findings": [f.to_dict() for f in new_findings],
             "baselined": [f.to_dict() for f in baselined],
             "suppressed": [f.to_dict() for f in suppressed_all],
             "stale_baseline_entries": [e.to_dict() for e in stale],
+            "unjustified_suppressions": [
+                {"path": p, "line": line, "codes": list(codes)}
+                for (p, line, codes, _comment) in unjustified
+            ],
+            "stale_suppressions": [
+                {"path": p, "line": line, "codes": list(codes)}
+                for (p, line, codes, _comment) in stale_suppressions
+            ],
             "errors": errors,
-            "exit_code": 1 if (new_findings or errors) else 0,
+            "exit_code": exit_code,
         }
         print(json.dumps(payload, indent=2))
     else:
@@ -178,16 +263,28 @@ def run(argv: Optional[Sequence[str]] = None) -> int:
                 f"stale baseline entry (violation fixed — delete it): "
                 f"{entry.rule} {entry.path}: {entry.content!r}"
             )
+        for path, line, codes, _comment in stale_suppressions:
+            print(
+                f"stale suppression (nothing fired — delete it): "
+                f"{path}:{line}: {','.join(codes)}"
+            )
+        for path, line, codes, _comment in unjustified:
+            print(
+                f"unjustified suppression (add ` -- why`): "
+                f"{path}:{line}: {','.join(codes)}"
+            )
         summary = (
             f"reprolint: {len(files)} files, "
             f"{len(new_findings)} new finding(s), "
-            f"{len(baselined)} baselined, {suppressed_total} suppressed"
+            f"{len(baselined)} baselined, {len(suppressed_all)} suppressed"
         )
+        if report_paths is not None:
+            summary += f" (reported on {len(reports)} changed file(s))"
         if errors:
             summary += f", {len(errors)} file error(s)"
         print(summary)
 
-    return 1 if (new_findings or errors) else 0
+    return exit_code
 
 
 def main() -> None:

@@ -56,15 +56,38 @@ SUPPRESS_ALL = "all"
 _DISABLE_MARKER = "reprolint:"
 
 
-def parse_suppressions(text: str) -> Dict[int, Set[str]]:
-    """Map line number -> set of rule codes disabled on that line.
+@dataclass
+class SuppressionDirective:
+    """One ``# reprolint: disable=...`` comment.
 
-    Recognizes ``# reprolint: disable=RL001[,RL002...]`` and
+    ``line`` is the comment's own line; the directive also covers the
+    start line of the statement it sits inside, so a disable comment on
+    a continuation line of a multi-line call still silences the finding
+    (findings anchor to statement start lines).  ``justified`` records
+    whether a ``-- why`` trailer was present; ``used_codes`` accumulates
+    the codes that actually silenced a finding this run, so stale
+    suppressions (codes that no longer fire) can be reported.
+    """
+
+    line: int
+    codes: Tuple[str, ...]
+    justified: bool
+    comment: str
+    used_codes: Set[str] = field(default_factory=set)
+
+    def stale_codes(self) -> Tuple[str, ...]:
+        return tuple(c for c in self.codes if c not in self.used_codes)
+
+
+def parse_suppression_directives(text: str) -> List[SuppressionDirective]:
+    """Every suppression comment in ``text``, in line order.
+
+    Recognizes ``# reprolint: disable=RL001[,RL002...][ -- why]`` and
     ``# reprolint: disable=all``.  Malformed markers are ignored rather
     than raised: a typo'd suppression should surface as the finding it
     failed to silence, not as a crash.
     """
-    suppressions: Dict[int, Set[str]] = {}
+    directives: List[SuppressionDirective] = []
     try:
         tokens = tokenize.generate_tokens(io.StringIO(text).readline)
         for token in tokens:
@@ -77,15 +100,32 @@ def parse_suppressions(text: str) -> Dict[int, Set[str]]:
             directive = comment[marker_at + len(_DISABLE_MARKER):].strip()
             if not directive.startswith("disable="):
                 continue
-            codes = directive[len("disable="):]
-            # Allow a trailing justification after whitespace or " -- ".
-            codes = codes.split()[0] if codes.split() else ""
-            parsed = {c.strip() for c in codes.split(",") if c.strip()}
+            rest = directive[len("disable="):]
+            codes_part, sep, why = rest.partition(" -- ")
+            codes_text = codes_part.split()[0] if codes_part.split() else ""
+            parsed = tuple(
+                c.strip() for c in codes_text.split(",") if c.strip()
+            )
             if parsed:
-                line_set = suppressions.setdefault(token.start[0], set())
-                line_set.update(parsed)
+                directives.append(
+                    SuppressionDirective(
+                        line=token.start[0],
+                        codes=parsed,
+                        justified=bool(sep) and bool(why.strip()),
+                        comment=comment.strip(),
+                    )
+                )
     except tokenize.TokenError:
         pass  # partial token stream: keep whatever was parsed
+    return directives
+
+
+def parse_suppressions(text: str) -> Dict[int, Set[str]]:
+    """Map line number -> set of rule codes disabled on that line
+    (compatibility view over :func:`parse_suppression_directives`)."""
+    suppressions: Dict[int, Set[str]] = {}
+    for directive in parse_suppression_directives(text):
+        suppressions.setdefault(directive.line, set()).update(directive.codes)
     return suppressions
 
 
@@ -97,9 +137,19 @@ class FileContext:
         self.text = text
         self.tree = tree
         self.lines = text.splitlines()
-        self.suppressions = parse_suppressions(text)
+        self.directives = parse_suppression_directives(text)
+        self.suppressions: Dict[int, Set[str]] = {}
+        for directive in self.directives:
+            self.suppressions.setdefault(directive.line, set()).update(
+                directive.codes
+            )
+        #: Set by the engine when a cross-file Project is available.
+        self.project: Optional[object] = None
         self._parents: Optional[Dict[ast.AST, ast.AST]] = None
         self._scope_sets: Dict[ast.AST, Set[str]] = {}
+        self._directive_lines: Optional[
+            Dict[int, List[SuppressionDirective]]
+        ] = None
 
     # -- structure helpers -------------------------------------------------
 
@@ -159,11 +209,54 @@ class FileContext:
 
     # -- suppression -------------------------------------------------------
 
+    def _statement_start(self, line: int) -> Optional[int]:
+        """Start line of the innermost statement whose span covers
+        ``line`` — for compound statements, only the header (up to the
+        first body statement) counts as the span."""
+        best: Optional[Tuple[int, int]] = None  # (span length, start)
+        for node in ast.walk(self.tree):
+            if not isinstance(node, ast.stmt):
+                continue
+            start = node.lineno
+            end = getattr(node, "end_lineno", start) or start
+            body = getattr(node, "body", None)
+            if isinstance(body, list) and body and isinstance(
+                body[0], ast.stmt
+            ):
+                end = max(start, body[0].lineno - 1)
+            if start <= line <= end:
+                span = (end - start, start)
+                if best is None or span < best:
+                    best = span
+        return best[1] if best is not None else None
+
+    @property
+    def directive_lines(self) -> Dict[int, List[SuppressionDirective]]:
+        """Effective line -> directives covering it.  A directive covers
+        its own line plus the start line of the (possibly multi-line)
+        statement it annotates, so continuation-line comments work."""
+        if self._directive_lines is None:
+            mapping: Dict[int, List[SuppressionDirective]] = {}
+            for directive in self.directives:
+                lines = {directive.line}
+                start = self._statement_start(directive.line)
+                if start is not None:
+                    lines.add(start)
+                for line in lines:
+                    mapping.setdefault(line, []).append(directive)
+            self._directive_lines = mapping
+        return self._directive_lines
+
     def is_suppressed(self, rule: str, line: int) -> bool:
-        codes = self.suppressions.get(line)
-        if not codes:
-            return False
-        return rule in codes or SUPPRESS_ALL in codes
+        hit = False
+        for directive in self.directive_lines.get(line, ()):
+            if rule in directive.codes:
+                directive.used_codes.add(rule)
+                hit = True
+            elif SUPPRESS_ALL in directive.codes:
+                directive.used_codes.add(SUPPRESS_ALL)
+                hit = True
+        return hit
 
 
 def is_set_expression(node: ast.AST) -> bool:
@@ -224,6 +317,27 @@ class Rule:
         )
 
 
+class ProjectRule(Rule):
+    """Base class for cross-file rules.
+
+    A project rule sees the whole :class:`reprolint.graph.Project` at
+    once instead of single dispatched nodes; the engine runs it after
+    the per-file pass and routes each finding back through the owning
+    file's suppression and baseline machinery, so ``disable=`` comments
+    and the ledger work identically for both kinds of rule.
+    """
+
+    node_types: Tuple[Type[ast.AST], ...] = ()
+
+    def check_project(self, project: object) -> Iterator[Finding]:
+        """Yield findings over the whole project."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def check(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        return iter(())  # never dispatched per-node
+
+
 def is_test_path(path: str) -> bool:
     """True for files under a ``tests``/``test`` directory or ``conftest``."""
     parts = Path(path).parts
@@ -242,6 +356,95 @@ class FileReport:
     findings: List[Finding] = field(default_factory=list)
     suppressed: List[Finding] = field(default_factory=list)
     error: Optional[str] = None  # syntax/decoding error, if any
+    #: ``(line, codes, comment)`` for disable comments with no ``-- why``.
+    unjustified_suppressions: List[Tuple[int, Tuple[str, ...], str]] = field(
+        default_factory=list
+    )
+    #: ``(line, codes, comment)`` for disable codes that silenced nothing.
+    stale_suppressions: List[Tuple[int, Tuple[str, ...], str]] = field(
+        default_factory=list
+    )
+
+    def finish_suppression_audit(
+        self,
+        ctx: "FileContext",
+        active_codes: Optional[Set[str]] = None,
+    ) -> None:
+        """Record unjustified and stale directives once every rule (per
+        -file and project) has run against ``ctx``.  ``active_codes``
+        limits staleness reporting to rules that actually ran — a
+        ``--select`` subset must not declare other rules' suppressions
+        stale."""
+        for directive in ctx.directives:
+            if not directive.justified:
+                self.unjustified_suppressions.append(
+                    (directive.line, directive.codes, directive.comment)
+                )
+            stale = directive.stale_codes()
+            if active_codes is not None:
+                stale = tuple(
+                    c
+                    for c in stale
+                    if c in active_codes or c == SUPPRESS_ALL
+                )
+            if stale:
+                self.stale_suppressions.append(
+                    (directive.line, stale, directive.comment)
+                )
+
+
+def parse_context(
+    path: str,
+    text: Optional[str] = None,
+    *,
+    root: Optional[Path] = None,
+) -> Tuple[FileReport, Optional[FileContext]]:
+    """Read + parse one file into a :class:`FileContext`, or a report
+    carrying the IO/syntax error.  This is the only place a file is read
+    or parsed — per-file rules, project rules, and the call graph all
+    share the one context."""
+    display = normalize_path(path, root)
+    report = FileReport(path=display)
+    if text is None:
+        try:
+            text = Path(path).read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            report.error = f"unreadable: {exc}"
+            return report, None
+    try:
+        tree = ast.parse(text, filename=display)
+    except SyntaxError as exc:
+        report.error = f"syntax error: {exc.msg} (line {exc.lineno})"
+        return report, None
+    return report, FileContext(display, text, tree)
+
+
+def route_finding(
+    finding: Finding, ctx: FileContext, report: FileReport
+) -> None:
+    """File a finding under ``report``, honoring line suppressions."""
+    if ctx.is_suppressed(finding.rule, finding.line):
+        report.suppressed.append(finding)
+    else:
+        report.findings.append(finding)
+
+
+def run_file_rules(
+    rules: Sequence[Rule], ctx: FileContext, report: FileReport
+) -> None:
+    """Run every applicable per-file rule over ``ctx`` in a single AST
+    pass, routing findings into ``report``."""
+    active = [rule for rule in rules if rule.applies_to(ctx.path)]
+    if not active:
+        return
+    dispatch: Dict[Type[ast.AST], List[Rule]] = {}
+    for rule in active:
+        for node_type in rule.node_types:
+            dispatch.setdefault(node_type, []).append(rule)
+    for node in ast.walk(ctx.tree):
+        for rule in dispatch.get(type(node), ()):
+            for finding in rule.check(node, ctx):
+                route_finding(finding, ctx, report)
 
 
 def check_file(
@@ -251,40 +454,17 @@ def check_file(
     *,
     root: Optional[Path] = None,
 ) -> FileReport:
-    """Lint one file with every applicable rule in a single AST pass.
+    """Lint one file with every applicable per-file rule.
 
     ``path`` is used for rule scoping and reporting (normalized to a
     repo-relative posix path against ``root`` when given); ``text`` lets
-    callers lint in-memory sources, e.g. the test fixtures.
+    callers lint in-memory sources, e.g. the test fixtures.  Project
+    rules need the cross-file view and are run by the engine
+    (:mod:`reprolint.engine`), not here.
     """
-    display = normalize_path(path, root)
-    report = FileReport(path=display)
-    if text is None:
-        try:
-            text = Path(path).read_text(encoding="utf-8")
-        except (OSError, UnicodeDecodeError) as exc:
-            report.error = f"unreadable: {exc}"
-            return report
-    try:
-        tree = ast.parse(text, filename=display)
-    except SyntaxError as exc:
-        report.error = f"syntax error: {exc.msg} (line {exc.lineno})"
-        return report
-    active = [rule for rule in rules if rule.applies_to(display)]
-    if not active:
-        return report
-    dispatch: Dict[Type[ast.AST], List[Rule]] = {}
-    for rule in active:
-        for node_type in rule.node_types:
-            dispatch.setdefault(node_type, []).append(rule)
-    ctx = FileContext(display, text, tree)
-    for node in ast.walk(tree):
-        for rule in dispatch.get(type(node), ()):
-            for finding in rule.check(node, ctx):
-                if ctx.is_suppressed(finding.rule, finding.line):
-                    report.suppressed.append(finding)
-                else:
-                    report.findings.append(finding)
+    report, ctx = parse_context(path, text, root=root)
+    if ctx is not None:
+        run_file_rules(rules, ctx, report)
     return report
 
 

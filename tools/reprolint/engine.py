@@ -1,0 +1,101 @@
+"""The lint engine: one parse, two passes, one report per file.
+
+``lint_files`` is what the CLI, the benchmark harness, and the tests
+drive.  It parses every file exactly once, builds the cross-file
+:class:`~reprolint.graph.Project` from those same parses, runs the
+per-file rules (single AST walk per file), then the project rules
+(single call-graph build shared by all of them), and finally audits the
+suppression comments — a directive that silenced nothing is stale, one
+without a ``-- why`` is unjustified, and both are reported.
+
+``report_paths`` implements the diff-aware incremental mode: the whole
+tree is still parsed (project rules need the full graph — a lock order
+inversion is *between* files, one of which may be unchanged), but
+findings are only reported for the changed files.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from reprolint.core import (
+    FileContext,
+    FileReport,
+    ProjectRule,
+    Rule,
+    parse_context,
+    route_finding,
+    run_file_rules,
+)
+from reprolint.graph import Project
+
+
+def split_rules(
+    rules: Sequence[Rule],
+) -> Tuple[List[Rule], List[ProjectRule]]:
+    file_rules = [r for r in rules if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in rules if isinstance(r, ProjectRule)]
+    return file_rules, project_rules
+
+
+def lint_contexts(
+    rules: Sequence[Rule],
+    parsed: Sequence[Tuple[FileReport, Optional[FileContext]]],
+    *,
+    report_paths: Optional[Set[str]] = None,
+) -> List[FileReport]:
+    """Run both passes over already-parsed files (the in-memory entry
+    point tests use via :func:`lint_sources`)."""
+    file_rules, project_rules = split_rules(rules)
+    contexts = [ctx for _report, ctx in parsed if ctx is not None]
+    project = Project(contexts)
+    by_path: Dict[str, Tuple[FileReport, FileContext]] = {}
+    for report, ctx in parsed:
+        if ctx is None:
+            continue
+        ctx.project = project
+        by_path[ctx.path] = (report, ctx)
+    for report, ctx in parsed:
+        if ctx is not None:
+            run_file_rules(file_rules, ctx, report)
+    for rule in project_rules:
+        for finding in rule.check_project(project):
+            entry = by_path.get(finding.path)
+            if entry is None:
+                continue  # finding outside the linted set
+            report, ctx = entry
+            route_finding(finding, ctx, report)
+    active_codes = {r.code for r in rules}
+    for report, ctx in parsed:
+        if ctx is not None:
+            report.finish_suppression_audit(ctx, active_codes)
+    reports = [report for report, _ctx in parsed]
+    if report_paths is not None:
+        reports = [r for r in reports if r.path in report_paths]
+    return reports
+
+
+def lint_files(
+    rules: Sequence[Rule],
+    files: Sequence[str],
+    *,
+    root: Optional[Path] = None,
+    report_paths: Optional[Set[str]] = None,
+) -> List[FileReport]:
+    """Lint ``files`` (paths on disk) with per-file + project rules."""
+    parsed = [parse_context(str(path), root=root) for path in files]
+    return lint_contexts(rules, parsed, report_paths=report_paths)
+
+
+def lint_sources(
+    rules: Sequence[Rule],
+    sources: Sequence[Tuple[str, str]],
+    *,
+    report_paths: Optional[Set[str]] = None,
+) -> List[FileReport]:
+    """Lint in-memory ``(path, text)`` pairs — fixture trees in tests."""
+    parsed = [
+        parse_context(path, text) for path, text in sources
+    ]
+    return lint_contexts(rules, parsed, report_paths=report_paths)

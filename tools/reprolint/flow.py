@@ -1,0 +1,290 @@
+"""Flow-sensitive helpers for the project-wide rules.
+
+Two kinds of reasoning live here, both deliberately lighter than a real
+dataflow framework and both *sound for what they report*:
+
+* **Structural path facts** about one function's AST — is this call a
+  ``with``-item, is it protected by a ``try/finally`` whose finalizer
+  releases, does a release happen on the straight-line path before
+  anything can raise or return.  RL010 composes these into
+  "released on all paths".
+
+* **A branch-merging abstract walker** (:func:`walk_with_env`) that
+  threads a per-name environment through a function body, forking it at
+  ``if``/``try`` and merging with *drop-on-disagreement*: a name whose
+  state differs between branches becomes unknown and is never reported
+  on.  Loops are walked once with the pre-loop environment (states are
+  first-iteration-true, so nothing reported can be a phantom).  RL011
+  runs its job-state machine on top of this.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from reprolint.core import FileContext, dotted_name
+
+# ---------------------------------------------------------------------------
+# structural navigation
+# ---------------------------------------------------------------------------
+
+
+def ancestors(ctx: FileContext, node: ast.AST) -> Iterator[ast.AST]:
+    """Parents of ``node``, innermost first."""
+    current = ctx.parents.get(node)
+    while current is not None:
+        yield current
+        current = ctx.parents.get(current)
+
+
+def statement_of(ctx: FileContext, node: ast.AST) -> Optional[ast.stmt]:
+    """The nearest enclosing statement (the node itself if a stmt)."""
+    if isinstance(node, ast.stmt):
+        return node
+    for parent in ancestors(ctx, node):
+        if isinstance(parent, ast.stmt):
+            return parent
+    return None
+
+
+def enclosing_function_node(
+    ctx: FileContext, node: ast.AST
+) -> Optional[ast.AST]:
+    for parent in ancestors(ctx, node):
+        if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return parent
+    return None
+
+
+def call_name(call: ast.Call) -> Optional[str]:
+    """Best-effort name of the called thing: ``fcntl.flock`` for dotted
+    calls, the attribute for method calls, the bare name otherwise."""
+    func = call.func
+    dotted = dotted_name(func)
+    if dotted is not None:
+        return dotted
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def last_name_segment(name: Optional[str]) -> Optional[str]:
+    return None if name is None else name.rpartition(".")[2]
+
+
+def is_with_item(ctx: FileContext, call: ast.AST) -> bool:
+    """Whether ``call`` is (inside) a ``with``-item context expression —
+    the cleanup obligation is the context manager's."""
+    current: ast.AST = call
+    for parent in ancestors(ctx, call):
+        if isinstance(parent, ast.withitem) and parent.context_expr is current:
+            return True
+        if isinstance(parent, ast.stmt):
+            break
+        current = parent
+    # ``with a.b(call()):`` — the call nested inside the item expr.
+    for parent in ancestors(ctx, call):
+        if isinstance(parent, ast.withitem):
+            return True
+        if isinstance(parent, ast.stmt):
+            break
+    return False
+
+
+def protected_by_finally(
+    ctx: FileContext,
+    node: ast.AST,
+    release_pred: Callable[[ast.AST], bool],
+) -> bool:
+    """Whether ``node`` sits in the try-body (or else-body) of a ``Try``
+    whose ``finally`` block contains a node matching ``release_pred``."""
+    current: ast.AST = node
+    for parent in ancestors(ctx, node):
+        if isinstance(parent, ast.Try) and parent.finalbody:
+            in_protected_region = any(
+                _contains(stmt, current) for stmt in parent.body
+            ) or any(_contains(stmt, current) for stmt in parent.orelse)
+            if in_protected_region:
+                for stmt in parent.finalbody:
+                    if any(release_pred(n) for n in ast.walk(stmt)):
+                        return True
+        current = parent
+    return False
+
+
+def _contains(root: ast.AST, target: ast.AST) -> bool:
+    return any(node is target for node in ast.walk(root))
+
+
+def containing_block(
+    ctx: FileContext, stmt: ast.stmt
+) -> Tuple[Optional[List[ast.stmt]], int]:
+    """The statement list holding ``stmt`` and its index in it."""
+    parent = ctx.parents.get(stmt)
+    if parent is None:
+        return None, -1
+    for field_name in ("body", "orelse", "finalbody"):
+        block = getattr(parent, field_name, None)
+        if isinstance(block, list):
+            for index, candidate in enumerate(block):
+                if candidate is stmt:
+                    return block, index
+    return None, -1
+
+
+def linearly_released(
+    block: Sequence[ast.stmt],
+    index: int,
+    release_pred: Callable[[ast.AST], bool],
+) -> bool:
+    """Whether the straight-line suffix of ``block`` after position
+    ``index`` releases before anything can divert control: any call
+    (may raise), any compound statement, or an early exit between the
+    acquire and the release defeats the pattern — that is exactly the
+    window a crash leaks the lock through."""
+    for stmt in block[index + 1 :]:
+        if any(release_pred(node) for node in ast.walk(stmt)):
+            return True
+        if isinstance(
+            stmt,
+            (ast.Return, ast.Raise, ast.Break, ast.Continue, ast.If,
+             ast.For, ast.While, ast.Try, ast.With),
+        ):
+            return False
+        if any(isinstance(node, ast.Call) for node in ast.walk(stmt)):
+            return False
+    return False
+
+
+def returned_names(func_node: ast.AST) -> set:
+    """Names the function may return (directly or in a tuple) — used
+    for the ownership-transfer pattern: returning a locked handle hands
+    the release obligation to the caller."""
+    names: set = set()
+    for node in ast.walk(func_node):
+        if isinstance(node, ast.Return) and node.value is not None:
+            values = (
+                node.value.elts
+                if isinstance(node.value, ast.Tuple)
+                else [node.value]
+            )
+            for value in values:
+                if isinstance(value, ast.Name):
+                    names.add(value.id)
+    return names
+
+
+# ---------------------------------------------------------------------------
+# branch-merging abstract walker
+# ---------------------------------------------------------------------------
+
+#: Environment mapping variable name -> abstract state (rule-defined).
+Env = Dict[str, object]
+
+#: ``transfer(node, env)`` is invoked with every *simple* statement and
+#: every compound-statement header expression (if/while tests, for
+#: iterables, with items), in control-flow order.  It mutates ``env``
+#: and performs the rule's checks.
+Transfer = Callable[[ast.AST, Env], None]
+
+
+def _merge(*envs: Env) -> Env:
+    """Keep only the bindings every environment agrees on."""
+    if not envs:
+        return {}
+    merged = dict(envs[0])
+    for env in envs[1:]:
+        for key in list(merged):
+            if env.get(key) != merged[key]:
+                del merged[key]
+    return merged
+
+
+def walk_with_env(
+    body: Sequence[ast.stmt], env: Env, transfer: Transfer
+) -> bool:
+    """Walk ``body`` threading ``env`` through it.  Returns whether
+    control can fall off the end (False: every path returns/raises/
+    breaks).  Nested function/class definitions are not entered."""
+    for stmt in body:
+        if isinstance(stmt, ast.If):
+            transfer(stmt.test, env)
+            then_env, else_env = dict(env), dict(env)
+            then_falls = walk_with_env(stmt.body, then_env, transfer)
+            else_falls = walk_with_env(stmt.orelse, else_env, transfer)
+            if then_falls and else_falls:
+                merged = _merge(then_env, else_env)
+            elif then_falls:
+                merged = then_env
+            elif else_falls:
+                merged = else_env
+            else:
+                return False
+            env.clear()
+            env.update(merged)
+        elif isinstance(stmt, ast.While):
+            transfer(stmt.test, env)
+            loop_env = dict(env)
+            walk_with_env(stmt.body, loop_env, transfer)
+            merged = _merge(env, loop_env)
+            env.clear()
+            env.update(merged)
+            if stmt.orelse and not walk_with_env(stmt.orelse, env, transfer):
+                return False
+        elif isinstance(stmt, ast.For):
+            transfer(stmt.iter, env)
+            if isinstance(stmt.target, ast.Name):
+                env.pop(stmt.target.id, None)
+            loop_env = dict(env)
+            walk_with_env(stmt.body, loop_env, transfer)
+            merged = _merge(env, loop_env)
+            env.clear()
+            env.update(merged)
+            if stmt.orelse and not walk_with_env(stmt.orelse, env, transfer):
+                return False
+        elif isinstance(stmt, ast.With):
+            for item in stmt.items:
+                transfer(item.context_expr, env)
+                if isinstance(item.optional_vars, ast.Name):
+                    env.pop(item.optional_vars.id, None)
+            if not walk_with_env(stmt.body, env, transfer):
+                return False
+        elif isinstance(stmt, ast.Try):
+            pre_body = dict(env)
+            body_falls = walk_with_env(stmt.body, env, transfer)
+            # A handler can run with the body partially executed:
+            # give it only the bindings pre- and post-body agree on.
+            handler_base = _merge(pre_body, env)
+            handler_envs: List[Env] = []
+            handler_falls = False
+            for handler in stmt.handlers:
+                handler_env = dict(handler_base)
+                if walk_with_env(handler.body, handler_env, transfer):
+                    handler_falls = True
+                    handler_envs.append(handler_env)
+            if body_falls and stmt.orelse:
+                body_falls = walk_with_env(stmt.orelse, env, transfer)
+            exits = ([env] if body_falls else []) + handler_envs
+            if not exits and not stmt.finalbody:
+                return False
+            merged = _merge(*exits) if exits else dict(handler_base)
+            env.clear()
+            env.update(merged)
+            if stmt.finalbody:
+                if not walk_with_env(stmt.finalbody, env, transfer):
+                    return False
+                if not exits:
+                    return False
+        elif isinstance(stmt, (ast.Return, ast.Raise)):
+            transfer(stmt, env)
+            return False
+        elif isinstance(stmt, (ast.Break, ast.Continue)):
+            return False
+        elif isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        else:
+            transfer(stmt, env)
+    return True

@@ -1,0 +1,359 @@
+"""Project-wide structure: import graph and approximate call graph.
+
+Per-file rules see one AST at a time; the cross-file rule families
+(RL010 lock discipline, RL011 lifecycle conformance, the
+interprocedural RL002) need to know *who calls whom across modules* —
+a lease renewed in ``worker.py`` from a pulse installed in
+``heartbeat.py`` is invisible to any single-file pass.  A
+:class:`Project` is built once per lint run from the same parse the
+per-file pass uses (no file is read or parsed twice) and provides:
+
+* a **module index** — repo path -> dotted module name -> parsed
+  :class:`~reprolint.core.FileContext`;
+* an **import graph** — per module, the local-name -> absolute-target
+  binding each ``import``/``from ... import`` creates;
+* a **function index** — every function/method, addressable by
+  qualified name (``repro.service.worker.ServiceWorker._solve``) and by
+  bare name (for the attribute-call approximation);
+* an **approximate call graph** — resolved edges between those
+  functions, with :meth:`Project.reachable_functions` for bounded-depth
+  reachability queries.
+
+Approximation contract (documented in docs/static-analysis.md): bare
+names resolve through module scope and imports exactly; ``self.m()``
+resolves to methods named ``m`` on the enclosing class first, then any
+class in the project; other attribute calls (``obj.m()``) resolve
+*name-based* to every project function/method named ``m``.  Dynamic
+dispatch, ``getattr``, decorators that replace functions, and callables
+passed as values are not modeled — the graph over-approximates edges
+for attribute calls and under-approximates for indirection, and every
+rule built on it states which direction it can afford to be wrong in.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from reprolint.core import FileContext, dotted_name
+
+
+def module_name_for_path(path: str) -> str:
+    """Dotted module name for a repo-relative posix path.
+
+    ``src/`` and ``tools/`` prefixes are stripped (both are package
+    roots in this repo); ``__init__.py`` names the package itself.
+    """
+    parts = [p for p in path.split("/") if p]
+    if parts and parts[0] in ("src", "tools"):
+        parts = parts[1:]
+    if not parts:
+        return ""
+    last = parts[-1]
+    if last.endswith(".py"):
+        last = last[: -len(".py")]
+    if last == "__init__":
+        parts = parts[:-1]
+    else:
+        parts = parts[:-1] + [last]
+    return ".".join(parts)
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method in the project."""
+
+    qname: str  # module.[Class.]name
+    module: str
+    name: str
+    class_name: Optional[str]
+    path: str
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+
+    @property
+    def line(self) -> int:
+        return getattr(self.node, "lineno", 1)
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module and its name bindings."""
+
+    path: str
+    name: str
+    ctx: FileContext
+    #: local name -> absolute dotted target (module or module.attr).
+    imports: Dict[str, str] = field(default_factory=dict)
+    #: function/method qname-suffix within this module -> FunctionInfo.
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    #: class name -> {method name -> FunctionInfo}
+    classes: Dict[str, Dict[str, FunctionInfo]] = field(default_factory=dict)
+
+    @property
+    def tree(self) -> ast.Module:
+        return self.ctx.tree
+
+
+class Project:
+    """The cross-file view: modules, imports, functions, call edges."""
+
+    def __init__(self, contexts: Iterable[FileContext]) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.by_path: Dict[str, ModuleInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.by_simple_name: Dict[str, List[FunctionInfo]] = {}
+        self._call_graph: Optional[Dict[str, Set[str]]] = None
+        for ctx in contexts:
+            self._index_module(ctx)
+
+    # ------------------------------------------------------------------
+    # indexing
+    # ------------------------------------------------------------------
+
+    def _index_module(self, ctx: FileContext) -> None:
+        name = module_name_for_path(ctx.path)
+        info = ModuleInfo(path=ctx.path, name=name, ctx=ctx)
+        self.modules[name] = info
+        self.by_path[ctx.path] = info
+        self._index_imports(info)
+        self._index_functions(info)
+
+    def _index_imports(self, info: ModuleInfo) -> None:
+        for node in ast.walk(info.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    info.imports[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                if node.module is None or node.level:
+                    # Relative imports: resolve against the package.
+                    package = info.name.rsplit(".", max(0, node.level))[0] if node.level else info.name
+                    base = package + ("." + node.module if node.module else "")
+                else:
+                    base = node.module
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    info.imports[local] = f"{base}.{alias.name}"
+
+    def _index_functions(self, info: ModuleInfo) -> None:
+        def register(fn: FunctionInfo) -> None:
+            self.functions[fn.qname] = fn
+            self.by_simple_name.setdefault(fn.name, []).append(fn)
+            suffix = fn.name if fn.class_name is None else f"{fn.class_name}.{fn.name}"
+            info.functions[suffix] = fn
+
+        for node in info.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                register(
+                    FunctionInfo(
+                        qname=f"{info.name}.{node.name}",
+                        module=info.name,
+                        name=node.name,
+                        class_name=None,
+                        path=info.path,
+                        node=node,
+                    )
+                )
+            elif isinstance(node, ast.ClassDef):
+                methods: Dict[str, FunctionInfo] = {}
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        fn = FunctionInfo(
+                            qname=f"{info.name}.{node.name}.{item.name}",
+                            module=info.name,
+                            name=item.name,
+                            class_name=node.name,
+                            path=info.path,
+                            node=item,
+                        )
+                        register(fn)
+                        methods[item.name] = fn
+                info.classes[node.name] = methods
+
+    # ------------------------------------------------------------------
+    # resolution
+    # ------------------------------------------------------------------
+
+    def module_of(self, path: str) -> Optional[ModuleInfo]:
+        return self.by_path.get(path)
+
+    def enclosing_function(
+        self, ctx: FileContext, node: ast.AST
+    ) -> Optional[FunctionInfo]:
+        """The indexed FunctionInfo whose body contains ``node``."""
+        info = self.by_path.get(ctx.path)
+        if info is None:
+            return None
+        current: Optional[ast.AST] = node
+        while current is not None:
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for fn in info.functions.values():
+                    if fn.node is current:
+                        return fn
+            current = ctx.parents.get(current)
+        return None
+
+    def _enclosing_class_name(
+        self, info: ModuleInfo, node: ast.AST
+    ) -> Optional[str]:
+        current = info.ctx.parents.get(node)
+        while current is not None:
+            if isinstance(current, ast.ClassDef):
+                return current.name
+            current = info.ctx.parents.get(current)
+        return None
+
+    def resolve_call(
+        self, call: ast.Call, info: ModuleInfo
+    ) -> List[FunctionInfo]:
+        """Project functions a call expression may target (approximate).
+
+        Empty for calls the project cannot see (stdlib, numpy, callables
+        passed as values) — callers must treat "no targets" as opaque,
+        not as "calls nothing".
+        """
+        func = call.func
+        if isinstance(func, ast.Name):
+            return self._resolve_bare(func.id, info)
+        if isinstance(func, ast.Attribute):
+            return self._resolve_attribute(func, call, info)
+        return []
+
+    def _resolve_bare(self, name: str, info: ModuleInfo) -> List[FunctionInfo]:
+        fn = info.functions.get(name)
+        if fn is not None:
+            return [fn]
+        target = info.imports.get(name)
+        if target is not None:
+            resolved = self.functions.get(target)
+            if resolved is not None:
+                return [resolved]
+            # ``from x import Class`` + ``Class()``: constructor.
+            mod_name, _, attr = target.rpartition(".")
+            mod = self.modules.get(mod_name)
+            if mod is not None and attr in mod.classes:
+                init = mod.classes[attr].get("__init__")
+                return [init] if init is not None else []
+        return []
+
+    def _resolve_attribute(
+        self, func: ast.Attribute, call: ast.Call, info: ModuleInfo
+    ) -> List[FunctionInfo]:
+        attr = func.attr
+        base = func.value
+        # self.m() / cls.m(): the enclosing class first (exact), then
+        # name-based fallback.
+        if isinstance(base, ast.Name) and base.id in ("self", "cls"):
+            class_name = self._enclosing_class_name(info, call)
+            if class_name is not None:
+                method = info.classes.get(class_name, {}).get(attr)
+                if method is not None:
+                    return [method]
+            return self._name_based(attr, methods_only=True)
+        # module.m() through an import binding.
+        dotted = dotted_name(func)
+        if dotted is not None:
+            head, _, rest = dotted.partition(".")
+            target_base = info.imports.get(head)
+            if target_base is not None and rest:
+                fn = self.functions.get(f"{target_base}.{rest}")
+                if fn is not None:
+                    return [fn]
+                tail = rest.split(".")[-1]
+                mod = self.modules.get(target_base)
+                if mod is not None:
+                    hit = mod.functions.get(rest) or mod.functions.get(tail)
+                    if hit is not None:
+                        return [hit]
+        # obj.m(): name-based approximation over project methods.
+        return self._name_based(attr, methods_only=True)
+
+    def _name_based(self, name: str, methods_only: bool) -> List[FunctionInfo]:
+        hits = self.by_simple_name.get(name, [])
+        if methods_only:
+            scoped = [fn for fn in hits if fn.class_name is not None]
+            return scoped if scoped else hits
+        return hits
+
+    # ------------------------------------------------------------------
+    # call graph and reachability
+    # ------------------------------------------------------------------
+
+    @property
+    def call_graph(self) -> Dict[str, Set[str]]:
+        """qname -> set of callee qnames (built lazily, once)."""
+        if self._call_graph is None:
+            graph: Dict[str, Set[str]] = {}
+            for fn in self.functions.values():
+                info = self.by_path[fn.path]
+                callees: Set[str] = set()
+                for node in ast.walk(fn.node):
+                    if isinstance(node, ast.Call):
+                        inner = self.enclosing_function(info.ctx, node)
+                        if inner is not None and inner.qname != fn.qname:
+                            continue  # belongs to a nested function
+                        for target in self.resolve_call(node, info):
+                            callees.add(target.qname)
+                graph[fn.qname] = callees
+            self._call_graph = graph
+        return self._call_graph
+
+    def calls_in(
+        self, body: Sequence[ast.stmt] | ast.AST, info: ModuleInfo
+    ) -> List[Tuple[ast.Call, List[FunctionInfo]]]:
+        """Every call in ``body`` with its resolved project targets."""
+        nodes: List[ast.AST] = (
+            list(body) if isinstance(body, (list, tuple)) else [body]
+        )
+        out: List[Tuple[ast.Call, List[FunctionInfo]]] = []
+        for root in nodes:
+            for node in ast.walk(root):
+                if isinstance(node, ast.Call):
+                    out.append((node, self.resolve_call(node, info)))
+        return out
+
+    def reachable_functions(
+        self, roots: Iterable[str], max_depth: int = 6
+    ) -> Set[str]:
+        """qnames reachable from ``roots`` through <= ``max_depth`` call
+        edges (the roots themselves included when indexed)."""
+        graph = self.call_graph
+        seen: Set[str] = set()
+        frontier = [q for q in roots if q in graph]
+        seen.update(frontier)
+        for _ in range(max_depth):
+            if not frontier:
+                break
+            nxt: List[str] = []
+            for qname in frontier:
+                for callee in graph.get(qname, ()):
+                    if callee not in seen:
+                        seen.add(callee)
+                        nxt.append(callee)
+            frontier = nxt
+        return seen
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_sources(
+        cls, sources: Iterable[Tuple[str, str]]
+    ) -> "Project":
+        """Build a project from ``(repo-relative path, source)`` pairs —
+        how tests assemble fixture trees without touching disk.  Files
+        that fail to parse are skipped (the per-file pass reports them).
+        """
+        contexts = []
+        for path, text in sources:
+            try:
+                tree = ast.parse(text, filename=path)
+            except SyntaxError:
+                continue
+            contexts.append(FileContext(path, text, tree))
+        return cls(contexts)

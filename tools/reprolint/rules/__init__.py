@@ -1,12 +1,14 @@
 """Rule registry: the default rule set, addressable by code.
 
 Adding a rule = writing a module with a :class:`reprolint.core.Rule`
-subclass and listing it here.  ``default_rules()`` returns fresh
-instances so concurrent/linting-in-tests runs never share rule state.
+(or :class:`reprolint.core.ProjectRule`) subclass and listing it here.
+``default_rules()`` returns fresh instances so concurrent/linting-in-
+tests runs never share rule state.
 """
 
 from __future__ import annotations
 
+import re
 from typing import Dict, List, Optional, Sequence, Type
 
 from reprolint.core import Rule
@@ -25,6 +27,8 @@ from reprolint.rules.rl008_adhoc_parallelism import AdHocParallelism
 from reprolint.rules.rl009_nondurable_service_write import (
     NonDurableServiceWrite,
 )
+from reprolint.rules.rl010_lock_discipline import LockDiscipline
+from reprolint.rules.rl011_lifecycle_conformance import LifecycleConformance
 
 RULE_CLASSES: Sequence[Type[Rule]] = (
     NondeterministicIteration,
@@ -36,21 +40,59 @@ RULE_CLASSES: Sequence[Type[Rule]] = (
     UnsupervisedSubprocess,
     AdHocParallelism,
     NonDurableServiceWrite,
+    LockDiscipline,
+    LifecycleConformance,
 )
+
+#: Historical/alternate spellings accepted by ``--select``.  ``RL002i``
+#: is the interprocedural RL002 upgrade's working name — same rule.
+SELECT_ALIASES: Dict[str, str] = {"RL002I": "RL002"}
+
+_CODE_RE = re.compile(r"^RL\d{3}$")
+
+
+def known_codes() -> List[str]:
+    return sorted(cls.code for cls in RULE_CLASSES)
+
+
+def normalize_select(select: Sequence[str]) -> List[str]:
+    """Validate a ``--select`` code list: resolve aliases, reject
+    malformed codes, unknown codes, empty selections, and duplicates —
+    each with a one-line ``ValueError`` naming the valid codes, so a
+    typo never silently lints with zero rules."""
+    by_code = {cls.code for cls in RULE_CLASSES}
+    resolved: List[str] = []
+    for raw in select:
+        code = SELECT_ALIASES.get(raw.upper(), raw)
+        if not _CODE_RE.match(code):
+            raise ValueError(
+                f"malformed rule code {raw!r} (expected RLnnn); "
+                f"known: {known_codes()}"
+            )
+        if code not in by_code:
+            raise ValueError(
+                f"unknown rule code {raw!r}; known: {known_codes()}"
+            )
+        if code in resolved:
+            raise ValueError(
+                f"duplicate rule code {raw!r} in --select"
+            )
+        resolved.append(code)
+    if not resolved:
+        raise ValueError(
+            f"--select selected no rules; known: {known_codes()}"
+        )
+    return resolved
 
 
 def default_rules(select: Optional[Sequence[str]] = None) -> List[Rule]:
     """Fresh instances of the registered rules.
 
-    ``select`` restricts to specific codes (unknown codes raise
-    ``ValueError`` so a typo'd ``--select`` fails loudly).
+    ``select`` restricts to specific codes; malformed, unknown,
+    duplicate, or empty selections raise ``ValueError`` so a typo'd
+    ``--select`` fails loudly instead of matching nothing.
     """
     by_code: Dict[str, Type[Rule]] = {cls.code: cls for cls in RULE_CLASSES}
     if select is None:
         return [cls() for cls in RULE_CLASSES]
-    unknown = [code for code in select if code not in by_code]
-    if unknown:
-        raise ValueError(
-            f"unknown rule code(s) {unknown}; known: {sorted(by_code)}"
-        )
-    return [by_code[code]() for code in select]
+    return [by_code[code]() for code in normalize_select(select)]

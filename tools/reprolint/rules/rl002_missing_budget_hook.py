@@ -8,13 +8,25 @@ or iteration cap can stop the loop, and the only place a checkpoint
 tick can fire.  A new ``while`` loop that forgets the hook silently
 re-opens the "runs forever, cannot be killed cleanly" failure mode the
 robustness layer was built to close.
+
+Interprocedural since PR 8 (the check was previously "the loop body
+*textually* contains a hook call"): a loop whose body calls a helper
+that charges the budget is compliant — the hook only has to be
+*reachable through the call graph* from the loop body, to a bounded
+depth.  This kills both failure modes of the textual check: the false
+negative where a refactor moves the loop body into an un-hooked helper
+(textually hooked at the old site, silently unhooked at the new one),
+and the suppression noise on loops whose hook legitimately lives one
+call down.  With a cross-file :class:`~reprolint.graph.Project` in
+scope the search follows calls across modules; standalone
+``check_file`` runs fall back to same-file resolution.
 """
 
 from __future__ import annotations
 
 import ast
 from pathlib import Path
-from typing import Iterator, Tuple, Type
+from typing import Dict, Iterator, List, Set, Tuple, Type
 
 from reprolint.core import FileContext, Finding, Rule, dotted_name
 
@@ -28,17 +40,38 @@ HOOK_NAMES = frozenset(
     {"charge_iterations", "check_time", "check_states", "tick"}
 )
 
+#: How many call edges the reachability search follows from the loop
+#: body.  Deep enough for any honest helper chain; shallow enough that
+#: a hook buried five abstractions down still reads as a smell.
+MAX_CALL_DEPTH = 6
 
-def _body_has_hook(loop: ast.While) -> bool:
-    for node in ast.walk(loop):
-        if not isinstance(node, ast.Call):
+
+def _has_direct_hook(node: ast.AST) -> bool:
+    """Whether any call in ``node`` (nested defs excluded) is a hook."""
+    for sub in _walk_same_scope(node):
+        if not isinstance(sub, ast.Call):
             continue
-        func = node.func
+        func = sub.func
         if isinstance(func, ast.Attribute) and func.attr in HOOK_NAMES:
             return True
         if isinstance(func, ast.Name) and func.id in HOOK_NAMES:
             return True
     return False
+
+
+def _walk_same_scope(node: ast.AST) -> Iterator[ast.AST]:
+    """``ast.walk`` that does not descend into nested function/class
+    definitions (their calls run at another time, if ever)."""
+    stack: List[ast.AST] = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        for child in ast.iter_child_nodes(current):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            stack.append(child)
 
 
 def _is_unbounded_for(node: ast.For) -> bool:
@@ -51,14 +84,36 @@ def _is_unbounded_for(node: ast.For) -> bool:
     )
 
 
+def _local_function_index(ctx: FileContext) -> Dict[str, List[ast.AST]]:
+    """name -> function/method nodes in this file (fallback resolution
+    when no cross-file project is available)."""
+    index: Dict[str, List[ast.AST]] = {}
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            index.setdefault(node.name, []).append(node)
+    return index
+
+
+def _called_names(body: ast.AST) -> Set[str]:
+    names: Set[str] = set()
+    for node in _walk_same_scope(body):
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name):
+                names.add(func.id)
+            elif isinstance(func, ast.Attribute):
+                names.add(func.attr)
+    return names
+
+
 class MissingBudgetHook(Rule):
     code = "RL002"
     name = "missing-budget-hook"
     rationale = (
-        "while-loops in reachability/refinement/solver modules must call "
-        "a budgets.charge_*/check_* (or checkpoint tick) hook every pass, "
-        "or budget stops and checkpoint snapshots silently stop covering "
-        "them."
+        "while-loops in reachability/refinement/solver modules must reach "
+        "a budgets.charge_*/check_* (or checkpoint tick) hook every pass — "
+        "in the loop body or through the functions it calls — or budget "
+        "stops and checkpoint snapshots silently stop covering them."
     )
     node_types: Tuple[Type[ast.AST], ...] = (ast.While, ast.For)
 
@@ -72,13 +127,65 @@ class MissingBudgetHook(Rule):
     def check(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
         if isinstance(node, ast.For) and not _is_unbounded_for(node):
             return
-        if _body_has_hook(node):
+        if _has_direct_hook(node):
+            return
+        if self._hook_reachable(node, ctx):
             return
         kind = "while" if isinstance(node, ast.While) else "unbounded for"
         yield self.finding(
             ctx,
             node,
             f"{kind} loop has no budget/checkpoint hook "
-            "(budgets.charge_iterations / check_time / check_states or "
-            "a checkpoint tick) in its body; budget caps cannot stop it",
+            "(budgets.charge_iterations / check_time / check_states or a "
+            "checkpoint tick) in its body or reachable through the "
+            "functions it calls; budget caps cannot stop it",
         )
+
+    # ------------------------------------------------------------------
+
+    def _hook_reachable(self, loop: ast.AST, ctx: FileContext) -> bool:
+        project = ctx.project
+        if project is not None and hasattr(project, "reachable_functions"):
+            return self._hook_reachable_project(loop, ctx, project)
+        return self._hook_reachable_local(loop, ctx)
+
+    def _hook_reachable_project(
+        self, loop: ast.AST, ctx: FileContext, project
+    ) -> bool:
+        info = project.module_of(ctx.path)
+        if info is None:
+            return self._hook_reachable_local(loop, ctx)
+        roots: Set[str] = set()
+        for call, targets in project.calls_in(loop, info):
+            for target in targets:
+                roots.add(target.qname)
+        for qname in project.reachable_functions(
+            roots, max_depth=MAX_CALL_DEPTH
+        ):
+            fn = project.functions.get(qname)
+            if fn is not None and _has_direct_hook(fn.node):
+                return True
+        return False
+
+    def _hook_reachable_local(self, loop: ast.AST, ctx: FileContext) -> bool:
+        index = _local_function_index(ctx)
+        seen: Set[int] = set()
+        frontier = [
+            fn
+            for name in _called_names(loop)
+            for fn in index.get(name, ())
+        ]
+        for _ in range(MAX_CALL_DEPTH):
+            if not frontier:
+                return False
+            nxt: List[ast.AST] = []
+            for fn in frontier:
+                if id(fn) in seen:
+                    continue
+                seen.add(id(fn))
+                if _has_direct_hook(fn):
+                    return True
+                for name in _called_names(fn):
+                    nxt.extend(index.get(name, ()))
+            frontier = nxt
+        return False

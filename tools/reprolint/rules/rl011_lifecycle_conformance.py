@@ -1,0 +1,308 @@
+"""RL011: job-lifecycle protocol conformance as lint.
+
+The service's crash-safety argument is protocol-shaped: every record a
+store writer appends must be a legal transition of the
+``queued -> leased -> running -> done|failed|dead`` machine, whose one
+authoritative definition is the ``TRANSITIONS`` table in
+``service/spec.py``.  The store enforces it at runtime — but a runtime
+guard only fires on the interleaving that reaches it, which for
+recovery paths can be the one interleaving the test suite never hits.
+This rule re-derives the same conformance statically:
+
+1. **Extract the table** from the project's ``service/spec.py`` by AST
+   (state-constant assignments + the ``TRANSITIONS`` dict literal) — the
+   rule has no import-time coupling to the code under analysis, so it
+   checks the tree as written, not as currently importable.
+2. **Derive the store API's transition targets** from the store class
+   (the one defining ``_append``): each public method maps to the states
+   it appends (``claim -> leased``, ``complete -> done``, ...).
+3. **Track view states** through every function in the service modules
+   with a branch-merging abstract walk: ``v = store.claim(...)`` makes
+   ``v`` *leased*; passing ``v`` to an API method whose target is not
+   reachable from *leased* in the table is a finding.  States that
+   differ across branches become unknown and are never reported on —
+   every finding is a first-iteration-true protocol violation.
+4. **Fence the API**: ``_append`` called outside the store module is
+   itself a finding; mutations must go through the store API the table
+   was derived from.
+
+Silent on projects without a ``service/spec.py`` transition table.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from reprolint import flow
+from reprolint.core import FileContext, Finding, ProjectRule
+
+#: Abstract state for "constructed, nothing appended yet" (the table's
+#: ``None`` key).
+PRE = "__pre__"
+
+
+def _const_str(node: ast.AST) -> Optional[str]:
+    return node.value if isinstance(node, ast.Constant) and isinstance(
+        node.value, str
+    ) else None
+
+
+class _Protocol:
+    """The statically-extracted protocol: states and transition table."""
+
+    def __init__(self, spec_path: str) -> None:
+        self.spec_path = spec_path
+        self.constants: Dict[str, str] = {}
+        self.table: Dict[str, FrozenSet[str]] = {}
+
+    def allowed(self, state: str) -> FrozenSet[str]:
+        return self.table.get(state, frozenset())
+
+
+def _extract_protocol(ctx: FileContext) -> Optional[_Protocol]:
+    proto = _Protocol(ctx.path)
+    table_node: Optional[ast.Dict] = None
+    for node in ctx.tree.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if len(targets) != 1 or not isinstance(targets[0], ast.Name):
+            continue
+        name = targets[0].id
+        text = _const_str(value)
+        if text is not None and name.isupper():
+            proto.constants[name] = text
+        if name in ("TRANSITIONS", "_TRANSITIONS") and isinstance(
+            value, ast.Dict
+        ):
+            table_node = value
+    if table_node is None:
+        return None
+
+    def resolve(node: ast.AST) -> Optional[str]:
+        if isinstance(node, ast.Constant):
+            if node.value is None:
+                return PRE
+            if isinstance(node.value, str):
+                return node.value
+            return None
+        if isinstance(node, ast.Name):
+            return proto.constants.get(node.id, None)
+        if isinstance(node, ast.Attribute):
+            return proto.constants.get(node.attr, None)
+        return None
+
+    for key_node, value_node in zip(table_node.keys, table_node.values):
+        if key_node is None:
+            continue  # ``**spread`` — not statically resolvable
+        key = resolve(key_node)
+        if key is None:
+            continue
+        elements: List[ast.AST] = []
+        for sub in ast.walk(value_node):
+            if isinstance(sub, (ast.Set, ast.Tuple, ast.List)):
+                elements.extend(sub.elts)
+        targets = {resolve(el) for el in elements}
+        proto.table[key] = frozenset(t for t in targets if t is not None)
+    return proto if proto.table else None
+
+
+def _find_spec_module(project):
+    for info in project.modules.values():
+        if info.path.endswith("spec.py"):
+            proto = _extract_protocol(info.ctx)
+            if proto is not None:
+                return proto
+    return None
+
+
+class _StoreApi:
+    """Transition targets of each store-class method, derived from its
+    ``self._append(view, STATE, ...)`` calls."""
+
+    def __init__(self) -> None:
+        self.module_path: Optional[str] = None
+        self.class_name: Optional[str] = None
+        #: method name -> set of target states it can append
+        self.targets: Dict[str, Set[str]] = {}
+        #: methods whose first parameter is the view being transitioned
+        self.view_methods: Set[str] = set()
+
+
+def _derive_store_api(project, proto: _Protocol) -> Optional[_StoreApi]:
+    for info in sorted(project.modules.values(), key=lambda m: m.path):
+        for class_name, methods in info.classes.items():
+            if "_append" not in methods:
+                continue
+            api = _StoreApi()
+            api.module_path = info.path
+            api.class_name = class_name
+            for method_name, fn in methods.items():
+                args = fn.node.args.args
+                if len(args) >= 2 and args[1].arg == "view":
+                    api.view_methods.add(method_name)
+                for node in ast.walk(fn.node):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    name = flow.call_name(node)
+                    if flow.last_name_segment(name) != "_append":
+                        continue
+                    if len(node.args) < 2:
+                        continue
+                    state = _resolve_state(node.args[1], proto)
+                    if state is not None:
+                        api.targets.setdefault(method_name, set()).add(
+                            state
+                        )
+            return api
+    return None
+
+
+def _resolve_state(node: ast.AST, proto: _Protocol) -> Optional[str]:
+    text = _const_str(node)
+    if text is not None:
+        return text
+    if isinstance(node, ast.Name):
+        return proto.constants.get(node.id)
+    if isinstance(node, ast.Attribute):
+        return proto.constants.get(node.attr)
+    return None
+
+
+class LifecycleConformance(ProjectRule):
+    code = "RL011"
+    name = "job-lifecycle-conformance"
+    rationale = (
+        "every store mutation in store.py/worker.py/dispatcher.py must "
+        "perform a transition the TRANSITIONS table in service/spec.py "
+        "allows, and must go through the store API — an illegal "
+        "transition is a protocol hole recovery can fall through."
+    )
+
+    def applies_to(self, path: str) -> bool:
+        return super().applies_to(path) and (
+            "/service/" in path or path.startswith("service/")
+        )
+
+    def check_project(self, project) -> Iterator[Finding]:
+        proto = _find_spec_module(project)
+        if proto is None:
+            return
+        api = _derive_store_api(project, proto)
+        if api is None:
+            return
+        for info in sorted(project.modules.values(), key=lambda m: m.path):
+            if not self.applies_to(info.path):
+                continue
+            yield from self._check_module(info, proto, api)
+
+    # ------------------------------------------------------------------
+
+    def _check_module(self, info, proto, api) -> Iterator[Finding]:
+        ctx = info.ctx
+        findings: List[Finding] = []
+        # API fence: _append stays inside the store class's module.
+        if info.path != api.module_path:
+            for node in ast.walk(ctx.tree):
+                if isinstance(node, ast.Call) and flow.last_name_segment(
+                    flow.call_name(node)
+                ) == "_append":
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            node,
+                            "store records must be appended through the "
+                            f"{api.class_name} API, not _append directly; "
+                            "the API methods are what the protocol table "
+                            "is checked against",
+                        )
+                    )
+        for fn in info.functions.values():
+            findings.extend(self._check_function(ctx, fn, proto, api))
+        yield from findings
+
+    def _check_function(
+        self, ctx: FileContext, fn, proto: _Protocol, api: _StoreApi
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+
+        def state_of_value(value: ast.AST) -> Tuple[bool, Optional[str]]:
+            """(tracked, state) for an assigned expression."""
+            if isinstance(value, ast.Call):
+                name = flow.call_name(value)
+                seg = flow.last_name_segment(name)
+                if seg == "JobView" or (
+                    isinstance(value.func, ast.Name)
+                    and value.func.id == "JobView"
+                ):
+                    return True, PRE
+                if seg in api.targets and len(api.targets[seg]) == 1:
+                    return True, next(iter(api.targets[seg]))
+            return False, None
+
+        def check_call(call: ast.Call, env: flow.Env) -> None:
+            name = flow.call_name(call)
+            seg = flow.last_name_segment(name)
+            if seg is None or not call.args:
+                return
+            first = call.args[0]
+            if not isinstance(first, ast.Name):
+                return
+            state = env.get(first.id)
+            if state is None:
+                return
+            if seg == "_append" and len(call.args) >= 2:
+                target = _resolve_state(call.args[1], proto)
+                if target is not None and target not in proto.allowed(
+                    str(state)
+                ):
+                    findings.append(self._illegal(ctx, call, seg, state, target, proto))
+                return
+            if seg in api.view_methods and seg in api.targets:
+                targets = api.targets[seg]
+                if len(targets) == 1:
+                    target = next(iter(targets))
+                    if target not in proto.allowed(str(state)):
+                        findings.append(
+                            self._illegal(ctx, call, seg, state, target, proto)
+                        )
+
+        def transfer(node: ast.AST, env: flow.Env) -> None:
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Call):
+                    check_call(sub, env)
+            targets: List[ast.expr] = []
+            value: Optional[ast.expr] = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            if (
+                value is not None
+                and len(targets) == 1
+                and isinstance(targets[0], ast.Name)
+            ):
+                tracked, state = state_of_value(value)
+                if tracked:
+                    env[targets[0].id] = state
+                else:
+                    env.pop(targets[0].id, None)
+
+        body = getattr(fn.node, "body", [])
+        flow.walk_with_env(body, {}, transfer)
+        return findings
+
+    def _illegal(
+        self, ctx, call, method, state, target, proto: _Protocol
+    ) -> Finding:
+        shown = "None" if state == PRE else repr(state)
+        return self.finding(
+            ctx,
+            call,
+            f"{method}() performs {shown} -> {target!r}, which the "
+            f"protocol table in {proto.spec_path} does not allow",
+        )

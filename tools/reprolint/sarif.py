@@ -1,0 +1,107 @@
+"""SARIF 2.1.0 output: reprolint findings as a code-scanning payload.
+
+One run, one tool, one result per *new* finding (baselined findings are
+emitted with ``baselineState: "unchanged"`` so code scanning shows them
+as pre-existing; suppressed findings carry a ``suppressions`` entry).
+The shape follows the OASIS SARIF 2.1.0 schema subset GitHub code
+scanning ingests: ``version``, ``runs[].tool.driver`` with a rule
+catalog, ``runs[].results[]`` with ``ruleId``/``message``/``locations``
+physical locations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from reprolint import __version__
+from reprolint.core import Finding, Rule
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _result(
+    finding: Finding,
+    rule_index: Dict[str, int],
+    baseline_state: Optional[str] = None,
+    suppressed: bool = False,
+) -> Dict[str, object]:
+    result: Dict[str, object] = {
+        "ruleId": finding.rule,
+        "ruleIndex": rule_index.get(finding.rule, -1),
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "%SRCROOT%",
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": max(1, finding.col),
+                    },
+                }
+            }
+        ],
+    }
+    if baseline_state is not None:
+        result["baselineState"] = baseline_state
+    if suppressed:
+        result["suppressions"] = [{"kind": "inSource"}]
+    return result
+
+
+def sarif_payload(
+    rules: Sequence[Rule],
+    new_findings: Sequence[Finding],
+    baselined: Sequence[Finding] = (),
+    suppressed: Sequence[Finding] = (),
+) -> Dict[str, object]:
+    """The complete SARIF document as a JSON-compatible dict."""
+    catalog = sorted({r.code: r for r in rules}.values(), key=lambda r: r.code)
+    rule_index = {rule.code: i for i, rule in enumerate(catalog)}
+    results: List[Dict[str, object]] = []
+    for finding in new_findings:
+        results.append(_result(finding, rule_index))
+    for finding in baselined:
+        results.append(
+            _result(finding, rule_index, baseline_state="unchanged")
+        )
+    for finding in suppressed:
+        results.append(_result(finding, rule_index, suppressed=True))
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "version": __version__,
+                        "informationUri": (
+                            "https://example.invalid/reprolint"
+                        ),
+                        "rules": [
+                            {
+                                "id": rule.code,
+                                "name": rule.name,
+                                "shortDescription": {"text": rule.name},
+                                "fullDescription": {
+                                    "text": rule.rationale
+                                },
+                                "defaultConfiguration": {"level": "error"},
+                            }
+                            for rule in catalog
+                        ],
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "results": results,
+            }
+        ],
+    }
