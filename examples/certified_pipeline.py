@@ -1,0 +1,87 @@
+"""Certified analysis: every answer ships with machine-checkable evidence.
+
+Three runs of the tandem pipeline with ``lump_and_solve(certify=True)``:
+
+1. a clean run — the certificate (independent extended-precision
+   residual recheck, probability-mass defect, nonnegativity,
+   lumped-vs-unlumped measure consistency, spectral lumpability
+   spot-check) passes and is attached to the solution;
+2. a run where the ``certify.corrupt`` fault flips one stationary entry
+   *once* — the certificate catches it and the escalation ladder
+   (alternate solver methods, tightened tolerance, float128 refinement)
+   recovers a certified answer, with every step in the RunReport;
+3. a run where corruption hits every candidate — the ladder runs dry
+   and the pipeline raises ``CertificationError`` carrying the failing
+   certificate as the diagnosis, rather than returning a wrong answer.
+
+Run:  python examples/certified_pipeline.py
+"""
+
+import numpy as np
+
+from repro.analysis import lump_and_solve
+from repro.errors import CertificationError
+from repro.models import TandemParams, build_tandem, tandem_md_model
+from repro.models.tandem import projected_event_model
+from repro.robust.faults import inject_faults
+from repro.robust.report import RunReport
+from repro.statespace import reachable_bfs
+
+
+def build_model():
+    params = TandemParams(jobs=1, cube_dim=2, msmq_servers=2, msmq_queues=2)
+    compiled = build_tandem(params)
+    reach = reachable_bfs(compiled.event_model)
+    event_model = projected_event_model(compiled, reach)
+    reach = reachable_bfs(event_model)
+    return tandem_md_model(event_model, params, reachable=reach)
+
+
+def main() -> None:
+    model = build_model()
+
+    # -- 1. clean certified solve --------------------------------------
+    solution = lump_and_solve(model, certify=True)
+    cert = solution.certificate
+    assert cert is not None and cert.passed
+    print("clean run:")
+    print(cert.render())
+    print()
+
+    # -- 2. one-shot corruption: the ladder recovers -------------------
+    report = RunReport()
+    with inject_faults("certify.corrupt:1"):
+        recovered = lump_and_solve(
+            model, robust=True, report=report, certify=True
+        )
+    assert recovered.certificate is not None
+    assert recovered.certificate.passed
+    np.testing.assert_allclose(
+        recovered.stationary, solution.stationary, atol=1e-8
+    )
+    escalations = report.fallbacks_for("certificate-escalation")
+    assert escalations, "expected the ladder to climb at least one rung"
+    print("one-shot corruption: certificate caught it, ladder recovered")
+    for fallback in escalations:
+        print(f"  escalated {fallback.requested} -> {fallback.used}")
+    print(f"  recovered method: {recovered.solve_method}")
+    print()
+
+    # -- 3. persistent corruption: fail loudly, never silently ---------
+    try:
+        with inject_faults("certify.corrupt"):
+            lump_and_solve(model, robust=True, certify=True)
+    except CertificationError as exc:
+        assert exc.certificate is not None
+        assert not exc.certificate.passed
+        print("persistent corruption: ladder exhausted, raised with")
+        print(
+            "  failing checks: "
+            + ", ".join(c.name for c in exc.certificate.failures)
+        )
+    else:
+        raise AssertionError("a corrupt result left the pipeline as done")
+
+
+if __name__ == "__main__":
+    main()

@@ -10,9 +10,12 @@ from __future__ import annotations
 
 from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from repro.robust.certify import Certificate
 
 from repro.errors import LumpingError
 from repro.lumping.compositional import (
@@ -35,6 +38,7 @@ class LumpedSolution:
     stationary: np.ndarray  # over the lumped (restricted) state space
     report: Optional[RunReport] = field(default=None, compare=False)
     solve_method: str = "direct"
+    certificate: Optional["Certificate"] = field(default=None, compare=False)
 
     @property
     def lumped_model(self) -> MDModel:
@@ -158,6 +162,8 @@ def lump_and_solve(
     supervised: bool = False,
     supervisor=None,
     parallel=None,
+    certify: bool = False,
+    certificate_tol: Optional[float] = None,
 ) -> LumpedSolution:
     """Lump ``model`` compositionally and solve the lumped chain.
 
@@ -196,6 +202,20 @@ def lump_and_solve(
     ``robust``/``supervised``, every worker crash, retry, reassignment,
     and degradation lands in the returned
     :class:`~repro.robust.report.RunReport`.
+
+    With ``certify=True`` the solved vector is certified
+    (:mod:`repro.robust.certify`): NaN/Inf guards, probability-mass
+    defect, nonnegativity, an independent extended-precision residual
+    recheck, and (for small models) lumped-vs-unlumped measure
+    consistency plus a spectral lumpability spot-check.  On failure an
+    escalation ladder runs — the next method of the fallback chain, a
+    tightened-tolerance re-solve, a float128 refinement — with every
+    step recorded as ``certificate``/``certificate-escalation`` events
+    in the report; an exhausted ladder raises
+    :class:`~repro.errors.CertificationError` with the last certificate
+    attached.  ``certificate_tol`` overrides the base tolerance
+    (:data:`~repro.robust.certify.DEFAULT_CERTIFICATE_TOL`).  The
+    certificate lands on ``LumpedSolution.certificate``.
     """
     if supervised:
         return _lump_and_solve_supervised(
@@ -211,11 +231,15 @@ def lump_and_solve(
             resume=resume,
             config=supervisor,
             parallel=parallel,
+            certify=certify,
+            certificate_tol=certificate_tol,
         )
     if not robust:
         ck = _make_checkpointer(
             checkpoint_dir, resume, model, kind, method, key, iterate, None
         )
+        solve_method = method
+        certificate = None
         with (ck if ck is not None else nullcontext()):
             result = compositional_lump(
                 model, kind=kind, key=key, iterate=iterate,
@@ -228,8 +252,31 @@ def lump_and_solve(
                     "model to a single recurrent class before solving"
                 )
             stationary = steady_state(lumped_ctmc, method=method).distribution
+            if certify:
+                from repro.robust.certify import certify_with_escalation
+                from repro.robust.fallback import DEFAULT_SOLVER_CHAIN
+
+                chain = [method] + [
+                    m for m in DEFAULT_SOLVER_CHAIN if m != method
+                ]
+                certified = certify_with_escalation(
+                    stationary,
+                    lumped_ctmc,
+                    method=method,
+                    kind=kind,
+                    lumping=result,
+                    original=model,
+                    chain=chain,
+                    tol=certificate_tol,
+                )
+                stationary = certified.stationary
+                solve_method = certified.method
+                certificate = certified.certificate
         return LumpedSolution(
-            lumping=result, stationary=stationary, solve_method=method
+            lumping=result,
+            stationary=stationary,
+            solve_method=solve_method,
+            certificate=certificate,
         )
     return _lump_and_solve_robust(
         model,
@@ -245,6 +292,8 @@ def lump_and_solve(
         checkpoint_interval=checkpoint_interval,
         checkpoint_keep_last=checkpoint_keep_last,
         parallel=parallel,
+        certify=certify,
+        certificate_tol=certificate_tol,
     )
 
 
@@ -261,6 +310,8 @@ def _lump_and_solve_supervised(
     resume: bool,
     config=None,
     parallel=None,
+    certify: bool = False,
+    certificate_tol: Optional[float] = None,
 ) -> LumpedSolution:
     """The supervised variant: robust pipeline in a watched child."""
     from repro.robust.supervisor import run_supervised
@@ -286,6 +337,8 @@ def _lump_and_solve_supervised(
             checkpoint_keep_last=ctx.checkpoint_keep_last,
             degrade=level.lumping_degrade,
             parallel=parallel,
+            certify=certify,
+            certificate_tol=certificate_tol,
         )
 
     supervised = run_supervised(
@@ -316,6 +369,8 @@ def _lump_and_solve_robust(
     checkpoint_keep_last: Optional[int] = None,
     degrade: bool = True,
     parallel=None,
+    certify: bool = False,
+    certificate_tol: Optional[float] = None,
 ) -> LumpedSolution:
     """The degrading variant of :func:`lump_and_solve`.
 
@@ -392,10 +447,41 @@ def _lump_and_solve_robust(
                     )
                     or "earlier attempts failed",
                 )
+        if solution.result.note:
+            report.note(
+                f"solver note ({solution.method}): {solution.result.note}"
+            )
+        stationary = solution.distribution
+        solve_method = solution.method
+        certificate = None
+        if certify:
+            from repro.robust.certify import certify_with_escalation
+
+            with report.stage("certify") as stage:
+                certified = certify_with_escalation(
+                    stationary,
+                    lumped_ctmc,
+                    method=solution.method,
+                    kind=kind,
+                    lumping=result,
+                    original=model,
+                    chain=solver_chain,
+                    report=report,
+                    tol=certificate_tol,
+                )
+                stationary = certified.stationary
+                solve_method = certified.method
+                certificate = certified.certificate
+                if certified.escalated:
+                    stage.status = "degraded"
+                    stage.detail = "escalated: " + ", ".join(
+                        certified.escalations
+                    )
     report.attach_budget(budget)
     return LumpedSolution(
         lumping=result,
-        stationary=solution.distribution,
+        stationary=stationary,
         report=report,
-        solve_method=solution.method,
+        solve_method=solve_method,
+        certificate=certificate,
     )

@@ -74,6 +74,42 @@ class SolverError(ReproError):
         self.last_iterate = last_iterate
 
 
+class CertificationError(SolverError):
+    """A solved result failed its numerical certificate.
+
+    Raised when :func:`repro.robust.certify.certify` rejects a result
+    and — in the robust pipeline — every rung of the escalation ladder
+    (next fallback method, tightened tolerance, extended-precision
+    re-solve) failed to produce a certifiable vector.
+
+    Attributes
+    ----------
+    certificate:
+        The failing :class:`~repro.robust.certify.Certificate` (the last
+        one computed when an escalation ladder ran), or ``None`` when
+        certification could not even be attempted.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        certificate=None,
+        method=None,
+        iterations=None,
+        residual=None,
+        last_iterate=None,
+    ) -> None:
+        super().__init__(
+            message,
+            method=method,
+            iterations=iterations,
+            residual=residual,
+            last_iterate=last_iterate,
+        )
+        self.certificate = certificate
+
+
 class CompositionError(ReproError):
     """Composition of submodels failed (e.g. shared places with unequal
     capacities, or level assignments that do not partition the variables)."""

@@ -50,16 +50,42 @@ class SteadyStateResult:
         Final infinity-norm of ``pi Q``.
     method:
         Name of the solver that produced the result.
+    note:
+        Diagnostic annotation, or ``None`` for a clean solve.  The one
+        note the solvers emit today is ``converged-but-residual-high``:
+        the iterate delta dropped below ``tol`` (the stopping rule) but
+        the final residual did not — a stalled iteration, not a solved
+        chain, and exactly the case a delta-only convergence test
+        silently mislabels.
     """
 
     distribution: np.ndarray
     iterations: int
     residual: float
     method: str
+    note: Optional[str] = None
 
 
 def _residual(pi: np.ndarray, q: sparse.csr_matrix) -> float:
     return float(np.abs(pi @ q).max()) if pi.size else 0.0
+
+
+def _convergence_note(delta: float, residual: float, tol: float) -> Optional[str]:
+    """The ``converged-but-residual-high`` annotation, when deserved.
+
+    Delta-based stopping accepts any fixed point of the *iteration*,
+    including stalls far from the balance equations; checking the final
+    residual against the same ``tol`` closes that gap.  The comparison
+    is deliberately absolute — both quantities live on the scale of
+    ``pi Q`` — and only annotates (the certificate layer decides
+    whether the result is usable)."""
+    if residual > tol:
+        return (
+            f"converged-but-residual-high: iterate delta {delta:.3e} "
+            f"fell below tol {tol:.3e} but the residual ||pi Q||_inf "
+            f"= {residual:.3e} did not"
+        )
+    return None
 
 
 def _check_irreducible(ctmc: CTMC, method: str) -> None:
@@ -200,6 +226,7 @@ def steady_state_power(
                 int(payload["iterations"]),
                 float(payload["residual"]),
                 "power",
+                note=payload.get("note"),
             )
         # JSON round-trips float64 bitwise (repr-based), so the resumed
         # iterate is the killed run's exact vector.
@@ -217,6 +244,7 @@ def steady_state_power(
                 pi = np.clip(pi, 0.0, None)
                 pi /= pi.sum()
                 residual = _residual(pi, q)
+                note = _convergence_note(delta, residual, tol)
                 if ck is not None:
                     ck.save(
                         key,
@@ -224,11 +252,14 @@ def steady_state_power(
                             "pi": pi.tolist(),
                             "iterations": iteration,
                             "residual": residual,
+                            "note": note,
                         },
                         guard=guard,
                         complete=True,
                     )
-                return SteadyStateResult(pi, iteration, residual, "power")
+                return SteadyStateResult(
+                    pi, iteration, residual, "power", note=note
+                )
             if ck is not None and ck.tick(key):
                 ck.save(
                     key,
@@ -296,6 +327,7 @@ def steady_state_jacobi(
                 int(payload["iterations"]),
                 float(payload["residual"]),
                 "jacobi",
+                note=payload.get("note"),
             )
         pi = np.asarray(payload["pi"], dtype=float)
         start = int(payload["iteration"]) + 1
@@ -320,6 +352,7 @@ def steady_state_jacobi(
             completed = iteration
             if delta < tol:
                 residual = _residual(pi, q)
+                note = _convergence_note(delta, residual, tol)
                 if ck is not None:
                     ck.save(
                         key,
@@ -327,11 +360,14 @@ def steady_state_jacobi(
                             "pi": pi.tolist(),
                             "iterations": iteration,
                             "residual": residual,
+                            "note": note,
                         },
                         guard=guard,
                         complete=True,
                     )
-                return SteadyStateResult(pi, iteration, residual, "jacobi")
+                return SteadyStateResult(
+                    pi, iteration, residual, "jacobi", note=note
+                )
             if ck is not None and ck.tick(key):
                 ck.save(
                     key,
@@ -390,6 +426,7 @@ def steady_state_gauss_seidel(
                 int(payload["iterations"]),
                 float(payload["residual"]),
                 "gauss-seidel",
+                note=payload.get("note"),
             )
         pi = np.asarray(payload["pi"], dtype=float)
         start = int(payload["iteration"]) + 1
@@ -424,6 +461,7 @@ def steady_state_gauss_seidel(
                 pi = np.clip(pi, 0.0, None)
                 pi /= pi.sum()
                 residual = _residual(pi, q)
+                note = _convergence_note(delta, residual, tol)
                 if ck is not None:
                     ck.save(
                         key,
@@ -431,12 +469,13 @@ def steady_state_gauss_seidel(
                             "pi": pi.tolist(),
                             "iterations": iteration,
                             "residual": residual,
+                            "note": note,
                         },
                         guard=guard,
                         complete=True,
                     )
                 return SteadyStateResult(
-                    pi, iteration, residual, "gauss-seidel"
+                    pi, iteration, residual, "gauss-seidel", note=note
                 )
             if ck is not None and ck.tick(key):
                 ck.save(

@@ -17,6 +17,11 @@ degradation first-class across the pipeline:
   restarting;
 * :mod:`repro.robust.report` — a structured :class:`RunReport` of stage
   timings, attempts, fallbacks taken, and budget consumption;
+* :mod:`repro.robust.certify` — numerical result certificates (NaN/Inf
+  guards, mass defect, independent extended-precision residual recheck,
+  lumped-vs-unlumped measure consistency, spectral lumpability
+  spot-check) with an escalation ladder on failure, so "the result is
+  right" is a checked property instead of an assumption;
 * :mod:`repro.robust.supervisor` (with :mod:`~repro.robust.heartbeat`
   and :mod:`~repro.robust.retry`) — supervised execution: the pipeline
   in a forked child under hard OS limits, a watchdog that tells slow
@@ -67,7 +72,16 @@ from repro.robust.report import (
 
 #: Lazily-loaded exports: attribute name -> providing submodule.
 _LAZY_EXPORTS = {
+    "Certificate": "certify",
+    "CertificateCheck": "certify",
+    "CertifiedSolve": "certify",
+    "apply_corruption": "certify",
+    "certify": "certify",
+    "certify_stationary": "certify",
+    "certify_with_escalation": "certify",
+    "revalidate_cached": "certify",
     "DEFAULT_SOLVER_CHAIN": "fallback",
+    "ITERATIVE_METHODS": "fallback",
     "EngineAttempt": "fallback",
     "EngineFallbackResult": "fallback",
     "FallbackSolution": "fallback",
@@ -127,7 +141,16 @@ __all__ = [
     "atomic_write_bytes",
     "atomic_write_text",
     "atomic_write_json",
+    "Certificate",
+    "CertificateCheck",
+    "CertifiedSolve",
+    "apply_corruption",
+    "certify",
+    "certify_stationary",
+    "certify_with_escalation",
+    "revalidate_cached",
     "DEFAULT_SOLVER_CHAIN",
+    "ITERATIVE_METHODS",
     "SolveAttempt",
     "FallbackSolution",
     "EngineAttempt",

@@ -46,7 +46,12 @@ DEFAULT_SOLVER_CHAIN: Tuple[str, ...] = (
 )
 
 #: Methods that iterate (accept ``tol``/``max_iterations``/``x0``).
-_ITERATIVE = frozenset({"gauss-seidel", "jacobi", "power"})
+#: Shared with the certificate escalation ladder
+#: (:mod:`repro.robust.certify`), which needs to know which rungs take a
+#: tolerance.
+ITERATIVE_METHODS = frozenset({"gauss-seidel", "jacobi", "power"})
+
+_ITERATIVE = ITERATIVE_METHODS
 
 
 @dataclass

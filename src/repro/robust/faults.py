@@ -24,6 +24,11 @@ site                    effect when a matching rule fires
 ``task``                checked via :func:`check_at` with the 1-based pool
                         task id just before the task executes — e.g.
                         ``task:3@hang:5`` stalls task 3 for five seconds
+``certify.corrupt``     :class:`InjectedFault`, caught by
+                        :func:`repro.robust.certify.apply_corruption`,
+                        which flips one stationary entry instead of
+                        raising — simulated result corruption that the
+                        certificate layer must catch
 ======================  ====================================================
 
 Injected exceptions subclass both :class:`InjectedFault` and the error

@@ -397,6 +397,10 @@ class RunReport:
         """The fallbacks recorded under one stage name."""
         return [event for event in self.fallbacks if event.stage == stage]
 
+    def attempts_for(self, stage: str) -> List[AttemptReport]:
+        """The attempts recorded under one stage name."""
+        return [attempt for attempt in self.attempts if attempt.stage == stage]
+
     def to_dict(self) -> Dict[str, object]:
         """Plain-dict form (JSON-serializable; numpy scalars coerced)."""
         return _native(

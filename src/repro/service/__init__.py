@@ -31,7 +31,11 @@ from repro.service.store import (
     SubmitOutcome,
     TERMINAL_STATES,
 )
-from repro.service.worker import ServiceWorker, solve_spec
+from repro.service.worker import (
+    ServiceWorker,
+    solve_spec,
+    solve_spec_certified,
+)
 
 __all__ = [
     "Dispatcher",
@@ -51,5 +55,6 @@ __all__ = [
     "model_from_spec",
     "run_service",
     "solve_spec",
+    "solve_spec_certified",
     "spec_from_model",
 ]

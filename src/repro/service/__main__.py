@@ -7,6 +7,7 @@ Usage::
                                        [--queue-limit N]
     python -m repro.service status     --store DIR [JOB ...]
     python -m repro.service result     --store DIR JOB [--output FILE]
+                                       [--certificate]
     python -m repro.service run-workers --store DIR [--workers N]
                                        [--lease-seconds S --max-attempts A]
                                        [--heartbeat-timeout S] [--no-drain]
@@ -69,6 +70,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         solve["key"] = args.key
     if args.iterate:
         solve["iterate"] = True
+    if args.no_certify:
+        solve["certify"] = False
     outcome = store.submit(
         spec, queue_limit=args.queue_limit, cache=cache
     )
@@ -145,6 +148,13 @@ def _cmd_result(args: argparse.Namespace) -> int:
             )
         elif detail.get("error"):
             print(f"error: {detail['error']}", file=sys.stderr)
+        if args.certificate and detail.get("certificate") is not None:
+            # A failed/dead job carries the certificate that condemned
+            # it: print it as the diagnosis the exit code points at.
+            print(
+                json.dumps(detail["certificate"], indent=2),
+                file=sys.stderr,
+            )
         return EXIT_NOT_DONE
     entry = cache.get(view.spec_digest)
     if entry is None:
@@ -161,6 +171,8 @@ def _cmd_result(args: argparse.Namespace) -> int:
         "source": (view.last.get("detail") or {}).get("source"),
         "result": entry["result"],
     }
+    if args.certificate:
+        payload["certificate"] = entry.get("certificate")
     text = json.dumps(payload, indent=2)
     if args.output:
         atomic_write_text(args.output, text + "\n")
@@ -242,6 +254,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p_submit.add_argument("--key")
     p_submit.add_argument("--iterate", action="store_true")
     p_submit.add_argument(
+        "--no-certify",
+        action="store_true",
+        help="skip result certification (certificates are on by default)",
+    )
+    p_submit.add_argument(
         "--queue-limit",
         type=int,
         metavar="N",
@@ -261,6 +278,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p_result.add_argument("--store", required=True)
     p_result.add_argument("job")
     p_result.add_argument("--output", help="write JSON here (atomic)")
+    p_result.add_argument(
+        "--certificate",
+        action="store_true",
+        help="include the stored numerical certificate in the payload "
+        "(for failed jobs, print the condemning certificate to stderr)",
+    )
 
     p_run = sub.add_parser(
         "run-workers", help="run the dispatcher + worker pool"

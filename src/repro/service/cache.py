@@ -7,6 +7,11 @@ submitted.  Entries are self-digested like every other durable file the
 service writes; a read re-verifies the stored digest and treats any
 mismatch as corruption: the entry is evicted, the miss is recorded in
 the :class:`~repro.robust.report.RunReport`, and the caller recomputes.
+
+Result certificates (:mod:`repro.robust.certify`) are stored beside the
+result payload and re-validated on every read — a byte-intact entry
+whose certificate fails revalidation is evicted exactly like a corrupt
+one, so a wrong answer is never served from cache.
 """
 
 from __future__ import annotations
@@ -16,6 +21,7 @@ import os
 from typing import Any, Optional
 
 from repro.robust import faults
+from repro.robust.certify import revalidate_cached
 from repro.robust.checkpoint import atomic_write_bytes
 from repro.service.spec import (
     SpecError,
@@ -73,23 +79,51 @@ class ResultCache:
                     reason=f"corrupt cache entry evicted: {exc}",
                 )
             return None
+        # A byte-intact entry can still carry a bad answer (a failed or
+        # stale certificate): re-validate before serving, and treat a
+        # failure exactly like corruption — evict, record, recompute.
+        reason = revalidate_cached(
+            body.get("result") or {}, body.get("certificate")
+        )
+        if reason is not None:
+            self.evict(spec_digest)
+            if report is not None:
+                report.record_fallback(
+                    stage="service-cache",
+                    requested=f"cached result {spec_digest[:12]}...",
+                    used="recompute",
+                    reason=f"certificate failed revalidation: {reason}",
+                )
+            return None
         # Hand back the digest of the *entry* too: done-records point at
         # it, so a later reader can tie job to result bit-for-bit.
         body["digest"] = json.loads(raw.decode("utf-8"))["digest"]
         return body
 
-    def put(self, spec_digest: str, result: dict) -> str:
+    def put(
+        self,
+        spec_digest: str,
+        result: dict,
+        certificate: Optional[dict] = None,
+    ) -> str:
         """Store ``result`` under ``spec_digest``; returns the entry
         digest.  Last-writer-wins is safe: equal spec digests mean equal
-        answers, so concurrent writers write identical bytes."""
+        answers, so concurrent writers write identical bytes.
+
+        ``certificate`` (the :meth:`Certificate.to_dict` of a *passed*
+        certificate) is stored beside the result — an additive sibling
+        field, so entries written without one keep their exact bytes —
+        and re-validated on every :meth:`get` before the entry is
+        served."""
         faults.check("service.cache")
-        body = self_digested(
-            {
-                "format": CACHE_FORMAT,
-                "spec_digest": spec_digest,
-                "result": result,
-            }
-        )
+        entry = {
+            "format": CACHE_FORMAT,
+            "spec_digest": spec_digest,
+            "result": result,
+        }
+        if certificate is not None:
+            entry["certificate"] = certificate
+        body = self_digested(entry)
         path = self._entry_path(spec_digest)
         os.makedirs(os.path.dirname(path), exist_ok=True)
         atomic_write_bytes(path, canonical_bytes(body))

@@ -67,6 +67,10 @@ _SOLVE_DEFAULTS = {
     "method": "direct",
     "iterate": False,
     "key": "formal",
+    # Results are certified by default (see repro.robust.certify); specs
+    # written before certification existed carry no "certify" key and
+    # inherit True here, so old digests stay valid *and* get checked.
+    "certify": True,
 }
 
 
@@ -80,9 +84,24 @@ def spec_from_model(
     method: str = "direct",
     iterate: bool = False,
     key: str = "formal",
+    certify: Optional[bool] = None,
 ) -> dict:
     """Serialize ``model`` + solve parameters into a JSON-compatible
-    job spec."""
+    job spec.
+
+    ``certify`` is only written into the spec when given explicitly:
+    the default (certification on) lives in :func:`solve_params`, so
+    specs — and therefore digests and cache keys — from before the
+    certificate layer existed remain unchanged.
+    """
+    solve: Dict[str, Any] = {
+        "kind": kind,
+        "method": method,
+        "iterate": bool(iterate),
+        "key": key,
+    }
+    if certify is not None:
+        solve["certify"] = bool(certify)
     return {
         "format": SPEC_FORMAT,
         "md": md_to_dict(model.md),
@@ -98,12 +117,7 @@ def spec_from_model(
             if model.reachable is None
             else [int(i) for i in model.reachable]
         ),
-        "solve": {
-            "kind": kind,
-            "method": method,
-            "iterate": bool(iterate),
-            "key": key,
-        },
+        "solve": solve,
     }
 
 

@@ -152,6 +152,7 @@ def _diagnose(
     if final_reason:
         reasons[final_reason] = 1
     last_error: Optional[str] = None
+    last_certificate: Optional[dict] = None
     for record in view.records:
         detail = record.get("detail") or {}
         reason = detail.get("reason")
@@ -159,7 +160,16 @@ def _diagnose(
             reasons[reason] = reasons.get(reason, 0) + 1
         if detail.get("error"):
             last_error = detail["error"]
-    if reasons.get("lease-expired", 0) >= max(1, max_attempts - 1):
+        if detail.get("certificate") is not None:
+            last_certificate = detail["certificate"]
+    if last_certificate is not None:
+        suggestion = (
+            "the solved result failed its numerical certificate and the "
+            "escalation ladder was exhausted; inspect the certificate's "
+            "failing checks (the model may be ill-conditioned, the "
+            "tolerance too tight, or a fault injection active)"
+        )
+    elif reasons.get("lease-expired", 0) >= max(1, max_attempts - 1):
         suggestion = (
             "every attempt lost its lease: the job likely crashes or "
             "hangs its worker; raise --lease-seconds, lower the model "
@@ -181,6 +191,7 @@ def _diagnose(
         "max_attempts": max_attempts,
         "exit_reasons": reasons,
         "last_error": last_error,
+        "certificate": last_certificate,
         "suggestion": suggestion,
     }
 
@@ -508,10 +519,17 @@ class JobStore:
         worker: str,
         error: str,
         mirrored_from: Optional[str] = None,
+        certificate: Optional[dict] = None,
     ) -> Optional[JobView]:
         detail = {"error": error}
         if mirrored_from:
             detail["mirrored_from"] = mirrored_from
+        if certificate is not None:
+            # A result that failed numerical certification carries the
+            # failing certificate as its diagnosis (surfaced by
+            # ``status --verbose`` / ``result --certificate`` and folded
+            # into the dead-letter diagnosis by _diagnose).
+            detail["certificate"] = certificate
         return self._append(view, FAILED, worker=worker, detail=detail)
 
     def release(

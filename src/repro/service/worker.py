@@ -24,7 +24,7 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.analysis import lump_and_solve
 from repro.robust import budgets, faults
@@ -53,13 +53,19 @@ class WorkerStats:
     notes: List[str] = field(default_factory=list)
 
 
-def solve_spec(spec: dict, report: Optional[RunReport] = None) -> dict:
-    """Run the analysis a spec describes; returns the JSON-compatible
-    result payload stored in the cache.
+def solve_spec_certified(
+    spec: dict, report: Optional[RunReport] = None
+) -> Tuple[Dict[str, Any], Optional[Dict[str, Any]]]:
+    """Run the analysis a spec describes; returns ``(result payload,
+    certificate dict)``.
 
-    The payload is bitwise-deterministic: ``lump_and_solve`` is, and
-    JSON float round-trips are exact, so equal specs always produce
-    byte-identical cache entries.
+    Certification follows the spec's ``solve.certify`` parameter (on by
+    default); a result that cannot be certified even after the
+    escalation ladder raises
+    :class:`~repro.errors.CertificationError` with the failing
+    certificate attached — the worker turns that into a ``failed``
+    record carrying the certificate as diagnosis.  The certificate is
+    ``None`` when certification was disabled.
     """
     model = model_from_spec(spec)
     params = solve_params(spec)
@@ -71,14 +77,34 @@ def solve_spec(spec: dict, report: Optional[RunReport] = None) -> dict:
         key=params["key"],
         robust=True,
         report=report,
+        certify=bool(params["certify"]),
     )
-    return {
+    result = {
         "stationary": [float(x) for x in solution.stationary],
         "solve_method": solution.solve_method,
         "num_states": int(solution.num_states),
         "reduction_factor": float(solution.reduction_factor),
         "expected_reward": float(solution.expected_reward()),
     }
+    certificate = (
+        None if solution.certificate is None
+        else solution.certificate.to_dict()
+    )
+    return result, certificate
+
+
+def solve_spec(spec: dict, report: Optional[RunReport] = None) -> dict:
+    """Run the analysis a spec describes; returns the JSON-compatible
+    result payload stored in the cache.
+
+    The payload is bitwise-deterministic: ``lump_and_solve`` is, and
+    JSON float round-trips are exact, so equal specs always produce
+    byte-identical cache entries.  The certificate travels separately
+    (see :func:`solve_spec_certified`), never inside the payload, so
+    enabling certification does not perturb result bytes.
+    """
+    result, _certificate = solve_spec_certified(spec, report=report)
+    return result
 
 
 class _LeaseRenewer:
@@ -274,17 +300,29 @@ class ServiceWorker:
             try:
                 faults.check("service.run")
                 envelope = self.store.load_spec(view.job_id)
-                result = solve_spec(envelope["spec"], report=self.report)
+                result, certificate = solve_spec_certified(
+                    envelope["spec"], report=self.report
+                )
             except Exception as exc:
                 # A deterministic failure: retrying cannot change it, so
                 # the job goes to ``failed`` (infra deaths never reach
                 # here — they kill the process and surface as lease
-                # expiry).
+                # expiry).  An exhausted certificate-escalation ladder
+                # lands here too, with the failing certificate attached
+                # to the record as the diagnosis.
+                failing = getattr(exc, "certificate", None)
                 self.report.note(
                     f"service: job {view.job_id} failed: {exc}"
                 )
                 if self.store.fail(
-                    running, self.worker_id, str(exc)
+                    running,
+                    self.worker_id,
+                    str(exc),
+                    certificate=(
+                        failing.to_dict()
+                        if failing is not None and hasattr(failing, "to_dict")
+                        else None
+                    ),
                 ) is not None:
                     self.stats.failed += 1
                 else:
@@ -293,7 +331,7 @@ class ServiceWorker:
         finally:
             budgets.set_pulse(prev_pulse)
             self.stats.renewed += renewer.renewals
-        entry_digest = self.cache.put(digest, result)
+        entry_digest = self.cache.put(digest, result, certificate=certificate)
         self._beat(force=True)
         if self.store.complete(
             running, self.worker_id, "solve", entry_digest
@@ -336,7 +374,11 @@ class ServiceWorker:
                 "error", f"primary {primary_id} ended {primary_state}"
             )
             if self.store.fail(
-                view, self.worker_id, error, mirrored_from=primary_id
+                view,
+                self.worker_id,
+                error,
+                mirrored_from=primary_id,
+                certificate=(last.get("detail") or {}).get("certificate"),
             ) is not None:
                 self.stats.mirrored += 1
             else:

@@ -1,17 +1,36 @@
-"""Numeric helpers: tolerant comparison, rate quantization, mixed-radix maps.
+"""Numeric helpers: tolerant comparison, rate quantization, mixed-radix maps,
+hardened normalization, and extended-precision accumulation kernels.
 
 Partition refinement compares floating-point transition rates for equality.
 Raw ``==`` on floats computed through different summation orders is fragile,
 so refinement keys are built from :func:`quantize`-d values: rates that agree
 to within a relative tolerance map to the same key.
+
+:func:`normalize` is the defensive probability-vector normalization used by
+the certification layer (:mod:`repro.robust.certify`): instead of silently
+propagating NaN or dividing by a (near-)zero mass, it raises a diagnostic
+:class:`~repro.errors.SolverError` naming the defect.  The ``extended_*``
+kernels accumulate in ``numpy.longdouble`` over COO triplets — a deliberately
+different compute path from scipy's compiled CSR matvec, so a certificate's
+residual recheck does not share failure modes with the solver it checks, and
+the escalation ladder's final rung can refine a vector beyond float64.
 """
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SolverError
 
 #: Default relative tolerance used when quantizing rates into hashable keys.
 DEFAULT_RTOL = 1e-9
+
+#: Total mass at or below which :func:`normalize` treats a vector as
+#: effectively zero (far below any honest probability mass, far above
+#: denormal noise).
+NEAR_ZERO_MASS = 1e-30
 
 
 def close(a: float, b: float, rtol: float = DEFAULT_RTOL, atol: float = 1e-12) -> bool:
@@ -31,6 +50,124 @@ def quantize(value: float, digits: int = 9) -> float:
     if value == 0.0:
         return 0.0
     return float(f"{value:.{digits}e}")
+
+
+def normalize(
+    vector: "np.ndarray",
+    *,
+    name: str = "distribution",
+    min_mass: float = NEAR_ZERO_MASS,
+) -> "np.ndarray":
+    """Normalize ``vector`` to unit total mass, defensively.
+
+    Raises a diagnostic :class:`~repro.errors.SolverError` naming the
+    defect — NaN entries, infinite entries, negative total mass, or a
+    total at/below ``min_mass`` — instead of returning a NaN-bearing or
+    meaningless vector for downstream code to trip over much later.
+    Small negative entries (solver noise) are clipped to zero before
+    summing; the caller is expected to have bounds-checked anything
+    larger via the certificate's nonnegativity margin.
+    """
+    arr = np.asarray(vector, dtype=float).ravel()
+    nan_count = int(np.isnan(arr).sum())
+    inf_count = int(np.isinf(arr).sum())
+    if nan_count or inf_count:
+        raise SolverError(
+            f"cannot normalize {name}: {nan_count} NaN and {inf_count} "
+            f"infinite entr(ies) among {arr.size}"
+        )
+    clipped = np.clip(arr, 0.0, None)
+    total = float(clipped.sum())
+    if total <= min_mass:
+        raise SolverError(
+            f"cannot normalize {name}: total mass {total:.6e} is zero or "
+            f"near zero (threshold {min_mass:.1e}; "
+            f"min entry {float(arr.min()) if arr.size else 0.0:.6e})"
+        )
+    return clipped / total
+
+
+def extended_matvec(
+    pi: "np.ndarray",
+    rows: "np.ndarray",
+    cols: "np.ndarray",
+    data: "np.ndarray",
+    size: int,
+) -> "np.ndarray":
+    """``pi @ M`` accumulated in extended precision (``numpy.longdouble``).
+
+    ``(rows, cols, data)`` are COO triplets of ``M``; the result has
+    length ``size`` (the number of columns).  Accumulation runs through
+    ``np.add.at`` over longdouble arrays — an independent compute path
+    from scipy's compiled float64 CSR matvec, which is what makes it a
+    *recheck* rather than a repetition.
+    """
+    pi_ld = np.asarray(pi, dtype=np.longdouble)
+    data_ld = np.asarray(data, dtype=np.longdouble)
+    out = np.zeros(size, dtype=np.longdouble)
+    if data_ld.size:
+        np.add.at(out, np.asarray(cols), pi_ld[np.asarray(rows)] * data_ld)
+    return out
+
+
+def extended_residual_inf(
+    pi: "np.ndarray",
+    rows: "np.ndarray",
+    cols: "np.ndarray",
+    data: "np.ndarray",
+    size: int,
+) -> float:
+    """Infinity norm of ``pi @ M`` with extended-precision accumulation."""
+    if np.asarray(pi).size == 0:
+        return 0.0
+    return float(np.abs(extended_matvec(pi, rows, cols, data, size)).max())
+
+
+def extended_jacobi_refine(
+    x0: "np.ndarray",
+    rows: "np.ndarray",
+    cols: "np.ndarray",
+    data: "np.ndarray",
+    diag: "np.ndarray",
+    *,
+    sweeps: int = 100,
+    relaxation: float = 0.9,
+    tol: Optional[float] = None,
+) -> "np.ndarray":
+    """Damped Jacobi sweeps of ``pi Q = 0`` in extended precision.
+
+    ``(rows, cols, data)`` hold the *off-diagonal* entries of ``Q`` and
+    ``diag`` its diagonal; ``x0`` seeds the iteration.  Each sweep
+    computes ``pi <- (1-w) pi + w * (-(pi O) / d)`` in
+    ``numpy.longdouble`` and renormalizes; stops early when the sweep
+    delta drops below ``tol`` (when given).  Returns the refined vector
+    as float64 via :func:`normalize` (so a collapsed refinement raises a
+    diagnostic error instead of returning garbage).
+    """
+    if not 0 < relaxation <= 1:
+        raise SolverError("relaxation must be in (0, 1]", method="float128")
+    diag_ld = np.asarray(diag, dtype=np.longdouble)
+    if diag_ld.size and np.any(diag_ld == 0):
+        # An absorbing state: the chain is a single state (or not
+        # irreducible, which the solvers reject before reaching here).
+        return normalize(np.asarray(x0, dtype=float), name="refined vector")
+    pi = np.asarray(x0, dtype=np.longdouble).copy()
+    total = pi.sum()
+    if total > 0:
+        pi /= total
+    size = int(diag_ld.size)
+    for _ in range(max(0, int(sweeps))):
+        step = -extended_matvec(pi, rows, cols, data, size) / diag_ld
+        step_total = step.sum()
+        if not step_total > 0:
+            break
+        new_pi = (1.0 - relaxation) * pi + relaxation * (step / step_total)
+        new_pi /= new_pi.sum()
+        delta = float(np.abs(new_pi - pi).max())
+        pi = new_pi
+        if tol is not None and delta < tol:
+            break
+    return normalize(np.asarray(pi, dtype=float), name="refined vector")
 
 
 def mixed_radix_index(digits: Sequence[int], radices: Sequence[int]) -> int:

@@ -1,0 +1,9 @@
+"""RL012 fixture: a result cache whose get() never revalidates."""
+
+
+class ResultCache:
+    def get(self, digest):
+        return self._read(digest)
+
+    def put(self, digest, result):
+        self._write(digest, result)

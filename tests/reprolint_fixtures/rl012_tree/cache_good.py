@@ -1,0 +1,14 @@
+"""RL012 fixture: get() revalidates the stored certificate."""
+
+from repro.robust.certify import revalidate_cached
+
+
+class ResultCache:
+    def get(self, digest):
+        body = self._read(digest)
+        if revalidate_cached(body.get("result"), body.get("certificate")):
+            return None
+        return body
+
+    def put(self, digest, result, certificate=None):
+        self._write(digest, result, certificate)

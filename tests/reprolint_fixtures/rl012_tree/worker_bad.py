@@ -1,0 +1,9 @@
+"""RL012 fixture: publishes and consumes results with no certificate."""
+
+
+class Worker:
+    def publish(self, digest, result):
+        self.cache.put(digest, result)
+
+    def fetch(self, digest):
+        return self.cache.get(digest)

@@ -1,0 +1,9 @@
+"""RL012 fixture: the certificate travels with every publication."""
+
+
+class Worker:
+    def publish(self, digest, result, certificate):
+        self.cache.put(digest, result, certificate=certificate)
+
+    def fetch(self, digest):
+        return self.cache.get(digest)

@@ -1,0 +1,10 @@
+"""RL012 fixture: certification happens on the publishing path (no
+certificate= keyword, but certify_with_escalation is reachable from
+the function that writes the cache entry)."""
+
+from repro.robust.certify import certify_with_escalation
+
+
+def solve_and_publish(cache, digest, model, result):
+    certify_with_escalation(result, model)
+    cache.put(digest, result)

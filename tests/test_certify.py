@@ -1,0 +1,391 @@
+"""Result certificates (PR 9): unit checks, the escalation ladder, the
+pipeline integration, and the service end-to-end seeded-corruption run.
+
+The acceptance-critical scenario lives in
+``test_service_corrupted_result_never_served``: with the
+``certify.corrupt`` fault armed, a flipped stationary entry must be
+caught by the certificate, the job must end ``failed`` with the
+certificate as diagnosis, and no corrupt result may ever be served
+from the cache.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis import lump_and_solve
+from repro.errors import CertificationError, SolverError
+from repro.markov.ctmc import CTMC
+from repro.markov.random_chains import random_ctmc
+from repro.markov.solvers import _convergence_note, steady_state
+from repro.robust.certify import (
+    Certificate,
+    CertificateCheck,
+    apply_corruption,
+    certificate_tolerance,
+    certify,
+    certify_stationary,
+    certify_with_escalation,
+    revalidate_cached,
+)
+from repro.robust.fallback import DEFAULT_SOLVER_CHAIN
+from repro.robust.faults import inject_faults
+from repro.robust.report import RunReport
+from repro.service import (
+    JobStore,
+    ResultCache,
+    ServiceWorker,
+    demo_spec,
+    solve_spec,
+    solve_spec_certified,
+)
+from repro.service.spec import canonical_bytes, self_digested
+from repro.service.store import DONE, FAILED
+
+
+@pytest.fixture(scope="module")
+def chain():
+    return random_ctmc(12, density=0.4, seed=7)
+
+
+@pytest.fixture(scope="module")
+def pi(chain):
+    return steady_state(chain, method="direct").distribution
+
+
+# ----------------------------------------------------------------------
+# certify_stationary: the flat-chain checks
+# ----------------------------------------------------------------------
+
+
+def test_clean_solve_certifies(chain, pi):
+    cert = certify_stationary(pi, chain, method="direct")
+    assert cert.passed
+    names = [c.name for c in cert.checks]
+    assert names == [
+        "finite", "mass-defect", "nonnegativity", "residual-recheck",
+    ]
+    assert cert.failures == []
+    assert cert.reasons == []
+    assert cert.method == "direct"
+    assert cert.engine == "longdouble-coo"
+    assert "PASSED" in cert.render()
+
+
+def test_nan_vector_fails_finite_check(chain, pi):
+    bad = pi.copy()
+    bad[0] = np.nan
+    cert = certify_stationary(bad, chain)
+    assert not cert.passed
+    assert not cert.check("finite").passed
+    assert "NaN" in cert.check("finite").detail
+
+
+def test_mass_defect_fails(chain, pi):
+    cert = certify_stationary(pi * 1.5, chain)
+    assert not cert.check("mass-defect").passed
+    assert any("mass-defect" in r for r in cert.reasons)
+
+
+def test_negative_entry_fails_nonnegativity(chain, pi):
+    bad = pi.copy()
+    bad[0] -= 2 * bad[0] + 1e-3
+    bad /= bad.sum()
+    cert = certify_stationary(bad, chain)
+    assert not cert.check("nonnegativity").passed
+
+
+def test_residual_recheck_catches_wrong_vector(chain):
+    uniform = np.full(chain.num_states, 1.0 / chain.num_states)
+    cert = certify_stationary(uniform, chain)
+    assert not cert.check("residual-recheck").passed
+    # mass and nonnegativity are fine -- only the residual betrays it
+    assert cert.check("mass-defect").passed
+    assert cert.check("nonnegativity").passed
+
+
+def test_shape_mismatch_short_circuits(chain):
+    cert = certify_stationary(np.ones(3) / 3, chain)
+    assert not cert.passed
+    assert [c.name for c in cert.checks] == ["shape"]
+
+
+def test_certificate_tolerance_scales_with_rates():
+    fast = CTMC.from_transitions(2, [(0, 1, 1000.0), (1, 0, 1000.0)])
+    slow = CTMC.from_transitions(2, [(0, 1, 0.001), (1, 0, 0.001)])
+    base_fast, scale_fast = certificate_tolerance(fast)
+    base_slow, scale_slow = certificate_tolerance(slow)
+    assert base_fast == base_slow
+    assert scale_fast == 1000.0
+    assert scale_slow == 1.0  # never below 1: unit-scale floor
+
+
+def test_non_positive_tolerance_rejected(chain):
+    with pytest.raises(SolverError):
+        certificate_tolerance(chain, tol=0.0)
+    with pytest.raises(SolverError):
+        certificate_tolerance(chain, tol=-1e-9)
+
+
+def test_certificate_roundtrips_through_dict(chain, pi):
+    cert = certify_stationary(pi, chain, method="direct", kind="exact")
+    restored = Certificate.from_dict(
+        json.loads(json.dumps(cert.to_dict()))
+    )
+    assert restored.passed == cert.passed
+    assert restored.method == "direct"
+    assert restored.kind == "exact"
+    assert [c.to_dict() for c in restored.checks] == [
+        c.to_dict() for c in cert.checks
+    ]
+
+
+# ----------------------------------------------------------------------
+# the corruption fault hook
+# ----------------------------------------------------------------------
+
+
+def test_apply_corruption_is_identity_without_fault(pi):
+    np.testing.assert_array_equal(apply_corruption(pi), pi)
+
+
+def test_apply_corruption_under_fault_always_caught(chain, pi):
+    with inject_faults("certify.corrupt"):
+        corrupted = apply_corruption(pi)
+    # the flip adds at least 0.5 of probability mass...
+    assert abs(corrupted.sum() - 1.0) >= 0.5
+    # ...so no tolerance in a sane range can miss it
+    cert = certify_stationary(corrupted, chain, tol=1e-2)
+    assert not cert.passed
+    assert not cert.check("mass-defect").passed
+
+
+# ----------------------------------------------------------------------
+# escalation ladder
+# ----------------------------------------------------------------------
+
+
+def test_escalation_not_needed_on_clean_vector(chain, pi):
+    report = RunReport()
+    solved = certify_with_escalation(
+        pi, chain, method="direct", chain=DEFAULT_SOLVER_CHAIN,
+        report=report,
+    )
+    assert not solved.escalated
+    assert solved.method == "direct"
+    assert solved.certificate.passed
+    attempts = report.attempts_for("certificate")
+    assert [a.name for a in attempts] == ["certify:direct"]
+    assert report.fallbacks_for("certificate-escalation") == []
+
+
+def test_escalation_recovers_from_one_shot_corruption(chain, pi):
+    report = RunReport()
+    with inject_faults("certify.corrupt:1"):
+        solved = certify_with_escalation(
+            pi, chain, method="direct", chain=DEFAULT_SOLVER_CHAIN,
+            report=report,
+        )
+    assert solved.escalated
+    assert solved.certificate.passed
+    np.testing.assert_allclose(solved.stationary.sum(), 1.0, atol=1e-9)
+    fallbacks = report.fallbacks_for("certificate-escalation")
+    assert len(fallbacks) >= 1
+    assert fallbacks[0].requested == "direct"
+
+
+def test_exhausted_ladder_raises_with_certificate(chain, pi):
+    report = RunReport()
+    with inject_faults("certify.corrupt"):
+        with pytest.raises(CertificationError) as excinfo:
+            certify_with_escalation(
+                pi, chain, method="direct", chain=DEFAULT_SOLVER_CHAIN,
+                report=report,
+            )
+    err = excinfo.value
+    assert err.certificate is not None
+    assert not err.certificate.passed
+    assert "escalation ladder" in str(err)
+    # every rung was recorded: chain alternatives + tight tol + float128
+    used = [f.used for f in report.fallbacks_for("certificate-escalation")]
+    assert "float128-refine" in used
+    assert any(u.startswith("gauss-seidel@tol=") for u in used)
+
+
+# ----------------------------------------------------------------------
+# pipeline integration: lump_and_solve(certify=True)
+# ----------------------------------------------------------------------
+
+
+def test_lump_and_solve_attaches_certificate(small_tandem):
+    solution = lump_and_solve(small_tandem["model"], certify=True)
+    assert solution.certificate is not None
+    assert solution.certificate.passed
+    assert solution.certificate.check("residual-recheck").passed
+
+
+def test_lump_and_solve_certify_off_by_default(small_tandem):
+    solution = lump_and_solve(small_tandem["model"])
+    assert solution.certificate is None
+
+
+def test_robust_lump_and_solve_records_certificate_stage(small_tandem):
+    report = RunReport()
+    solution = lump_and_solve(
+        small_tandem["model"], robust=True, report=report, certify=True
+    )
+    assert solution.certificate is not None and solution.certificate.passed
+    attempts = report.attempts_for("certificate")
+    assert attempts and attempts[0].succeeded
+    assert any(s.name == "certify" for s in report.stages)
+
+
+def test_robust_certified_corruption_raises(small_tandem):
+    with inject_faults("certify.corrupt"):
+        with pytest.raises(CertificationError):
+            lump_and_solve(small_tandem["model"], robust=True, certify=True)
+
+
+# ----------------------------------------------------------------------
+# the convergence-note satellite
+# ----------------------------------------------------------------------
+
+
+def test_convergence_note_when_residual_exceeds_tol():
+    note = _convergence_note(delta=1e-10, residual=1e-3, tol=1e-8)
+    assert note is not None
+    assert "converged-but-residual-high" in note
+
+
+def test_no_note_when_residual_within_tol():
+    assert _convergence_note(delta=1e-10, residual=1e-10, tol=1e-8) is None
+
+
+def test_iterative_solve_clean_note_is_none(chain):
+    result = steady_state(chain, method="gauss-seidel", tol=1e-10)
+    assert result.note is None
+
+
+# ----------------------------------------------------------------------
+# cache revalidation
+# ----------------------------------------------------------------------
+
+
+def test_revalidate_legacy_entry_without_certificate():
+    assert revalidate_cached({"stationary": [1.0]}, None) is None
+
+
+def test_revalidate_rejects_failed_certificate(chain, pi):
+    cert = certify_stationary(pi * 2, chain)
+    assert not cert.passed
+    reason = revalidate_cached(
+        {"stationary": list(pi)}, cert.to_dict()
+    )
+    assert reason == "stored certificate did not pass"
+
+
+def test_revalidate_catches_tampered_vector(chain, pi):
+    cert = certify_stationary(pi, chain)
+    tampered = list(pi)
+    tampered[0] += 0.7
+    reason = revalidate_cached({"stationary": tampered}, cert.to_dict())
+    assert reason is not None and "mass-defect" in reason
+
+
+def test_revalidate_catches_size_mismatch(chain, pi):
+    cert = certify_stationary(pi, chain)
+    reason = revalidate_cached(
+        {"stationary": list(pi)[:-1]}, cert.to_dict()
+    )
+    assert reason is not None and "entries" in reason
+
+
+# ----------------------------------------------------------------------
+# service integration
+# ----------------------------------------------------------------------
+
+
+def test_solve_spec_payload_unchanged_by_certification():
+    """``solve_spec`` must return byte-identical results whether or not
+    the certificate layer runs (digest stability of the cache)."""
+    spec = demo_spec("tandem:2,1,1,1")
+    plain = solve_spec(spec)
+    certified, certificate = solve_spec_certified(spec)
+    assert plain == certified
+    assert certificate is not None and certificate["passed"]
+
+
+def test_service_corrupted_result_never_served(tmp_path):
+    """The acceptance scenario: an armed ``certify.corrupt`` fault flips
+    one stationary entry; the job must fail with the certificate as
+    diagnosis and the corrupt result must never reach the cache."""
+    store = JobStore(str(tmp_path / "store"))
+    cache = ResultCache(str(tmp_path / "store" / "cache"))
+    spec = demo_spec("tandem:2,1,1,1")
+    out = store.submit(spec, cache=cache)
+    with inject_faults("certify.corrupt"):
+        ServiceWorker(store, cache, worker_id="w-corrupt").drain()
+    view = store.view(out.job_id)
+    assert view.state == FAILED
+    detail = (view.last or {}).get("detail") or {}
+    certificate = detail.get("certificate")
+    assert certificate is not None and not certificate["passed"]
+    failed = {c["name"] for c in certificate["checks"] if not c["passed"]}
+    assert "mass-defect" in failed
+    assert cache.get(view.spec_digest) is None  # nothing was published
+
+
+def test_service_clean_run_stores_certificate(tmp_path):
+    store = JobStore(str(tmp_path / "store"))
+    cache = ResultCache(str(tmp_path / "store" / "cache"))
+    out = store.submit(demo_spec("tandem:2,1,1,1"), cache=cache)
+    ServiceWorker(store, cache, worker_id="w-clean").drain()
+    view = store.view(out.job_id)
+    assert view.state == DONE
+    entry = cache.get(view.spec_digest)
+    assert entry is not None
+    assert entry["certificate"]["passed"]
+
+
+def test_cache_hit_revalidates_and_evicts_tampered_entry(tmp_path):
+    """A byte-intact cache entry whose stationary vector went bad must
+    be evicted on read, recorded as a service-cache fallback."""
+    store = JobStore(str(tmp_path / "store"))
+    cache = ResultCache(str(tmp_path / "store" / "cache"))
+    out = store.submit(demo_spec("tandem:2,1,1,1"), cache=cache)
+    ServiceWorker(store, cache, worker_id="w").drain()
+    digest = store.view(out.job_id).spec_digest
+    path = cache._entry_path(digest)
+    with open(path, "r", encoding="utf-8") as handle:
+        body = json.load(handle)
+    inner = {k: v for k, v in body.items() if k != "digest"}
+    inner["result"]["stationary"][0] += 0.7  # bit rot the digest re-blesses
+    with open(path, "wb") as handle:
+        handle.write(canonical_bytes(self_digested(inner)))
+    report = RunReport()
+    assert cache.get(digest, report=report) is None
+    fallbacks = report.fallbacks_for("service-cache")
+    assert len(fallbacks) == 1
+    assert "certificate failed revalidation" in fallbacks[0].reason
+    # evicted: a second read is a plain miss, no re-eviction noise
+    assert cache.get(digest) is None
+
+
+def test_no_certify_spec_solves_without_certificate(tmp_path):
+    spec = demo_spec("tandem:2,1,1,1")
+    spec["solve"]["certify"] = False
+    store = JobStore(str(tmp_path / "store"))
+    cache = ResultCache(str(tmp_path / "store" / "cache"))
+    out = store.submit(spec, cache=cache)
+    # corruption armed, but certification is off: the fault site is
+    # never consulted, the job completes, no certificate is stored
+    with inject_faults("certify.corrupt"):
+        ServiceWorker(store, cache, worker_id="w").drain()
+    view = store.view(out.job_id)
+    assert view.state == DONE
+    entry = cache.get(view.spec_digest)
+    assert entry is not None
+    assert "certificate" not in entry

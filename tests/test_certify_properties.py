@@ -1,0 +1,108 @@
+"""Property-based tests (hypothesis) for the certificate layer.
+
+Two families over :mod:`repro.markov.random_chains` generators:
+
+* **measure agreement** — for planted ordinarily-lumpable chains, the
+  lumped stationary distribution and the block-aggregated unlumped one
+  agree within the certificate bound, and the clean solve certifies;
+* **corruption is always caught** — a seeded ``certify.corrupt`` flip
+  fails certification for every chain and every seed, because the
+  planted mass defect (>= 0.5) dwarfs any admissible tolerance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.lumping.state_level import lump_rate_matrix
+from repro.markov.ctmc import CTMC
+from repro.markov.random_chains import (
+    random_ctmc,
+    random_ordinarily_lumpable,
+)
+from repro.markov.solvers import steady_state
+from repro.robust.certify import (
+    apply_corruption,
+    certificate_tolerance,
+    certify_stationary,
+)
+from repro.robust.faults import inject_faults
+
+SLOW = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+sizes = st.integers(min_value=4, max_value=18)
+blocks = st.integers(min_value=2, max_value=5)
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+def _aggregate(pi: np.ndarray, partition) -> np.ndarray:
+    class_of = np.asarray(partition.state_class_vector(), dtype=np.int64)
+    out = np.zeros(len(partition))
+    np.add.at(out, class_of, pi)
+    return out
+
+
+@given(sizes, blocks, seeds)
+@SLOW
+def test_lumped_and_unlumped_measures_agree_within_bound(n, k, seed):
+    k = min(k, n)
+    chain, planted = random_ordinarily_lumpable(n, k, seed=seed)
+    partition, lumped_rates = lump_rate_matrix(
+        chain.rate_matrix, "ordinary", initial=planted
+    )
+    lumped = CTMC(lumped_rates)
+    pi_full = steady_state(chain, method="direct").distribution
+    pi_lumped = steady_state(lumped, method="direct").distribution
+    base, _scale = certificate_tolerance(lumped)
+    gap = float(np.abs(_aggregate(pi_full, partition) - pi_lumped).max())
+    assert gap <= base, (
+        f"lumped/unlumped measures disagree by {gap:.3e} "
+        f"(certificate bound {base:.3e})"
+    )
+
+
+@given(sizes, blocks, seeds)
+@SLOW
+def test_clean_lumped_solve_certifies(n, k, seed):
+    k = min(k, n)
+    chain, planted = random_ordinarily_lumpable(n, k, seed=seed)
+    _partition, lumped_rates = lump_rate_matrix(
+        chain.rate_matrix, "ordinary", initial=planted
+    )
+    lumped = CTMC(lumped_rates)
+    pi = steady_state(lumped, method="direct").distribution
+    cert = certify_stationary(pi, lumped, method="direct")
+    assert cert.passed, cert.reasons
+
+
+@given(sizes, seeds)
+@SLOW
+def test_seeded_corruption_is_always_caught(n, seed):
+    chain = random_ctmc(n, density=0.4, seed=seed)
+    pi = steady_state(chain, method="direct").distribution
+    with inject_faults("certify.corrupt"):
+        corrupted = apply_corruption(pi)
+    cert = certify_stationary(corrupted, chain)
+    assert not cert.passed
+    assert not cert.check("mass-defect").passed
+    # and the honest vector still certifies under the same tolerance
+    assert certify_stationary(pi, chain).passed
+
+
+@given(sizes, seeds, st.floats(min_value=1e-9, max_value=1e-2))
+@SLOW
+def test_corruption_caught_at_any_admissible_tolerance(n, seed, tol):
+    """The planted defect (>= 0.5) exceeds every tolerance a caller can
+    reasonably configure, so detection does not depend on the default."""
+    chain = random_ctmc(n, density=0.4, seed=seed)
+    pi = steady_state(chain, method="direct").distribution
+    with inject_faults("certify.corrupt"):
+        corrupted = apply_corruption(pi)
+    cert = certify_stationary(corrupted, chain, tol=tol)
+    assert not cert.passed

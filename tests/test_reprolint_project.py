@@ -296,6 +296,119 @@ def test_rl011_real_service_tree_extracts_real_table():
 
 
 # ----------------------------------------------------------------------
+# RL012: uncertified result publication
+# ----------------------------------------------------------------------
+
+
+def _rl012_tree(cache_fixture: str, worker_fixture: str):
+    return [
+        (
+            "src/repro/service/cache.py",
+            _fixture(f"rl012_tree/{cache_fixture}"),
+        ),
+        (
+            "src/repro/service/worker.py",
+            _fixture(f"rl012_tree/{worker_fixture}"),
+        ),
+    ]
+
+
+def test_rl012_uncertified_put_and_get_are_flagged():
+    findings, _ = _tree(
+        ["RL012"], _rl012_tree("cache_bad.py", "worker_bad.py")
+    )
+    assert all(f.rule == "RL012" for f in findings)
+    assert len(findings) == 2, findings
+    messages = " | ".join(f.message for f in findings)
+    assert "without certification" in messages
+    assert "without revalidation" in messages
+    assert {f.path for f in findings} == {"src/repro/service/worker.py"}
+
+
+def test_rl012_certificate_kwarg_and_revalidating_get_are_clean():
+    findings, _ = _tree(
+        ["RL012"], _rl012_tree("cache_good.py", "worker_good.py")
+    )
+    assert findings == []
+
+
+def test_rl012_certifying_path_without_kwarg_is_clean():
+    """No certificate= keyword, but the publishing function reaches
+    certify_with_escalation — the certificate demonstrably exists on
+    the path, so the write is compliant."""
+    findings, _ = _tree(
+        ["RL012"], _rl012_tree("cache_bad.py", "worker_reach.py")
+    )
+    assert findings == []
+
+
+def test_rl012_revalidating_get_saves_uncertifying_consumer():
+    """The consumer never certifies, but the get() implementation it
+    resolves to revalidates — RL012 charges the read path once, at the
+    implementation, not at every call site."""
+    findings, _ = _tree(
+        ["RL012"], _rl012_tree("cache_good.py", "worker_bad.py")
+    )
+    assert [f.message for f in findings if "revalidation" in f.message] == []
+    # the put() in worker_bad still lacks its certificate
+    assert len(findings) == 1, findings
+    assert "without certification" in findings[0].message
+
+
+def test_rl012_out_of_scope_path_is_clean():
+    findings, _ = _tree(
+        ["RL012"],
+        [
+            (
+                "src/repro/markov/cachey.py",
+                _fixture("rl012_tree/worker_bad.py"),
+            ),
+        ],
+    )
+    assert findings == []
+
+
+def test_rl012_opaque_get_stays_silent():
+    src = "def read(entry_cache, digest):\n    return entry_cache.get(digest)\n"
+    findings, _ = _tree(["RL012"], [("src/repro/service/reader.py", src)])
+    assert findings == []
+
+
+def test_rl012_suppressed_inline():
+    text = _fixture("rl012_tree/worker_bad.py").replace(
+        "self.cache.put(digest, result)",
+        "self.cache.put(digest, result)"
+        "  # reprolint: disable=RL012 -- replay tool, certificate "
+        "checked by the reader",
+    )
+    sources = [
+        ("src/repro/service/cache.py", _fixture("rl012_tree/cache_bad.py")),
+        ("src/repro/service/worker.py", text),
+    ]
+    findings, suppressed = _tree(["RL012"], sources)
+    assert all("revalidation" in f.message for f in findings)
+    assert any(f.rule == "RL012" for f in suppressed)
+
+
+def test_rl012_real_service_tree_is_clean():
+    """The real worker/cache/__main__ must satisfy the rule via the
+    actual certificate plumbing (certificate= kwarg on the put,
+    revalidate_cached inside ResultCache.get)."""
+    repo = Path(__file__).resolve().parents[1]
+    sources = []
+    for rel in (
+        "src/repro/service/cache.py",
+        "src/repro/service/worker.py",
+        "src/repro/service/store.py",
+        "src/repro/service/__main__.py",
+        "src/repro/robust/certify.py",
+    ):
+        sources.append((rel, (repo / rel).read_text(encoding="utf-8")))
+    findings, _ = _tree(["RL012"], sources)
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
 # RL002 interprocedural (RL002i)
 # ----------------------------------------------------------------------
 

@@ -30,6 +30,7 @@ from repro.service import (
     canonical_digest,
     demo_spec,
     solve_spec,
+    solve_spec_certified,
 )
 from repro.service.spec import (
     SpecError,
@@ -394,7 +395,7 @@ class TestWorker:
         heartbeat beats (so the watchdog never kills it as hung)."""
         store, cache = service
         store.submit(redundant_spec)
-        real_solve = solve_spec
+        real_solve = solve_spec_certified
 
         def slow_solve(spec, report=None):
             deadline = time.monotonic() + 0.35
@@ -402,7 +403,9 @@ class TestWorker:
                 budgets.check_time()
             return real_solve(spec, report=report)
 
-        monkeypatch.setattr("repro.service.worker.solve_spec", slow_solve)
+        monkeypatch.setattr(
+            "repro.service.worker.solve_spec_certified", slow_solve
+        )
         hb = heartbeat_mod.install(str(tmp_path / "worker.hb"))
         try:
             worker = ServiceWorker(

@@ -29,6 +29,9 @@ from reprolint.rules.rl009_nondurable_service_write import (
 )
 from reprolint.rules.rl010_lock_discipline import LockDiscipline
 from reprolint.rules.rl011_lifecycle_conformance import LifecycleConformance
+from reprolint.rules.rl012_uncertified_result_publication import (
+    UncertifiedResultPublication,
+)
 
 RULE_CLASSES: Sequence[Type[Rule]] = (
     NondeterministicIteration,
@@ -42,6 +45,7 @@ RULE_CLASSES: Sequence[Type[Rule]] = (
     NonDurableServiceWrite,
     LockDiscipline,
     LifecycleConformance,
+    UncertifiedResultPublication,
 )
 
 #: Historical/alternate spellings accepted by ``--select``.  ``RL002i``
