@@ -164,6 +164,8 @@ def lump_and_solve(
     parallel=None,
     certify: bool = False,
     certificate_tol: Optional[float] = None,
+    lumping: Optional[CompositionalLumpingResult] = None,
+    x0: Optional[np.ndarray] = None,
 ) -> LumpedSolution:
     """Lump ``model`` compositionally and solve the lumped chain.
 
@@ -216,7 +218,31 @@ def lump_and_solve(
     attached.  ``certificate_tol`` overrides the base tolerance
     (:data:`~repro.robust.certify.DEFAULT_CERTIFICATE_TOL`).  The
     certificate lands on ``LumpedSolution.certificate``.
+
+    With ``lumping`` given (a :class:`CompositionalLumpingResult` whose
+    ``original`` matches ``model``), the refinement is skipped entirely
+    and the precomputed partition is used as-is — the parameter-sweep
+    reuse path (:mod:`repro.sweep`), which proves partition validity
+    separately before passing it here.  With ``x0`` given, iterative
+    solve methods are warm-started from it instead of the uniform
+    vector (``direct`` ignores it); certification still checks the
+    answer, so a poisoned warm start cannot certify.  Neither is
+    supported under ``supervised=True``.
     """
+    if supervised and (lumping is not None or x0 is not None):
+        raise LumpingError(
+            "lumping=/x0= are not supported with supervised=True"
+        )
+    if lumping is not None and (
+        lumping.original.md.level_sizes != model.md.level_sizes
+        or lumping.kind != kind
+    ):
+        raise LumpingError(
+            "precomputed lumping does not match the model/kind "
+            f"(lumping: kind={lumping.kind!r} "
+            f"levels={lumping.original.md.level_sizes}; requested: "
+            f"kind={kind!r} levels={model.md.level_sizes})"
+        )
     if supervised:
         return _lump_and_solve_supervised(
             model,
@@ -241,17 +267,28 @@ def lump_and_solve(
         solve_method = method
         certificate = None
         with (ck if ck is not None else nullcontext()):
-            result = compositional_lump(
-                model, kind=kind, key=key, iterate=iterate,
-                parallel=autodegrade_parallel(parallel),
-            )
+            if lumping is not None:
+                result = lumping
+            else:
+                result = compositional_lump(
+                    model, kind=kind, key=key, iterate=iterate,
+                    parallel=autodegrade_parallel(parallel),
+                )
             lumped_ctmc = result.lumped.flat_ctmc()
             if not lumped_ctmc.is_irreducible():
                 raise LumpingError(
                     "the lumped chain is not irreducible; restrict the "
                     "model to a single recurrent class before solving"
                 )
-            stationary = steady_state(lumped_ctmc, method=method).distribution
+            solver_kwargs = {}
+            if x0 is not None:
+                from repro.robust.fallback import ITERATIVE_METHODS
+
+                if method in ITERATIVE_METHODS:
+                    solver_kwargs["x0"] = x0
+            stationary = steady_state(
+                lumped_ctmc, method=method, **solver_kwargs
+            ).distribution
             if certify:
                 from repro.robust.certify import certify_with_escalation
                 from repro.robust.fallback import DEFAULT_SOLVER_CHAIN
@@ -294,6 +331,8 @@ def lump_and_solve(
         parallel=parallel,
         certify=certify,
         certificate_tol=certificate_tol,
+        lumping=lumping,
+        x0=x0,
     )
 
 
@@ -371,6 +410,8 @@ def _lump_and_solve_robust(
     parallel=None,
     certify: bool = False,
     certificate_tol: Optional[float] = None,
+    lumping: Optional[CompositionalLumpingResult] = None,
+    x0: Optional[np.ndarray] = None,
 ) -> LumpedSolution:
     """The degrading variant of :func:`lump_and_solve`.
 
@@ -402,10 +443,14 @@ def _lump_and_solve_robust(
     scope = budget if budget is not None else nullcontext()
     with scope, (ck if ck is not None else nullcontext()):
         with report.stage("lumping") as stage:
-            result = compositional_lump(
-                model, kind=kind, key=key, iterate=iterate,
-                degrade=degrade, report=report, parallel=cfg,
-            )
+            if lumping is not None:
+                result = lumping
+                stage.detail = "reused precomputed partition"
+            else:
+                result = compositional_lump(
+                    model, kind=kind, key=key, iterate=iterate,
+                    degrade=degrade, report=report, parallel=cfg,
+                )
             if result.skipped_levels:
                 stage.status = "degraded"
                 stage.detail = (
@@ -419,7 +464,16 @@ def _lump_and_solve_robust(
                     "the lumped chain is not irreducible; restrict the "
                     "model to a single recurrent class before solving"
                 )
-            solution = solve_with_fallback(lumped_ctmc, chain=solver_chain)
+            from repro.robust.fallback import ITERATIVE_METHODS
+
+            per_method = (
+                {m: {"x0": x0} for m in ITERATIVE_METHODS}
+                if x0 is not None
+                else None
+            )
+            solution = solve_with_fallback(
+                lumped_ctmc, chain=solver_chain, per_method=per_method
+            )
             for attempt in solution.attempts:
                 report.record_attempt(
                     stage="solve",

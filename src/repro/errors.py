@@ -113,3 +113,9 @@ class CertificationError(SolverError):
 class CompositionError(ReproError):
     """Composition of submodels failed (e.g. shared places with unequal
     capacities, or level assignments that do not partition the variables)."""
+
+
+class SweepError(ReproError):
+    """A parameter sweep that cannot be planned or resumed (malformed
+    sweep spec, a frontier directory bound to a different sweep, or a
+    point transform addressing nodes the model does not have)."""

@@ -420,6 +420,44 @@ def _compositional_lump_once(
                     reason=reason,
                 )
 
+    return apply_partitions(model, partitions, kind, skipped_levels=skipped)
+
+
+def apply_partitions(
+    model: MDModel,
+    partitions: Sequence[Partition],
+    kind: str = "ordinary",
+    skipped_levels: Sequence[SkippedLevel] = (),
+) -> CompositionalLumpingResult:
+    """Build the lumped model a given per-level partition list induces.
+
+    This is the construction half of Figure 3b — replace every node with
+    its lumped version (Theorem 2 node-locally), lump the per-level
+    reward/initial vectors, and project the reachable set — separated
+    from the refinement half so a caller that already *has* a valid
+    partition (the parameter-sweep reuse gate,
+    :mod:`repro.sweep.reuse`) can apply it without re-running the
+    fixed-point iteration.  The caller is responsible for the
+    partitions' validity: any per-level partition satisfying the
+    lumpability condition yields exact results (Theorems 2/3/4 hold for
+    every valid partition, coarsest or not).
+    """
+    if kind not in ("ordinary", "exact"):
+        raise LumpingError(f"kind must be 'ordinary' or 'exact', not {kind!r}")
+    md = model.md
+    if len(partitions) != md.num_levels:
+        raise LumpingError(
+            f"{len(partitions)} partitions for a {md.num_levels}-level MD"
+        )
+    for level in range(1, md.num_levels + 1):
+        if partitions[level - 1].n != md.level_size(level):
+            raise LumpingError(
+                f"level {level} partition covers {partitions[level - 1].n} "
+                f"substates, level has {md.level_size(level)}"
+            )
+    partitions = list(partitions)
+    skipped = list(skipped_levels)
+
     # Build the lumped MD: same node indices, shrunken contents.
     new_nodes: Dict[int, MDNode] = {}
     new_sizes: List[int] = []

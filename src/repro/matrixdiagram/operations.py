@@ -46,6 +46,17 @@ def flatten_node(
         cache = {}
 
     sizes = md.level_sizes
+    # A shared child is referenced from many parent entries; memoize its
+    # COO view so the CSR->COO conversion happens once per node, not
+    # once per reference (the conversion dominated flattening time).
+    coo_cache: Dict[int, sparse.coo_matrix] = {}
+
+    def recurse_coo(node_index: int) -> sparse.coo_matrix:
+        coo = coo_cache.get(node_index)
+        if coo is None:
+            coo = recurse(node_index).tocoo()
+            coo_cache[node_index] = coo
+        return coo
 
     def recurse(node_index: int) -> sparse.csr_matrix:
         cached = cache.get(node_index)
@@ -65,7 +76,7 @@ def flatten_node(
         else:
             for r, c, formal_sum in node.entries():
                 for child, coefficient in formal_sum.items():
-                    block = recurse(child).tocoo()
+                    block = recurse_coo(child)
                     if block.nnz == 0:
                         continue
                     rows.append(block.row + r * stride)

@@ -29,6 +29,15 @@ site                    effect when a matching rule fires
                         which flips one stationary entry instead of
                         raising — simulated result corruption that the
                         certificate layer must catch
+``sweep.point``         checked via :func:`check_at` with the 1-based
+                        sweep plan index at the start of every solve
+                        attempt — ``sweep.point:3`` (no fired log) makes
+                        point 3 permanently divergent; with ``@sigkill``
+                        it kills the driver mid-point
+``sweep.frontier``      :class:`InjectedFault` before every frontier
+                        write (manifest and per-point records) — the
+                        kill-anywhere persistence boundary of
+                        :mod:`repro.sweep.frontier`
 ======================  ====================================================
 
 Injected exceptions subclass both :class:`InjectedFault` and the error

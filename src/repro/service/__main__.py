@@ -26,7 +26,7 @@ import argparse
 import json
 import os
 import sys
-from typing import Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.robust.checkpoint import atomic_write_text
 from repro.robust.retry import RetryPolicy
@@ -37,7 +37,7 @@ from repro.service.spec import (
     demo_spec,
     spec_summary,
 )
-from repro.service.store import DEAD, DONE, JobStore, StoreError
+from repro.service.store import DEAD, DONE, STATES, JobStore, StoreError
 
 EXIT_SHED = 5
 EXIT_NOT_DONE = 6
@@ -96,6 +96,30 @@ def _cmd_status(args: argparse.Namespace) -> int:
     job_ids = args.jobs or store.list_jobs()
     if not job_ids:
         print("no jobs")
+        return 0
+    if not args.jobs and not args.verbose:
+        # Compact default: a parameter sweep leaves hundreds of jobs
+        # behind, and a scan printing one line each buries the signal.
+        # Summarize by state; per-job lines are one --verbose (or an
+        # explicit job id) away.
+        counts: Dict[str, int] = {}
+        unreadable = 0
+        for job_id in job_ids:
+            try:
+                state = store.view(job_id).state or "submitted"
+            except StoreError:
+                unreadable += 1
+                continue
+            counts[state] = counts.get(state, 0) + 1
+        parts = [
+            f"{state}={counts[state]}"
+            for state in (*STATES, "submitted")
+            if counts.get(state)
+        ]
+        line = f"{len(job_ids)} job(s): {' '.join(parts)}"
+        if unreadable:
+            line += f" unreadable={unreadable}"
+        print(line)
         return 0
     code = 0
     for job_id in job_ids:
@@ -271,7 +295,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p_status.add_argument(
         "--verbose",
         action="store_true",
-        help="print dead-letter diagnoses",
+        help="one line per job plus dead-letter diagnoses (the default "
+        "for a store-wide scan is a one-line count by state)",
     )
 
     p_result = sub.add_parser("result", help="fetch a finished result")

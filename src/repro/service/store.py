@@ -30,7 +30,7 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.errors import ReproError
 from repro.robust import faults
@@ -211,6 +211,13 @@ class JobStore:
         self.jobs_dir = os.path.join(self.root, "jobs")
         self.byhash_dir = os.path.join(self.root, "byhash")
         self.clock = clock
+        # Verified spec envelopes, keyed by job id.  A spec is written
+        # exactly once at submit and never mutated, so a successful
+        # verification holds for the life of the process; re-reading and
+        # re-hashing the (potentially large) spec on every view is pure
+        # overhead.  Bounded so a long-lived serve loop cannot grow it
+        # without limit.
+        self._spec_cache: Dict[str, dict] = {}
         os.makedirs(self.jobs_dir, exist_ok=True)
         os.makedirs(self.byhash_dir, exist_ok=True)
 
@@ -244,8 +251,19 @@ class JobStore:
             return []
         return sorted(n for n in names if n.startswith("j"))
 
+    #: Bound on memoized verified spec envelopes (see ``_spec_cache``).
+    _SPEC_CACHE_LIMIT = 256
+
     def load_spec(self, job_id: str) -> dict:
-        """The job's immutable spec envelope (verified)."""
+        """The job's immutable spec envelope (verified).
+
+        Verified envelopes are memoized per store instance — the spec
+        file is immutable after submit, so one successful digest check
+        is authoritative; corrupt or missing specs are never cached.
+        """
+        cached = self._spec_cache.get(job_id)
+        if cached is not None:
+            return cached
         path = self._spec_path(job_id)
         try:
             with open(path, "rb") as handle:
@@ -255,9 +273,13 @@ class JobStore:
         try:
             import json
 
-            return verify_digest(json.loads(raw.decode("utf-8")))
+            envelope = verify_digest(json.loads(raw.decode("utf-8")))
         except (ValueError, SpecError) as exc:
             raise StoreError(f"job {job_id}: corrupt spec: {exc}") from exc
+        if len(self._spec_cache) >= self._SPEC_CACHE_LIMIT:
+            self._spec_cache.pop(next(iter(self._spec_cache)))
+        self._spec_cache[job_id] = envelope
+        return envelope
 
     def view(self, job_id: str) -> JobView:
         """The job's verified record chain.
@@ -399,6 +421,7 @@ class JobStore:
         queue_limit: Optional[int] = None,
         cache: Optional[Any] = None,
         report: Optional[Any] = None,
+        spec_digest: Optional[str] = None,
     ) -> SubmitOutcome:
         """Admit one job (or shed it, or resolve it from cache).
 
@@ -406,9 +429,13 @@ class JobStore:
         already active the submission is *shed* — explicitly rejected,
         nothing durable written — rather than queued into an unbounded
         backlog.  With ``cache`` given, a content hit completes the job
-        instantly (``done``, source ``cache``).
+        instantly (``done``, source ``cache``).  ``spec_digest``, when
+        given, MUST equal ``canonical_digest(spec)`` — it lets a caller
+        that already canonicalized the spec skip re-serializing it.
         """
-        digest = canonical_digest(spec)
+        digest = (
+            spec_digest if spec_digest is not None else canonical_digest(spec)
+        )
         faults.check("service.submit")
         if queue_limit is not None and self.active_count() >= queue_limit:
             return SubmitOutcome(
@@ -424,6 +451,8 @@ class JobStore:
             }
         )
         atomic_write_bytes(self._spec_path(job_id), canonical_bytes(envelope))
+        if len(self._spec_cache) < self._SPEC_CACHE_LIMIT:
+            self._spec_cache[job_id] = envelope
         primary = self.register_primary(digest, job_id)
         coalesced_with = None if primary == job_id else primary
         view = JobView(job_id=job_id, spec_digest=digest)
@@ -457,6 +486,63 @@ class JobStore:
             spec_digest=digest,
             coalesced_with=coalesced_with,
         )
+
+    def submit_batch(
+        self,
+        specs: List[dict],
+        queue_limit: Optional[int] = None,
+        cache: Optional[Any] = None,
+        report: Optional[Any] = None,
+        digests: Optional[Sequence[str]] = None,
+    ) -> List[SubmitOutcome]:
+        """Admit a batch of jobs (a parameter sweep's points) in order.
+
+        Semantically identical to calling :meth:`submit` per spec —
+        duplicate specs coalesce onto one primary, cache hits complete
+        instantly — but deduplicates *within* the batch first so a
+        sweep whose points collapse to the same digest (factor 1.0
+        points, symmetric grids) submits one job and mirrors the
+        outcome to the duplicates.  ``queue_limit`` is checked against
+        distinct new jobs, not raw batch size.  ``digests``, when
+        given, must be the per-spec canonical digests (same contract as
+        :meth:`submit`'s ``spec_digest``).
+        """
+        if digests is not None and len(digests) != len(specs):
+            raise StoreError(
+                f"submit_batch: {len(digests)} digests for "
+                f"{len(specs)} specs"
+            )
+        outcomes: List[SubmitOutcome] = []
+        first_seen: Dict[str, SubmitOutcome] = {}
+        for position, spec in enumerate(specs):
+            digest = (
+                digests[position]
+                if digests is not None
+                else canonical_digest(spec)
+            )
+            seen = first_seen.get(digest)
+            if seen is not None:
+                outcomes.append(
+                    SubmitOutcome(
+                        job_id=seen.job_id,
+                        state=seen.state,
+                        spec_digest=digest,
+                        coalesced_with=seen.job_id,
+                        cache_hit=seen.cache_hit,
+                        shed=seen.shed,
+                    )
+                )
+                continue
+            outcome = self.submit(
+                spec,
+                queue_limit=queue_limit,
+                cache=cache,
+                report=report,
+                spec_digest=digest,
+            )
+            first_seen[digest] = outcome
+            outcomes.append(outcome)
+        return outcomes
 
     # -- worker-side transitions ---------------------------------------
 

@@ -79,18 +79,26 @@ def solve_spec_certified(
         report=report,
         certify=bool(params["certify"]),
     )
-    result = {
+    certificate = (
+        None if solution.certificate is None
+        else solution.certificate.to_dict()
+    )
+    return payload_from_solution(solution), certificate
+
+
+def payload_from_solution(solution: Any) -> Dict[str, Any]:
+    """The JSON-compatible result payload of a
+    :class:`~repro.analysis.LumpedSolution` — the one shape every
+    publisher (worker loop, sweep engine) stores in the cache, so
+    ``result``/``status`` read sweep-produced and worker-produced
+    entries identically."""
+    return {
         "stationary": [float(x) for x in solution.stationary],
         "solve_method": solution.solve_method,
         "num_states": int(solution.num_states),
         "reduction_factor": float(solution.reduction_factor),
         "expected_reward": float(solution.expected_reward()),
     }
-    certificate = (
-        None if solution.certificate is None
-        else solution.certificate.to_dict()
-    )
-    return result, certificate
 
 
 def solve_spec(spec: dict, report: Optional[RunReport] = None) -> dict:

@@ -1,0 +1,64 @@
+"""Failure-isolated, crash-resumable parameter sweeps over MD models.
+
+A sweep takes a base job spec plus a grid (or explicit list) of rate
+points and drives every point through the durable analysis service as
+one crash-safe job each: a checkpointed frontier records per-point
+terminal outcomes so ``--resume`` replays nothing, a proof-gated
+partition-reuse path and nearest-neighbor warm starts make the
+incremental re-analysis cheap, and a per-point quarantine ladder keeps
+one divergent point from sinking the sweep.  See ``docs/sweep.md``.
+
+Run one from the command line with ``python -m repro.sweep``.
+"""
+
+from repro.sweep.engine import (
+    PointOutcome,
+    SweepEngine,
+    SweepResult,
+    SweepStats,
+    run_sweep,
+)
+from repro.sweep.frontier import (
+    POINT_DONE,
+    POINT_FAILED,
+    POINT_STATES,
+    SweepFrontier,
+)
+from repro.sweep.reuse import (
+    lump_with_reuse,
+    partition_reuse_proof,
+)
+from repro.sweep.spec import (
+    SWEEP_FORMAT,
+    RatePoint,
+    apply_point,
+    auto_sites,
+    nearest_neighbor,
+    normalize_sweep_spec,
+    point_spec,
+    sweep_digest,
+    sweep_points,
+)
+
+__all__ = [
+    "SWEEP_FORMAT",
+    "POINT_DONE",
+    "POINT_FAILED",
+    "POINT_STATES",
+    "RatePoint",
+    "PointOutcome",
+    "SweepEngine",
+    "SweepFrontier",
+    "SweepResult",
+    "SweepStats",
+    "apply_point",
+    "auto_sites",
+    "lump_with_reuse",
+    "nearest_neighbor",
+    "normalize_sweep_spec",
+    "partition_reuse_proof",
+    "point_spec",
+    "run_sweep",
+    "sweep_digest",
+    "sweep_points",
+]

@@ -1,0 +1,171 @@
+"""The crash-safe sweep frontier: per-point status that survives kill.
+
+The frontier is a directory in the :mod:`repro.robust.checkpoint`
+idiom — every write is atomic (tmp + fsync + rename), every record is
+self-digested, and a manifest binds the directory to one sweep spec's
+canonical digest so a resumed run can never mix points from two
+different sweeps:
+
+.. code-block:: text
+
+    <frontier>/
+        MANIFEST.json          # format, sweep digest, total points
+        points/p00001.json     # one self-digested outcome per point
+
+A point's record is written exactly once, *after* its outcome is
+terminal (``done`` or ``failed``); a process killed mid-point simply
+leaves no record, and ``--resume`` recomputes that point
+deterministically — which is what makes a killed-and-resumed sweep
+bitwise-identical to an uninterrupted one.  A record that fails its
+digest check (a torn write cannot happen under atomic rename, but a
+truncated disk or stray edit can) is treated as missing and recomputed,
+never trusted.
+
+The deterministic fault site ``sweep.frontier`` fires before every
+frontier write, so the kill-anywhere property test can SIGKILL the
+driver at any persistence boundary.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional
+
+from repro.errors import SweepError
+from repro.robust import faults
+from repro.robust.checkpoint import atomic_write_json
+from repro.service.spec import SpecError, self_digested, verify_digest
+
+#: Version stamp of the frontier directory layout.
+FRONTIER_FORMAT = 1
+
+#: Outcome states a point record may carry.
+POINT_DONE = "done"
+POINT_FAILED = "failed"
+POINT_STATES = (POINT_DONE, POINT_FAILED)
+
+
+class SweepFrontier:
+    """Per-point terminal outcomes for one sweep, keyed by point id."""
+
+    def __init__(
+        self,
+        directory: str,
+        sweep_digest: str,
+        total_points: int,
+        resume: bool = False,
+    ) -> None:
+        self.directory = directory
+        self.sweep_digest = sweep_digest
+        self.total_points = int(total_points)
+        self._points_dir = os.path.join(directory, "points")
+        manifest_path = os.path.join(directory, "MANIFEST.json")
+        existing = self._read_json(manifest_path)
+        if existing is not None:
+            body = self._verify(existing)
+            if body is None:
+                raise SweepError(
+                    f"frontier manifest {manifest_path} fails its digest "
+                    "check; refusing to resume from a corrupt frontier "
+                    "(delete the directory to start over)"
+                )
+            if body.get("sweep_digest") != sweep_digest:
+                raise SweepError(
+                    f"frontier {directory} belongs to sweep "
+                    f"{str(body.get('sweep_digest'))[:12]}..., not "
+                    f"{sweep_digest[:12]}... — refusing to mix sweeps"
+                )
+            if not resume:
+                raise SweepError(
+                    f"frontier {directory} already exists for this sweep; "
+                    "pass --resume to continue it"
+                )
+        else:
+            os.makedirs(self._points_dir, exist_ok=True)
+            faults.check("sweep.frontier")
+            atomic_write_json(
+                manifest_path,
+                self_digested(
+                    {
+                        "format": FRONTIER_FORMAT,
+                        "sweep_digest": sweep_digest,
+                        "total_points": self.total_points,
+                    }
+                ),
+            )
+        os.makedirs(self._points_dir, exist_ok=True)
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _read_json(path: str) -> Optional[dict]:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                loaded = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError):
+            # Unreadable bytes are indistinguishable from no record:
+            # the caller recomputes instead of trusting them.
+            return None
+        return loaded if isinstance(loaded, dict) else None
+
+    @staticmethod
+    def _verify(stamped: dict) -> Optional[dict]:
+        try:
+            return verify_digest(stamped)
+        except SpecError:
+            return None
+
+    # ------------------------------------------------------------------
+
+    def _point_path(self, point_id: str) -> str:
+        return os.path.join(self._points_dir, f"{point_id}.json")
+
+    def record(self, point_id: str, outcome: dict) -> None:
+        """Durably record a terminal point outcome (atomic, digested).
+
+        Must only be called with a terminal outcome: the frontier's
+        contract is that a recorded point is never reprocessed.
+        """
+        if outcome.get("status") not in POINT_STATES:
+            raise SweepError(
+                f"refusing to record non-terminal outcome "
+                f"{outcome.get('status')!r} for {point_id}"
+            )
+        body = dict(outcome)
+        body["point_id"] = point_id
+        faults.check("sweep.frontier")
+        atomic_write_json(self._point_path(point_id), self_digested(body))
+
+    def lookup(self, point_id: str) -> Optional[dict]:
+        """The recorded outcome for a point, or ``None`` (missing or
+        failing its digest check — both mean: recompute)."""
+        stamped = self._read_json(self._point_path(point_id))
+        if stamped is None:
+            return None
+        body = self._verify(stamped)
+        if body is None or body.get("status") not in POINT_STATES:
+            return None
+        return body
+
+    def outcomes(self) -> Dict[str, dict]:
+        """All valid recorded outcomes, keyed by point id."""
+        out: Dict[str, dict] = {}
+        try:
+            names = sorted(os.listdir(self._points_dir))
+        except FileNotFoundError:
+            return out
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            point_id = name[: -len(".json")]
+            body = self.lookup(point_id)
+            if body is not None:
+                out[point_id] = body
+        return out
+
+    def pending(self, point_ids: List[str]) -> List[str]:
+        """The subset of ``point_ids`` with no valid terminal record."""
+        return [pid for pid in point_ids if self.lookup(pid) is None]

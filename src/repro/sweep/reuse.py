@@ -1,0 +1,334 @@
+"""The partition-reuse gate: prove a rate change kept the partition.
+
+Rates enter the refinement keys only as formal-sum coefficients, so
+many rate changes — uniform scalings of a site's entries in particular
+— cannot alter the lumping partition.  Instead of *assuming* that, the
+gate re-checks the lumpability conditions of the base partition
+directly on the derived model, with the same quantized formal-sum
+signature comparison the refinement itself uses
+(:mod:`repro.lumping.keys`):
+
+* the **initial condition** (Section 4, ``P_i_ini``): rewards constant
+  on every class for ordinary lumping; initial factors and full
+  coefficient row sums constant for exact lumping;
+* the **stability condition** (Figure 3a): for every node of the
+  level, every class ``C``, and every class ``B``, the class-sum
+  ``R_n(s, C)`` (ordinary; transposed for exact) has the same
+  signature for all ``s in B``.
+
+These are exactly the conditions the fixed-point refinement enforces,
+so a partition that passes is a valid — not necessarily coarsest —
+lumping of the derived model, and Theorems 2/3/4 make its results
+exact.  A partition that fails (quantization ties flipping under
+scaling, a site that breaks a symmetry) falls back to full re-lumping,
+recorded in the :class:`~repro.robust.report.RunReport` as a
+``sweep.reuse`` fallback: reuse is an optimization the proof licenses,
+never a correctness assumption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import (
+    AbstractSet,
+    Any,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.lumping.compositional import (
+    CompositionalLumpingResult,
+    apply_partitions,
+    compositional_lump,
+)
+from repro.lumping.md_model import MDModel
+from repro.partitions import Partition
+from repro.sweep.spec import apply_point
+from repro.robust.report import RunReport
+from repro.util.numeric import quantize
+
+_ZERO_TERMINAL_KEY = quantize(0.0)
+
+
+def _formal_signature(
+    terms: Dict[int, float],
+) -> Tuple[Tuple[int, float], ...]:
+    """The :attr:`FormalSum.signature` of an accumulated coefficient
+    map, computed without constructing the sum (the constructor's
+    re-validation dominated proof time)."""
+    return tuple(
+        sorted(
+            (child, quantize(v)) for child, v in terms.items() if v != 0.0
+        )
+    )
+
+
+def _blocks(partition: Partition) -> List[Tuple[int, ...]]:
+    """The classes of a partition as member tuples, in dense order."""
+    index_map = partition.block_index_map()
+    ordered = sorted(index_map.items(), key=lambda item: item[1])
+    return [tuple(partition.block(block_id)) for block_id, _ in ordered]
+
+
+def _node_class_keys(
+    node: Any,
+    class_of: Dict[int, int],
+    states: Sequence[int],
+    transpose: bool = False,
+) -> Dict[int, Dict[int, Any]]:
+    """Per-state sparse map ``class_id -> quantized class-sum key``.
+
+    One pass over the node's entries replaces the per-(state, class)
+    ``row_sum_over`` calls, which are quadratic in the number of
+    classes.  Classes whose sum is (quantized) zero are dropped so a
+    cancelling class compares equal to a class the state has no
+    entries in — the same verdict ``row_sum_over`` gives on those
+    member sets.  With ``transpose`` the roles of rows and columns
+    swap (exact lumping's column condition).
+    """
+    terminal = node.terminal
+    raw: Dict[int, Dict[int, Any]] = {state: {} for state in states}
+    for row, col, entry in node.entries():
+        state, other = (col, row) if transpose else (row, col)
+        bucket = raw.get(state)
+        if bucket is None:
+            continue
+        cls = class_of[other]
+        if terminal:
+            bucket[cls] = bucket.get(cls, 0.0) + float(entry)
+        else:
+            acc = bucket.get(cls)
+            if acc is None:
+                acc = {}
+                bucket[cls] = acc
+            for child, coefficient in entry.items():
+                acc[child] = acc.get(child, 0.0) + coefficient
+    keys: Dict[int, Dict[int, Any]] = {}
+    for state, bucket in raw.items():
+        state_keys: Dict[int, Any] = {}
+        for cls, total in bucket.items():
+            if terminal:
+                key = quantize(float(total))
+                if key == _ZERO_TERMINAL_KEY:
+                    continue
+            else:
+                key = _formal_signature(total)
+                if not key:
+                    continue
+            state_keys[cls] = key
+        keys[state] = state_keys
+    return keys
+
+
+def _full_row_keys(node: Any, states: Sequence[int]) -> Dict[int, Any]:
+    """Quantized key of each state's full row sum, in one pass."""
+    terminal = node.terminal
+    raw: Dict[int, Any] = {
+        state: (0.0 if terminal else {}) for state in states
+    }
+    for row, col, entry in node.entries():
+        acc = raw.get(row)
+        if acc is None:
+            continue
+        if terminal:
+            raw[row] = acc + float(entry)
+        else:
+            for child, coefficient in entry.items():
+                acc[child] = acc.get(child, 0.0) + coefficient
+    if terminal:
+        return {state: quantize(float(v)) for state, v in raw.items()}
+    return {state: _formal_signature(v) for state, v in raw.items()}
+
+
+def partition_reuse_proof(
+    model: MDModel,
+    partitions: Sequence[Partition],
+    kind: str = "ordinary",
+    changed_nodes: Optional[AbstractSet[int]] = None,
+) -> Optional[str]:
+    """Check that ``partitions`` remains a valid per-level lumping of
+    ``model``.
+
+    Returns ``None`` when the proof goes through, else a one-line
+    reason naming the first violated condition (level, node, class) —
+    the caller records it and re-lumps from scratch.
+
+    ``changed_nodes`` restricts the per-node stability scan to those
+    node indices.  This is the incremental form of the proof: it is
+    ONLY sound when the caller knows every other node of ``model`` is
+    entry-identical to a model the partition is already stable on (a
+    sweep point differs from the anchored base model exactly at its
+    site nodes).  The initial condition is always checked in full —
+    it is cheap and depends on rewards/initial vectors, not rates.
+    """
+    md = model.md
+    if len(partitions) != md.num_levels:
+        return (
+            f"{len(partitions)} partitions for a {md.num_levels}-level MD"
+        )
+    for level in range(1, md.num_levels + 1):
+        partition = partitions[level - 1]
+        if partition.n != md.level_size(level):
+            return (
+                f"level {level}: partition covers {partition.n} substates, "
+                f"level has {md.level_size(level)}"
+            )
+        blocks = _blocks(partition)
+        # Initial condition: the quantities P_i_ini splits on must be
+        # constant on every class.
+        rewards = model.level_rewards[level - 1]
+        initial = model.level_initial[level - 1]
+        for block in blocks:
+            if len(block) < 2:
+                continue
+            if kind == "ordinary":
+                head = quantize(float(rewards[block[0]]))
+                for state in block[1:]:
+                    if quantize(float(rewards[state])) != head:
+                        return (
+                            f"level {level}: rewards differ inside class "
+                            f"{block}"
+                        )
+            else:
+                head = quantize(float(initial[block[0]]))
+                for state in block[1:]:
+                    if quantize(float(initial[state])) != head:
+                        return (
+                            f"level {level}: initial factors differ inside "
+                            f"class {block}"
+                        )
+        # Stability: every node of the level, against every class C.
+        # Each state's class sums are gathered in a single pass over
+        # the node's entries (sparse, zero classes dropped), so the
+        # check is linear in the node's entry count — comparing the
+        # sparse maps blockwise is the old per-(class, block) loop
+        # without the quadratic blowup in the number of classes.
+        nontrivial = [b for b in blocks if len(b) >= 2]
+        if not nontrivial:
+            continue
+        level_nodes = md.nodes_at(level)
+        scan = [
+            index
+            for index in sorted(level_nodes)
+            if changed_nodes is None or index in changed_nodes
+        ]
+        if not scan:
+            continue
+        class_of: Dict[int, int] = {}
+        for cls, block in enumerate(blocks):
+            for state in block:
+                class_of[state] = cls
+        states = [state for block in nontrivial for state in block]
+        for index in scan:
+            node = level_nodes[index]
+            if kind == "exact":
+                # Exact lumping additionally needs equal full row sums
+                # (condition (4) of Definition 3); per-class equality
+                # of quantized signatures does not imply it.
+                full = _full_row_keys(node, states)
+                for block in nontrivial:
+                    head = full[block[0]]
+                    for state in block[1:]:
+                        if full[state] != head:
+                            return (
+                                f"level {level} node {index}: full row "
+                                f"sums differ inside class {block}"
+                            )
+            keys = _node_class_keys(
+                node, class_of, states, transpose=(kind == "exact")
+            )
+            for block in nontrivial:
+                head = keys[block[0]]
+                for state in block[1:]:
+                    if keys[state] == head:
+                        continue
+                    mismatched = keys[state]
+                    culprit = min(
+                        cls
+                        for cls in set(head) | set(mismatched)
+                        if head.get(cls) != mismatched.get(cls)
+                    )
+                    return (
+                        f"level {level} node {index}: class sums over "
+                        f"{blocks[culprit]} differ inside class {block}"
+                    )
+    return None
+
+
+def scaled_lumping(
+    base: CompositionalLumpingResult,
+    sites: Mapping[str, Sequence[int]],
+    factors: Mapping[str, float],
+    derived: MDModel,
+) -> CompositionalLumpingResult:
+    """The lumped model of a rate point, built by scaling ``base``'s
+    lumped model directly.
+
+    :func:`~repro.lumping.compositional.apply_partitions` keeps node
+    indices ("same node indices, shrunken contents") and lumping is
+    linear in each node's entries, so scaling a site's nodes by ``f``
+    commutes with quotient construction: the quotient of the scaled
+    model *is* the scaled quotient.  Only valid once
+    :func:`partition_reuse_proof` has licensed the partition for the
+    derived model; ``derived`` becomes the result's ``original``.
+    """
+    return replace(
+        base,
+        original=derived,
+        lumped=apply_point(base.lumped, sites, factors),
+    )
+
+
+def lump_with_reuse(
+    model: MDModel,
+    base: CompositionalLumpingResult,
+    *,
+    key: str = "formal",
+    iterate: bool = False,
+    report: Optional[RunReport] = None,
+    sites: Optional[Mapping[str, Sequence[int]]] = None,
+    factors: Optional[Mapping[str, float]] = None,
+    changed_nodes: Optional[AbstractSet[int]] = None,
+) -> Tuple[CompositionalLumpingResult, bool]:
+    """Lump ``model`` by reusing ``base``'s partitions when the proof
+    licenses it, else by full re-lumping.
+
+    Returns ``(lumping, reused)``.  A failed proof is recorded in
+    ``report`` as a ``sweep.reuse`` fallback with the proof's reason;
+    it is a (slower) success path, never an error.  When the caller
+    passes the point's ``sites``/``factors``, a successful proof skips
+    re-quotienting entirely and scales ``base``'s lumped model instead
+    (:func:`scaled_lumping`).  ``changed_nodes`` narrows the proof's
+    stability scan (see :func:`partition_reuse_proof` for the soundness
+    contract — for a sweep point, the union of its site node sets).
+    """
+    reason = partition_reuse_proof(
+        model,
+        base.partitions,
+        kind=base.kind,
+        changed_nodes=changed_nodes,
+    )
+    if reason is None:
+        if sites is not None and factors is not None:
+            return scaled_lumping(base, sites, factors, model), True
+        return (
+            apply_partitions(model, base.partitions, kind=base.kind),
+            True,
+        )
+    if report is not None:
+        report.record_fallback(
+            stage="sweep.reuse",
+            requested="reuse base partition",
+            used="full re-lumping",
+            reason=reason,
+        )
+    return (
+        compositional_lump(
+            model, kind=base.kind, key=key, iterate=iterate
+        ),
+        False,
+    )

@@ -1,0 +1,10 @@
+"""RL013 positive fixture: warm start with no cold fallback anywhere."""
+
+
+def solve_points(points, solver, neighbors):
+    results = []
+    for point in points:
+        warm = neighbors.vector_for(point)
+        # the only solve path is seeded; a bad seed is a hard failure
+        results.append(solver.solve(point, x0=warm))
+    return results

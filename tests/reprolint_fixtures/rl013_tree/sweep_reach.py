@@ -1,0 +1,12 @@
+"""RL013 clean fixture: the cold path lives one call-graph edge away."""
+
+
+def solve_warm(point, solver, warm):
+    try:
+        return solver.solve(point, x0=warm)
+    except RuntimeError:
+        return solve_cold(point, solver)
+
+
+def solve_cold(point, solver):
+    return solver.solve(point)

@@ -409,6 +409,96 @@ def test_rl012_real_service_tree_is_clean():
 
 
 # ----------------------------------------------------------------------
+# RL013: warm start without cold fallback
+# ----------------------------------------------------------------------
+
+
+def _rl013_tree(fixture: str, path: str = "src/repro/sweep/engine.py"):
+    return [(path, _fixture(f"rl013_tree/{fixture}"))]
+
+
+def test_rl013_warm_only_solve_is_flagged():
+    findings, _ = _tree(["RL013"], _rl013_tree("sweep_bad.py"))
+    assert len(findings) == 1, findings
+    assert findings[0].rule == "RL013"
+    assert "no reachable cold-start fallback" in findings[0].message
+
+
+def test_rl013_inline_cold_retry_is_clean():
+    findings, _ = _tree(["RL013"], _rl013_tree("sweep_good.py"))
+    assert findings == []
+
+
+def test_rl013_cold_path_via_call_graph_is_clean():
+    findings, _ = _tree(["RL013"], _rl013_tree("sweep_reach.py"))
+    assert findings == []
+
+
+def test_rl013_seed_dropped_to_none_is_clean():
+    src = (
+        "def solve_warm(point, solver, warm):\n"
+        "    if warm is not None and warm.size != point.size:\n"
+        "        warm = None\n"
+        "    return solver.solve(point, x0=warm)\n"
+    )
+    findings, _ = _tree(["RL013"], [("src/repro/sweep/engine.py", src)])
+    assert findings == []
+
+
+def test_rl013_explicit_none_seed_is_not_a_warm_site():
+    src = "def solve(point, solver):\n    return solver.solve(point, x0=None)\n"
+    findings, _ = _tree(["RL013"], [("src/repro/sweep/engine.py", src)])
+    assert findings == []
+
+
+def test_rl013_out_of_scope_path_is_clean():
+    findings, _ = _tree(
+        ["RL013"],
+        _rl013_tree("sweep_bad.py", path="src/repro/markov/chains.py"),
+    )
+    assert findings == []
+
+
+def test_rl013_solvers_module_is_in_scope():
+    findings, _ = _tree(
+        ["RL013"],
+        _rl013_tree("sweep_bad.py", path="src/repro/markov/solvers.py"),
+    )
+    assert len(findings) == 1, findings
+
+
+def test_rl013_suppressed_inline():
+    text = _fixture("rl013_tree/sweep_bad.py").replace(
+        "results.append(solver.solve(point, x0=warm))",
+        "results.append(solver.solve(point, x0=warm))"
+        "  # reprolint: disable=RL013 -- seed proven in-basin upstream",
+    )
+    findings, suppressed = _tree(
+        ["RL013"], [("src/repro/sweep/engine.py", text)]
+    )
+    assert findings == []
+    assert any(f.rule == "RL013" for f in suppressed)
+
+
+def test_rl013_real_sweep_tree_is_clean():
+    """The real sweep engine must satisfy the rule via its actual
+    quarantine ladder (the x0 = None seed-drop plus the cold rung)."""
+    repo = Path(__file__).resolve().parents[1]
+    sources = []
+    for rel in (
+        "src/repro/sweep/engine.py",
+        "src/repro/sweep/spec.py",
+        "src/repro/sweep/reuse.py",
+        "src/repro/sweep/frontier.py",
+        "src/repro/markov/solvers.py",
+        "src/repro/analysis.py",
+    ):
+        sources.append((rel, (repo / rel).read_text(encoding="utf-8")))
+    findings, _ = _tree(["RL013"], sources)
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
 # RL002 interprocedural (RL002i)
 # ----------------------------------------------------------------------
 

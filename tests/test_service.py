@@ -655,6 +655,23 @@ class TestCLI:
         assert service_main(["status", "--store", root]) == 0
         assert "no jobs" in capsys.readouterr().out
 
+    def test_status_default_is_compact_count_by_state(
+        self, tmp_path, capsys
+    ):
+        root = str(tmp_path / "svc")
+        service_main(["submit", "--store", root, "--demo", "redundant:2,1"])
+        service_main(["submit", "--store", root, "--demo", "redundant:3,1"])
+        capsys.readouterr()
+        assert service_main(["status", "--store", root]) == 0
+        assert capsys.readouterr().out.strip() == "2 job(s): queued=2"
+        service_main(["run-workers", "--store", root, "--workers", "1"])
+        capsys.readouterr()
+        assert service_main(["status", "--store", root]) == 0
+        assert capsys.readouterr().out.strip() == "2 job(s): done=2"
+        # Naming a job keeps the per-job line without --verbose.
+        assert service_main(["status", "--store", root, "j000001"]) == 0
+        assert "j000001 done" in capsys.readouterr().out
+
     def test_status_and_result_tolerate_unreadable_jobs(
         self, tmp_path, capsys
     ):
@@ -662,9 +679,12 @@ class TestCLI:
         service_main(["submit", "--store", root, "--demo", "redundant:2,1"])
         capsys.readouterr()
         # An orphaned job directory: the submitter died before its spec
-        # landed.  A bare scan skips it with a one-line notice.
+        # landed.  The compact scan counts it; the verbose scan skips
+        # past it with a one-line notice.
         os.makedirs(os.path.join(root, "jobs", "j999999", "records"))
         assert service_main(["status", "--store", root]) == 0
+        assert "unreadable=1" in capsys.readouterr().out
+        assert service_main(["status", "--store", root, "--verbose"]) == 0
         captured = capsys.readouterr()
         assert "j000001" in captured.out
         assert "j999999 unreadable" in captured.err

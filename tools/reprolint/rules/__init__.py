@@ -32,6 +32,9 @@ from reprolint.rules.rl011_lifecycle_conformance import LifecycleConformance
 from reprolint.rules.rl012_uncertified_result_publication import (
     UncertifiedResultPublication,
 )
+from reprolint.rules.rl013_warm_start_without_cold_fallback import (
+    WarmStartWithoutColdFallback,
+)
 
 RULE_CLASSES: Sequence[Type[Rule]] = (
     NondeterministicIteration,
@@ -46,6 +49,7 @@ RULE_CLASSES: Sequence[Type[Rule]] = (
     LockDiscipline,
     LifecycleConformance,
     UncertifiedResultPublication,
+    WarmStartWithoutColdFallback,
 )
 
 #: Historical/alternate spellings accepted by ``--select``.  ``RL002i``

@@ -1,0 +1,171 @@
+"""RL013: a warm-started solve with no reachable cold-start fallback.
+
+Warm starts (seeding an iterative solve with a neighboring point's
+stationary vector via ``x0=``) are an optimization, never a
+correctness assumption: a seed from a slightly-different operating
+point can sit in the wrong basin, stall the iteration, or converge to
+a vector that fails certification.  The sweep engine's contract
+(docs/sweep.md) is therefore that every warm-start call site has a
+*cold-start fallback path* — some reachable way to retry the same
+solve with the seed dropped.
+
+A call site is a warm-start site when it passes an ``x0=`` keyword
+whose value is not the literal ``None``.  It is compliant when the
+enclosing function, or any function it reaches through the project
+call graph (<= 8 edges), demonstrably provides the cold path:
+
+* a call to the same callee (by last name segment) with no ``x0=`` at
+  all, or with ``x0=None`` — the explicit cold retry; or
+* an assignment of ``None`` to the very name passed as ``x0`` — the
+  drop-the-seed-and-fall-through idiom (``x0 = None`` guarded by a
+  divergence/dimension check ahead of a shared call site).
+
+First-iteration-true contract: only ``sweep/`` modules and
+``markov/solvers.py`` are in scope (the surfaces whose warm starts the
+sweep contract governs), and a seed whose expression is not a simple
+name cannot be matched by the assignment clause — such sites need the
+explicit cold call to pass, which keeps the rule under-reporting
+rather than guessing.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator, Optional, Set
+
+from reprolint import flow
+from reprolint.core import FileContext, Finding, ProjectRule
+
+#: Call-graph depth for the cold-fallback search (matches RL012's
+#: certification search: fallback ladders legitimately live a few
+#: layers down).
+REACH_DEPTH = 8
+
+
+def _is_none(node: Optional[ast.expr]) -> bool:
+    return isinstance(node, ast.Constant) and node.value is None
+
+
+def _x0_keyword(call: ast.Call) -> Optional[ast.keyword]:
+    for kw in call.keywords:
+        if kw.arg == "x0":
+            return kw
+    return None
+
+
+def _callee_segment(call: ast.Call) -> Optional[str]:
+    return flow.last_name_segment(flow.call_name(call))
+
+
+def _provides_cold_path(
+    root: ast.AST, callee: Optional[str], seed_name: Optional[str]
+) -> bool:
+    """``root`` contains a cold-start fallback for a warm call of
+    ``callee`` seeded from ``seed_name``: the same callee invoked
+    without a live ``x0``, or the seed name assigned ``None``."""
+    for node in ast.walk(root):
+        if isinstance(node, ast.Call):
+            if callee is not None and _callee_segment(node) == callee:
+                kw = _x0_keyword(node)
+                if kw is None or _is_none(kw.value):
+                    return True
+        elif isinstance(node, ast.Assign) and seed_name is not None:
+            if _is_none(node.value) and any(
+                isinstance(t, ast.Name) and t.id == seed_name
+                for t in node.targets
+            ):
+                return True
+        elif isinstance(node, ast.AnnAssign) and seed_name is not None:
+            if (
+                _is_none(node.value)
+                and isinstance(node.target, ast.Name)
+                and node.target.id == seed_name
+            ):
+                return True
+    return False
+
+
+class WarmStartWithoutColdFallback(ProjectRule):
+    code = "RL013"
+    name = "warm-start-without-cold-fallback"
+    rationale = (
+        "an iterative solve seeded from a neighboring point (x0=...) "
+        "with no reachable cold-start retry turns a bad seed — wrong "
+        "basin, wrong dimension, stalled iteration — into a hard "
+        "failure or an uncertifiable answer instead of a slower solve."
+    )
+
+    def applies_to(self, path: str) -> bool:
+        if not super().applies_to(path):
+            return False
+        return (
+            "/sweep/" in path
+            or path.startswith("sweep/")
+            or Path(path).name == "solvers.py"
+        )
+
+    # ------------------------------------------------------------------
+
+    def check_project(self, project) -> Iterator[Finding]:
+        for info in sorted(
+            project.modules.values(), key=lambda m: m.path
+        ):
+            if not self.applies_to(info.path):
+                continue
+            ctx = info.ctx
+            for node in ast.walk(ctx.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                kw = _x0_keyword(node)
+                if kw is None or _is_none(kw.value):
+                    continue
+                yield from self._check_warm_site(ctx, project, node, kw)
+
+    # ------------------------------------------------------------------
+
+    def _check_warm_site(
+        self,
+        ctx: FileContext,
+        project,
+        call: ast.Call,
+        kw: ast.keyword,
+    ) -> Iterator[Finding]:
+        callee = _callee_segment(call)
+        seed_name = kw.value.id if isinstance(kw.value, ast.Name) else None
+        if self._fallback_reachable(ctx, project, call, callee, seed_name):
+            return
+        target = callee or "<call>"
+        yield self.finding(
+            ctx,
+            call,
+            f"warm-started solve {target}(..., x0=...) has no reachable "
+            "cold-start fallback: no call to the same solver without "
+            f"x0 and no path assigning the seed None within "
+            f"{REACH_DEPTH} call-graph edges; a bad seed becomes a "
+            "hard failure instead of a slower cold solve",
+        )
+
+    def _fallback_reachable(
+        self,
+        ctx: FileContext,
+        project,
+        call: ast.Call,
+        callee: Optional[str],
+        seed_name: Optional[str],
+    ) -> bool:
+        enclosing = project.enclosing_function(ctx, call)
+        if enclosing is None:
+            return _provides_cold_path(ctx.tree, callee, seed_name)
+        if _provides_cold_path(enclosing.node, callee, seed_name):
+            return True
+        reached: Set[str] = project.reachable_functions(
+            [enclosing.qname], max_depth=REACH_DEPTH
+        )
+        for qname in reached:
+            fn = project.functions.get(qname)
+            if fn is not None and _provides_cold_path(
+                fn.node, callee, seed_name
+            ):
+                return True
+        return False
